@@ -1,0 +1,66 @@
+"""Ablation benchmark — routing tie-break policy on the pairing result.
+
+The bisection pairing traffic travels exactly half way around each
+even ring, so every flow's direction is a tie.  Real torus routers
+balance such traffic; a strictly deterministic router sends every tie
+the same way, leaving half the ring links idle.  This harness checks
+that the paper's ×2 geometry conclusion is invariant to that choice,
+while absolute times double under the unbalanced router — the kind of
+"one-direction utilization" effect the paper mentions for Mira's
+24-midplane partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.report import render_table
+from repro.experiments.pairing import PairingParameters, run_pairing
+
+CUR = PartitionGeometry((4, 1, 1, 1))
+PROP = PartitionGeometry((2, 2, 1, 1))
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for tie in ("parity", "positive"):
+        params = PairingParameters(rounds=2, tie=tie)
+        out[tie] = (
+            run_pairing(CUR, params).time_seconds,
+            run_pairing(PROP, params).time_seconds,
+        )
+    return out
+
+
+def test_tie_break_ablation(benchmark, results, report):
+    benchmark.pedantic(
+        lambda: run_pairing(CUR, PairingParameters(rounds=1)),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for tie, (worse, better) in results.items():
+        rows.append({
+            "tie-break": tie,
+            "current_s": worse,
+            "proposed_s": better,
+            "ratio": worse / better,
+        })
+    by_tie = {r["tie-break"]: r for r in rows}
+
+    # The geometry conclusion (x2) is routing-invariant.
+    for r in rows:
+        assert r["ratio"] == pytest.approx(2.0, rel=0.02)
+    # A one-directional router doubles absolute times (half the links
+    # idle), exactly the utilization effect the paper flags.
+    assert by_tie["positive"]["current_s"] == pytest.approx(
+        2 * by_tie["parity"]["current_s"], rel=0.02
+    )
+
+    report(render_table(
+        rows,
+        ["tie-break", "current_s", "proposed_s", "ratio"],
+        title="Ablation — routing tie-break vs pairing times "
+              "(4 midplanes, 2 rounds)",
+    ))

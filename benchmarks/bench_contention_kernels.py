@@ -1,0 +1,71 @@
+"""Benchmark — kernel contention sensitivity (the paper's future work).
+
+Section 5 predicts that kernels with higher contention lower bounds
+(direct N-body, classical matmul) benefit more from improved partition
+bisection than fast matrix multiplication.  This harness computes the
+Ballard-et-al-style bounds for all three kernels on the 4-midplane
+current/proposed pair and checks the predicted ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.contention import (
+    caps_contention,
+    geometry_sensitivity,
+    nbody_contention,
+    summa_contention,
+)
+from repro.analysis.report import render_table
+
+CUR = PartitionGeometry((4, 1, 1, 1))
+PROP = PartitionGeometry((2, 2, 1, 1))
+RANKS = 2401
+N = 9408
+BODIES = N * N
+
+
+@pytest.fixture(scope="module")
+def bounds():
+    return {
+        "caps": (caps_contention(CUR, RANKS, N),
+                 caps_contention(PROP, RANKS, N)),
+        "summa": (summa_contention(CUR, RANKS, N),
+                  summa_contention(PROP, RANKS, N)),
+        "nbody": (nbody_contention(CUR, RANKS, BODIES),
+                  nbody_contention(PROP, RANKS, BODIES)),
+    }
+
+
+def test_contention_bound_sensitivity(benchmark, bounds, report):
+    benchmark(caps_contention, CUR, RANKS, N)
+
+    rows = []
+    for kernel, (worse, better) in bounds.items():
+        rows.append({
+            "kernel": kernel,
+            "words_per_rank": worse.words_per_rank,
+            "bound_worse_s": worse.bound_seconds,
+            "bound_better_s": better.bound_seconds,
+            "sensitivity": geometry_sensitivity(worse, better),
+        })
+
+    # Every kernel's bound scales with the bisection ratio (x2 here).
+    for row in rows:
+        assert row["sensitivity"] == pytest.approx(2.0)
+
+    # Absolute contention floors: N-body (O(1) compute/word) > classical
+    # matmul > CAPS at matched scale — the paper's predicted ordering of
+    # who has the most to gain.
+    floors = {r["kernel"]: r["bound_worse_s"] for r in rows}
+    assert floors["nbody"] > floors["summa"] > floors["caps"]
+
+    report(render_table(
+        rows,
+        ["kernel", "words_per_rank", "bound_worse_s", "bound_better_s",
+         "sensitivity"],
+        title="Future-work ablation — contention lower bounds by kernel "
+              "(4-midplane geometries)",
+    ))

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Table 2, Table 7 and Figure 2 (JUQUEEN)."""
+
+from __future__ import annotations
+
+from repro.analysis import paperdata, tables
+from repro.analysis.figures import figure2
+from repro.analysis.report import render_series, render_table
+
+TABLE2_COLS = ["nodes", "midplanes", "worst", "worst_bw", "best", "best_bw"]
+
+
+def test_table2_juqueen_improved(benchmark, report):
+    rows = benchmark(tables.table2)
+    assert rows == paperdata.TABLE_2_JUQUEEN_IMPROVED
+    report(render_table(rows, TABLE2_COLS,
+                        title="Table 2 — JUQUEEN best/worst differing "
+                              "rows (regenerated; matches paper exactly)"))
+
+
+def test_table7_juqueen_full(benchmark, report):
+    rows = benchmark(tables.table7)
+    assert rows == paperdata.TABLE_7_JUQUEEN_FULL
+    report(render_table(rows, TABLE2_COLS,
+                        title="Table 7 — JUQUEEN full best/worst list "
+                              "(regenerated; matches paper exactly)"))
+
+
+def test_figure2_juqueen_bandwidth_curves(benchmark, report):
+    fig = benchmark(figure2)
+    # Shape: best >= worst everywhere; exactly 2x on improvable sizes.
+    for mp, bw in fig["worst"].items():
+        assert fig["best"][mp] >= bw
+    for mp in (4, 6, 8, 12, 16, 24):
+        assert fig["best"][mp] == 2 * fig["worst"][mp]
+    # 'Spiking' drops: ring-only sizes fall back to 256.
+    for mp in (5, 7):
+        assert fig["best"][mp] == 256
+        assert fig["best"][mp - 1] > 256
+    report(render_series(fig, title="Figure 2 — JUQUEEN best/worst "
+                                    "normalized bisection bandwidth"))

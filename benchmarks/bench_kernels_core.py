@@ -1,0 +1,53 @@
+"""Performance benchmarks for the kernel implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.caps import CapsConfig, caps_steps
+from repro.kernels.strassen import strassen_winograd
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    n = 256
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def test_bench_strassen_winograd_256(benchmark, operands):
+    A, B = operands
+    C = benchmark(strassen_winograd, A, B, 64)
+    assert np.allclose(C, A @ B)
+
+
+def test_bench_numpy_matmul_256(benchmark, operands):
+    """Baseline for the Strassen measurement above (BLAS)."""
+    A, B = operands
+    C = benchmark(lambda: A @ B)
+    assert C.shape == (256, 256)
+
+
+def test_bench_caps_schedule_generation(benchmark):
+    steps = benchmark(
+        lambda: caps_steps(CapsConfig(n=32928, num_ranks=117649))
+    )
+    assert len(steps) == 6
+
+
+def test_bench_caps_traffic_aggregation(benchmark):
+    from repro.experiments.matmul import step_traffic_matrix
+
+    node_of_rank = np.repeat(np.arange(2048, dtype=np.int64), 16)[:31213]
+    config = CapsConfig(n=32928, num_ranks=31213)
+    step = caps_steps(config)[-1]
+
+    def run():
+        return step_traffic_matrix(
+            31213, step.stride, step.group_size, node_of_rank,
+            round_offset=1,
+        )
+
+    src, dst, cnt = benchmark(run)
+    assert cnt.sum() > 0

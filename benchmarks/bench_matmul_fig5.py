@@ -1,0 +1,118 @@
+"""Benchmark regenerating Table 3 and Figure 5 — CAPS matmul on Mira.
+
+Drives the CAPS communication schedule through the simulator with the
+paper's exact parameters (Table 3) on current vs proposed geometries.
+Shape assertions:
+
+* proposed geometry strictly reduces communication time at every size;
+* the improvement ratios land in a band around the paper's measured
+  ×1.37–×1.52 (exact magnitude depends on the rank-to-node mapping,
+  which the paper customized for its multi-core runs; see
+  EXPERIMENTS.md);
+* computation time is geometry-independent and matches the paper's
+  measured values within the flop-rate calibration;
+* total wall-clock improves by a smaller factor than communication
+  (the paper's ×1.08–×1.22), since computation is common.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.paperdata import (
+    COMPUTATION_TIMES_SECONDS,
+    FIGURE_5_COMM_TIMES,
+    TABLE_3_MATMUL_PARAMS,
+)
+from repro.analysis.report import render_series, render_table
+from repro.analysis.tables import table3
+from repro.experiments.matmul import run_caps_on_geometry
+
+GEOMETRIES = {
+    4: ((4, 1, 1, 1), (2, 2, 1, 1)),
+    8: ((4, 2, 1, 1), (2, 2, 2, 1)),
+    16: ((4, 4, 1, 1), (2, 2, 2, 2)),
+    24: ((4, 3, 2, 1), (3, 2, 2, 2)),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for row in TABLE_3_MATMUL_PARAMS:
+        mp = row["midplanes"]
+        cur_dims, prop_dims = GEOMETRIES[mp]
+        out[mp] = tuple(
+            run_caps_on_geometry(
+                PartitionGeometry(dims),
+                num_ranks=row["ranks"],
+                matrix_dim=row["matrix_dim"],
+                max_cores=row["max_cores"],
+            )
+            for dims in (cur_dims, prop_dims)
+        )
+    return out
+
+
+def test_table3_parameters(benchmark, report):
+    rows = benchmark(table3)
+    assert [r["midplanes"] for r in rows] == [4, 8, 16, 24]
+    report(render_table(
+        rows,
+        ["nodes", "midplanes", "ranks", "max_cores", "avg_cores",
+         "matrix_dim", "computation_time_model"],
+        title="Table 3 — matmul experiment parameters "
+              "(+ modelled computation seconds)",
+    ))
+
+
+def test_figure5_caps_communication(benchmark, results, report):
+    benchmark.pedantic(
+        lambda: run_caps_on_geometry(
+            PartitionGeometry((4, 1, 1, 1)),
+            num_ranks=31213, matrix_dim=32928, max_cores=16,
+        ),
+        rounds=1, iterations=1,
+    )
+    cur = {mp: r[0].communication_time for mp, r in results.items()}
+    prop = {mp: r[1].communication_time for mp, r in results.items()}
+
+    for mp in cur:
+        # Proposed strictly wins at every size.
+        assert prop[mp] < cur[mp], mp
+        # Ratio in a band containing the paper's 1.37..1.52 and our
+        # mapping sensitivity (see EXPERIMENTS.md).
+        ratio = cur[mp] / prop[mp]
+        assert 1.15 <= ratio <= 2.1, (mp, ratio)
+
+    # Communication decreases with midplane count on proposed geometries
+    # up to 16 midplanes (strong scaling of the same problem).
+    assert prop[4] > prop[8] > prop[16]
+
+    # Computation: geometry-independent, close to the paper's values.
+    for mp, (rc, rp) in results.items():
+        assert rc.computation_time == rp.computation_time
+        assert rc.computation_time == pytest.approx(
+            COMPUTATION_TIMES_SECONDS[mp], rel=0.5
+        ), mp
+
+    # Wall-clock improvement smaller than communication improvement.
+    for mp, (rc, rp) in results.items():
+        comm_ratio = rc.communication_time / rp.communication_time
+        wall_ratio = rc.total_time / rp.total_time
+        assert 1.0 < wall_ratio < comm_ratio, mp
+
+    paper_cur = {mp: v["current"] for mp, v in FIGURE_5_COMM_TIMES.items()}
+    paper_prop = {mp: v["proposed"] for mp, v in FIGURE_5_COMM_TIMES.items()}
+    report(render_series(
+        {
+            "sim current": cur,
+            "sim proposed": prop,
+            "paper current": paper_cur,
+            "paper proposed": paper_prop,
+        },
+        title="Figure 5 — CAPS communication seconds "
+              "(simulated vs paper-measured)",
+        y_format="{:.4f}",
+    ))

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating Table 1, Table 6 and Figure 1 (Mira).
+
+The quantities are combinatorial, so beyond timing the generation we
+assert cell-for-cell equality with the paper's published values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import paperdata, tables
+from repro.analysis.figures import figure1
+from repro.analysis.report import render_series, render_table
+
+TABLE_COLS = [
+    "nodes", "midplanes", "current", "current_bw", "proposed",
+    "proposed_bw",
+]
+
+
+def test_table1_mira_improved(benchmark, report):
+    rows = benchmark(tables.table1)
+    assert rows == paperdata.TABLE_1_MIRA_IMPROVED
+    report(render_table(rows, TABLE_COLS,
+                        title="Table 1 — Mira improved partitions "
+                              "(regenerated; matches paper exactly)"))
+
+
+def test_table6_mira_full(benchmark, report):
+    rows = benchmark(tables.table6)
+    assert rows == paperdata.TABLE_6_MIRA_FULL
+    report(render_table(rows, TABLE_COLS,
+                        title="Table 6 — Mira full partition list "
+                              "(regenerated; matches paper exactly)"))
+
+
+def test_figure1_mira_bandwidth_curves(benchmark, report):
+    fig = benchmark(figure1)
+    # Shape: proposed dominates everywhere, strictly on 4/8/16/24.
+    for mp, bw in fig["current"].items():
+        assert fig["proposed"][mp] >= bw
+    for mp in (4, 8, 16):
+        assert fig["proposed"][mp] == 2 * fig["current"][mp]
+    assert fig["proposed"][24] * 3 == fig["current"][24] * 4
+    # Endpoints of the plotted range.
+    assert fig["current"][1] == 256
+    assert fig["current"][96] == 6144
+    report(render_series(fig, title="Figure 1 — Mira normalized bisection "
+                                    "bandwidth (current vs proposed)"))

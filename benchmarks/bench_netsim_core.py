@@ -1,0 +1,72 @@
+"""Performance benchmarks for the network simulator core.
+
+Measures the substrate operations the experiments are built from:
+network construction, routing, max-min fairness and the fluid engine,
+at the scale of a 4-midplane Blue Gene/Q partition (2048 nodes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.fairness import max_min_fair_rates
+from repro.netsim.fluid import simulate_flows
+from repro.netsim.network import LinkNetwork
+from repro.netsim.routing import dimension_ordered_route
+from repro.netsim.traffic import bisection_pairing
+from repro.topology.torus import Torus
+
+PARTITION_DIMS = (16, 4, 4, 4, 2)  # 4 midplanes, current geometry
+
+
+@pytest.fixture(scope="module")
+def torus():
+    return Torus(PARTITION_DIMS)
+
+
+@pytest.fixture(scope="module")
+def network(torus):
+    return LinkNetwork(torus, link_bandwidth=2.0)
+
+
+@pytest.fixture(scope="module")
+def pairing_paths(torus, network):
+    return [
+        network.path_to_links(dimension_ordered_route(torus, s, d))
+        for s, d in bisection_pairing(torus)
+    ]
+
+
+def test_bench_network_construction(benchmark, torus):
+    net = benchmark(LinkNetwork, torus, 2.0)
+    assert net.num_links == 2 * torus.num_edges
+
+
+def test_bench_routing_2048_antipodal_pairs(benchmark, torus, network):
+    pairs = bisection_pairing(torus)
+
+    def run():
+        return [
+            network.path_to_links(dimension_ordered_route(torus, s, d))
+            for s, d in pairs
+        ]
+
+    paths = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(paths) == 2048
+
+
+def test_bench_max_min_fairness_2048_flows(benchmark, network, pairing_paths):
+    rates = benchmark(
+        max_min_fair_rates, pairing_paths, network.capacities
+    )
+    assert rates.min() == pytest.approx(0.5)
+
+
+def test_bench_fluid_simulation_2048_flows(benchmark, network, pairing_paths):
+    makespan = benchmark.pedantic(
+        lambda: simulate_flows(
+            network, pairing_paths, [1.0] * len(pairing_paths)
+        ),
+        rounds=2, iterations=1,
+    )
+    assert makespan == pytest.approx(2.0)

@@ -1,0 +1,77 @@
+"""Benchmark regenerating Figure 3 — Mira bisection pairing experiment.
+
+Runs the full-scale fluid simulation (paper parameters: 26 counted
+rounds of 16 × 0.1342 GB chunks, 2 GB/s links) on Mira's current and
+proposed geometries for 4/8/16/24 midplanes, and asserts the paper's
+shape claims:
+
+* ×2.0 predicted speedup at 4, 8, 16 midplanes (paper measured >= 1.92);
+* a reduced ratio at 24 midplanes (paper predicted 1.50, measured 1.44;
+  the pure bisection ratio is 2048/1536 = 1.33 — our fluid simulation
+  realizes exactly that);
+* proposed times flat across 4/8/16, rising ×1.5 at 24 (constant
+  bandwidth, ×1.5 nodes — the effect the paper calls expected).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.paperdata import PAIRING_PREDICTED_RATIOS
+from repro.analysis.report import render_series
+from repro.experiments.pairing import run_pairing
+
+MIRA_ROWS = [
+    (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+    (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+    (16, (4, 4, 1, 1), (2, 2, 2, 2)),
+    (24, (4, 3, 2, 1), (3, 2, 2, 2)),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for mp, cur, prop in MIRA_ROWS:
+        out[mp] = (
+            run_pairing(PartitionGeometry(cur)),
+            run_pairing(PartitionGeometry(prop)),
+        )
+    return out
+
+
+def test_figure3_mira_pairing(benchmark, results, report):
+    # Benchmark one representative full-scale run (4 midplanes, current).
+    benchmark.pedantic(
+        lambda: run_pairing(PartitionGeometry((4, 1, 1, 1))),
+        rounds=1, iterations=1,
+    )
+    series_cur = {mp: r[0].time_seconds for mp, r in results.items()}
+    series_prop = {mp: r[1].time_seconds for mp, r in results.items()}
+
+    # Paper shape: x2 speedup at 4/8/16 midplanes.
+    for mp in (4, 8, 16):
+        ratio = series_cur[mp] / series_prop[mp]
+        assert ratio == pytest.approx(
+            PAIRING_PREDICTED_RATIOS[mp], rel=0.05
+        ), mp
+    # 24 midplanes: reduced ratio (bisection 2048/1536 = 4/3; the paper
+    # predicted 1.5 and measured 1.44 — accept the band).
+    r24 = series_cur[24] / series_prop[24]
+    assert 1.25 <= r24 <= 1.55, r24
+
+    # Proposed geometries: flat 4->16, x1.5 step at 24.
+    assert series_prop[4] == pytest.approx(series_prop[8], rel=1e-6)
+    assert series_prop[8] == pytest.approx(series_prop[16], rel=1e-6)
+    assert series_prop[24] / series_prop[16] == pytest.approx(1.5, rel=0.01)
+
+    # Current geometries: flat across all sizes (bandwidth/node constant).
+    assert series_cur[4] == pytest.approx(series_cur[16], rel=1e-6)
+
+    report(render_series(
+        {"current": series_cur, "proposed": series_prop},
+        title="Figure 3 — Mira bisection pairing (simulated seconds; "
+              "paper measured ~150/~75 s with >= 1.92x ratios)",
+        y_format="{:.1f}",
+    ))

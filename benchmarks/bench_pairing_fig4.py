@@ -1,0 +1,62 @@
+"""Benchmark regenerating Figure 4 — JUQUEEN bisection pairing experiment.
+
+Same protocol as Figure 3 on JUQUEEN's worst-case vs best-case
+geometries for 4/6/8/12/16 midplanes.  Asserts the paper's claims:
+
+* ×2.0 between worst and best everywhere both differ;
+* per-node bandwidth identical for the 4 and 8 midplane best-case
+  partitions but 50% smaller for 6 midplanes — so the best-case times
+  satisfy t(6) = 1.5 t(4) = 1.5 t(8) (the figure-caption observation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.report import render_series
+from repro.experiments.pairing import run_pairing
+
+JUQUEEN_ROWS = [
+    (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+    (6, (6, 1, 1, 1), (3, 2, 1, 1)),
+    (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+    (12, (6, 2, 1, 1), (3, 2, 2, 1)),
+    (16, (4, 2, 2, 1), (2, 2, 2, 2)),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for mp, worst, best in JUQUEEN_ROWS:
+        out[mp] = (
+            run_pairing(PartitionGeometry(worst)),
+            run_pairing(PartitionGeometry(best)),
+        )
+    return out
+
+
+def test_figure4_juqueen_pairing(benchmark, results, report):
+    benchmark.pedantic(
+        lambda: run_pairing(PartitionGeometry((6, 1, 1, 1))),
+        rounds=1, iterations=1,
+    )
+    worst = {mp: r[0].time_seconds for mp, r in results.items()}
+    best = {mp: r[1].time_seconds for mp, r in results.items()}
+
+    # x2 everywhere on these sizes (all have differing best/worst).
+    for mp in worst:
+        assert worst[mp] / best[mp] == pytest.approx(2.0, rel=0.05), mp
+
+    # Figure 4 caption: best-case per-node bandwidth equal at 4 and 8
+    # midplanes, 50% smaller at 6.
+    assert best[4] == pytest.approx(best[8], rel=1e-6)
+    assert best[6] / best[4] == pytest.approx(1.5, rel=0.01)
+
+    report(render_series(
+        {"worst-case": worst, "proposed": best},
+        title="Figure 4 — JUQUEEN bisection pairing (simulated seconds; "
+              "paper measured >= 1.92x ratios)",
+        y_format="{:.1f}",
+    ))

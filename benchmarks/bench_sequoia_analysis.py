@@ -1,0 +1,59 @@
+"""Benchmark — Sequoia allocation analysis (Section 5 of the paper).
+
+Sequoia (16×16×16×12×2 nodes, 4×4×4×3 midplanes) transitioned to
+classified work before the paper's experiments, so the paper only
+*analyzes* it: "both optimal and sub-optimal permissible partitions may
+be defined for certain midplane counts ... depending on its allocation
+policy it may be possible to improve its network performance".  This
+harness regenerates that analysis with the same machinery as
+Tables 2/7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.optimizer import best_worst_table
+from repro.analysis.report import render_table
+from repro.machines.catalog import SEQUOIA
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return best_worst_table(SEQUOIA)
+
+
+def test_sequoia_best_worst(benchmark, rows, report):
+    benchmark(best_worst_table, SEQUOIA)
+    improved = [r for r in rows if r.is_improved]
+
+    # The Section 5 claim: improvable sizes exist.
+    assert improved, "Sequoia should have geometry-sensitive sizes"
+    # The familiar small sizes behave like Mira/JUQUEEN.
+    by_size = {r.num_midplanes: r for r in rows}
+    assert by_size[4].current_bw == 256 and by_size[4].proposed_bw == 512
+    assert by_size[16].proposed.dims == (2, 2, 2, 2)
+    assert by_size[16].proposed_bw == 2048
+    # Sequoia's three length-4 dims + one length-3 admit a 3x3x3 cube.
+    assert by_size[27].proposed.dims == (3, 3, 3, 1)
+    assert by_size[27].proposed_bw == 2304
+    # Full machine: 192 midplanes, bisection 2*192*512/16 = 12288.
+    assert by_size[192].current_bw == 12288
+
+    table = [
+        {
+            "midplanes": r.num_midplanes,
+            "nodes": r.num_nodes,
+            "worst": r.current.dims,
+            "worst_bw": r.current_bw,
+            "best": r.proposed.dims if r.is_improved else None,
+            "best_bw": r.proposed_bw if r.is_improved else None,
+        }
+        for r in rows
+    ]
+    report(render_table(
+        table,
+        ["midplanes", "nodes", "worst", "worst_bw", "best", "best_bw"],
+        title="Sequoia — best/worst permissible partitions (Section 5 "
+              f"analysis; {len(improved)} of {len(rows)} sizes improvable)",
+    ))

@@ -1,0 +1,65 @@
+"""Benchmark — run-time variability under size-only requests.
+
+Quantifies Section 4.3's warning: with JUQUEEN's free-cuboid policy, a
+size-only request can receive geometries whose bisection differs 2×, so
+identical jobs show large run-to-run variance; fixing the geometry (or
+always serving the best one) removes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.advisor import JobRequest
+from repro.allocation.policy import juqueen_policy
+from repro.allocation.variability import simulate_job_stream
+from repro.analysis.report import render_table
+
+JOB = JobRequest(num_midplanes=8, optimal_runtime=3600.0,
+                 contention_fraction=0.6)
+NUM_JOBS = 200
+
+
+@pytest.fixture(scope="module")
+def reports():
+    policy = juqueen_policy()
+    return {
+        rule: simulate_job_stream(policy, JOB, NUM_JOBS, rule, seed=7)
+        for rule in ("best", "worst", "random", "first-fit")
+    }
+
+
+def test_size_only_request_variability(benchmark, reports, report):
+    benchmark(
+        simulate_job_stream, juqueen_policy(), JOB, NUM_JOBS, "random", 7
+    )
+    rows = []
+    for rule, rep in reports.items():
+        rows.append({
+            "selection": rule,
+            "mean (s)": rep.mean,
+            "stdev (s)": rep.stdev,
+            "spread": rep.spread,
+            "geometries": rep.distinct_geometries,
+        })
+    by_rule = {r["selection"]: r for r in rows}
+
+    # Deterministic extremes are perfectly consistent.
+    assert by_rule["best"]["spread"] == pytest.approx(1.0)
+    assert by_rule["worst"]["spread"] == pytest.approx(1.0)
+    # A fully contention-bound share of 0.6 on a 2x bandwidth gap:
+    # worst runtime = 0.4 + 0.6 * 2 = 1.6x the best.
+    assert by_rule["worst"]["mean (s)"] / by_rule["best"]["mean (s)"] == (
+        pytest.approx(1.6)
+    )
+    # Random selection shows the inconsistency the paper warns about.
+    assert by_rule["random"]["spread"] == pytest.approx(1.6)
+    assert by_rule["random"]["stdev (s)"] > 0
+    assert by_rule["random"]["geometries"] >= 2
+
+    report(render_table(
+        rows,
+        ["selection", "mean (s)", "stdev (s)", "spread", "geometries"],
+        title="Size-only request variability — 200 identical 8-midplane "
+              "jobs on JUQUEEN (contention fraction 0.6)",
+    ))

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness regenerates one or more of the paper's tables/figures,
+prints them (run pytest with ``-s`` to see the reports inline; they are
+also always emitted through the ``report`` fixture at the end), and
+asserts the paper's *shape* claims — who wins, by roughly what factor,
+where crossovers fall — per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect rendered tables/figures and print them at session end."""
+    chunks: list[str] = []
+    yield chunks.append
+    if chunks:
+        print("\n\n" + "\n\n".join(chunks) + "\n")
+
+
+def ratio(a: float, b: float) -> float:
+    """Guarded ratio used by the shape assertions."""
+    if b <= 0:
+        raise ValueError(f"non-positive denominator: {b}")
+    return a / b

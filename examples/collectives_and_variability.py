@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Collectives on partitions + the size-only request lottery.
+
+Two demonstrations that go beyond the paper's measured experiments using
+the same machinery:
+
+1. simulate classical MPI collectives (allgather, allreduce,
+   all-to-all) on two equal-size partition geometries and see which
+   collectives care about the partition shape;
+2. replay 200 identical size-only job requests through JUQUEEN's
+   free-cuboid policy under different scheduler selection rules — the
+   run-time lottery Section 4.3 warns about.
+
+Run:  python examples/collectives_and_variability.py
+"""
+
+from __future__ import annotations
+
+from repro.allocation import (
+    JobRequest,
+    PartitionGeometry,
+    juqueen_policy,
+    simulate_job_stream,
+)
+from repro.netsim import (
+    LinkNetwork,
+    RouteCache,
+    pairwise_alltoall,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    simulate_rounds,
+)
+
+
+def collectives_demo() -> None:
+    print("=" * 72)
+    print("Collectives on equal-size 4-midplane partitions "
+          "(1 rank/node, 50 MB blocks)")
+    print("=" * 72)
+    geometries = [PartitionGeometry((4, 1, 1, 1)),
+                  PartitionGeometry((2, 2, 1, 1))]
+    block_gb = 0.05
+    results: dict[str, list[float]] = {}
+    for geo in geometries:
+        torus = geo.bgq_network()
+        p = torus.num_vertices
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        cache = RouteCache(net, torus)
+        schedules = {
+            "ring allgather": ring_allgather(p, block_gb),
+            "recursive-doubling allreduce":
+                recursive_doubling_allreduce(p, block_gb),
+            # Sample the all-to-all (full P-1 rounds are expensive).
+            "pairwise all-to-all (64-rd sample)": [
+                pairwise_alltoall(p, block_gb)[int(i * (p - 1) / 64)]
+                for i in range(64)
+            ],
+        }
+        for name, rounds in schedules.items():
+            total, _ = simulate_rounds(cache, rounds)
+            if "sample" in name:
+                total *= (p - 1) / 64
+            results.setdefault(name, []).append(total)
+
+    print(f"{'collective':<36} {'4x1x1x1':>10} {'2x2x1x1':>10} {'ratio':>7}")
+    print("-" * 66)
+    for name, (worse, better) in results.items():
+        print(f"{name:<36} {worse:>9.3f}s {better:>9.3f}s "
+              f"{worse / better:>6.2f}x")
+    print("\n-> nearest-neighbor collectives (ring, recursive doubling)")
+    print("   barely notice the geometry; the all-to-all — the heart of")
+    print("   FFT transposes — gains the most from better bisection.")
+
+
+def lottery_demo() -> None:
+    print()
+    print("=" * 72)
+    print("The size-only request lottery (JUQUEEN, 8-midplane jobs)")
+    print("=" * 72)
+    job = JobRequest(num_midplanes=8, optimal_runtime=3600.0,
+                     contention_fraction=0.6)
+    policy = juqueen_policy()
+    print(f"{'selection rule':<12} {'mean':>9} {'stdev':>9} "
+          f"{'max/min':>8} {'geometries':>11}")
+    print("-" * 54)
+    for rule in ("best", "worst", "random", "first-fit"):
+        rep = simulate_job_stream(policy, job, 200, rule, seed=11)
+        print(f"{rule:<12} {rep.mean:>8.0f}s {rep.stdev:>8.0f}s "
+              f"{rep.spread:>7.2f}x {rep.distinct_geometries:>11}")
+    print("\n-> under 'random', identical jobs differ by up to 60% wall-")
+    print("   clock purely through geometry luck; requesting an explicit")
+    print("   geometry (or a geometry-aware scheduler) removes the spread.")
+
+
+def main() -> None:
+    collectives_demo()
+    lottery_demo()
+
+
+if __name__ == "__main__":
+    main()

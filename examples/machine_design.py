@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Machine design — smaller machines that outperform JUQUEEN.
+
+Reproduces Section 5's design study: the hypothetical JUQUEEN-48
+(4×3×2×2) and JUQUEEN-54 (3×3×3×2) have fewer midplanes than JUQUEEN
+(7×2×2×2 = 56) yet match or beat its partition bisection bandwidth at
+every comparable size (Table 5, Figure 7) — and both are subgraphs of
+Mira's network, hence physically constructible.
+
+Run:  python examples/machine_design.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_series
+from repro.experiments.machinedesign import (
+    compare_machines,
+    is_constructible_within,
+    peak_speedup_nearest_size,
+    peak_speedup_over_baseline,
+)
+from repro.machines import JUQUEEN, JUQUEEN_48, JUQUEEN_54, MIRA
+
+
+def main() -> None:
+    machines = [JUQUEEN, JUQUEEN_48, JUQUEEN_54]
+    print("=" * 72)
+    print("Machines under comparison")
+    print("=" * 72)
+    for m in machines:
+        print(f"  {m.name:<12} {str(m.midplane_dims):<14} "
+              f"{m.num_midplanes:>3} midplanes, "
+              f"global bisection {m.bisection_bandwidth():.0f}")
+        if m is not JUQUEEN:
+            ok = is_constructible_within(m, MIRA)
+            print(f"               constructible inside Mira: {ok}")
+
+    print()
+    print("=" * 72)
+    print("Table 5 / Figure 7 — best-case partition bandwidth by size")
+    print("=" * 72)
+    rows = compare_machines(machines)
+    series = {m.name: {} for m in machines}
+    for row in rows:
+        for m in machines:
+            series[m.name][row.num_midplanes] = row.bandwidths[m.name]
+    print(render_series(series, y_format="{:.0f}"))
+
+    print()
+    print("=" * 72)
+    print("Headline speedups over JUQUEEN")
+    print("=" * 72)
+    print(f"  JUQUEEN-48, same-size peak   : "
+          f"x{peak_speedup_over_baseline(rows, 'JUQUEEN', 'JUQUEEN-48'):.2f}"
+          "  (48 midplanes: 3072 vs 2048)")
+    print(f"  JUQUEEN-54, nearest-size peak: "
+          f"x{peak_speedup_nearest_size(rows, 'JUQUEEN', 'JUQUEEN-54'):.2f}"
+          "  (54 midplanes at 4608 vs JUQUEEN's 56 at 2048)")
+    print()
+    print("Interpretation: on contention-bound workloads the smaller")
+    print("machines are predicted to perform at least as well as JUQUEEN")
+    print("at every common partition size, with up to x2 advantage near")
+    print("full-machine scale — JUQUEEN only wins for jobs that strong-")
+    print("scale perfectly to all 56 midplanes.")
+
+    print()
+    print("=" * 72)
+    print("Automated design search (extension): can we find these "
+          "machines?")
+    print("=" * 72)
+    from repro.experiments.designsearch import design_search
+
+    search = design_search(56, JUQUEEN)
+    print(f"  scored {len(search)} candidate machine geometries "
+          "<= 56 midplanes against JUQUEEN")
+    print("  top designs (dominating first):")
+    for c in search[:5]:
+        dims = "x".join(map(str, c.machine.midplane_dims))
+        print(f"    {dims:<10} {c.machine.num_midplanes:>3} midplanes  "
+              f"dominates={c.dominated_baseline}  strict wins={c.wins}")
+    print("  -> the paper's hand-picked JUQUEEN-48 (4x3x2x2) emerges as")
+    print("     the top design; JUQUEEN-54 (3x3x3x2) is in the")
+    print("     dominating set with the largest near-size advantage.")
+
+
+if __name__ == "__main__":
+    main()

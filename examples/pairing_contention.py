@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Bisection pairing experiment — Figures 3 and 4 on the simulator.
+
+Reproduces the paper's Experiment A (furthest-node ping-pong) on both
+machines' geometry pairs, with a reduced round count so the script runs
+in about a minute.  Also demonstrates the lower-level simulator API:
+custom traffic patterns, routing tie-breaks, and per-flow rates.
+
+Run:  python examples/pairing_contention.py
+"""
+
+from __future__ import annotations
+
+from repro.allocation import PartitionGeometry
+from repro.analysis.report import render_series
+from repro.experiments.pairing import PairingParameters, run_pairing
+from repro.netsim import (
+    LinkNetwork,
+    bisection_pairing,
+    dimension_ordered_route,
+    max_min_fair_rates,
+    tornado,
+)
+from repro.topology import Torus
+
+PARAMS = PairingParameters(rounds=2)  # paper uses 26; 2 keeps this quick
+
+MIRA_ROWS = [
+    (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+    (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+    (16, (4, 4, 1, 1), (2, 2, 2, 2)),
+    (24, (4, 3, 2, 1), (3, 2, 2, 2)),
+]
+JUQUEEN_ROWS = [
+    (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+    (6, (6, 1, 1, 1), (3, 2, 1, 1)),
+    (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+    (12, (6, 2, 1, 1), (3, 2, 2, 1)),
+    (16, (4, 2, 2, 1), (2, 2, 2, 2)),
+]
+
+
+def run_machine(name: str, rows) -> None:
+    print("=" * 70)
+    print(f"{name}: bisection pairing, {PARAMS.rounds} rounds of "
+          f"{PARAMS.chunks_per_round} x {PARAMS.chunk_gb} GB chunks")
+    print("=" * 70)
+    worse_series: dict[int, float] = {}
+    better_series: dict[int, float] = {}
+    for midplanes, worse_dims, better_dims in rows:
+        worse = run_pairing(PartitionGeometry(worse_dims), PARAMS)
+        better = run_pairing(PartitionGeometry(better_dims), PARAMS)
+        worse_series[midplanes] = worse.time_seconds
+        better_series[midplanes] = better.time_seconds
+        print(f"  {midplanes:>2} midplanes: "
+              f"{PartitionGeometry(worse_dims).label():<14} "
+              f"{worse.time_seconds:6.2f} s   vs   "
+              f"{PartitionGeometry(better_dims).label():<14} "
+              f"{better.time_seconds:6.2f} s   "
+              f"(x{worse.time_seconds / better.time_seconds:.2f})")
+    print()
+    print(render_series(
+        {"worse geometry": worse_series, "better geometry": better_series},
+        y_format="{:.2f}",
+    ))
+    print()
+
+
+def low_level_demo() -> None:
+    print("=" * 70)
+    print("Low-level simulator API: adversarial tornado traffic")
+    print("=" * 70)
+    torus = Torus((8, 4, 4))
+    net = LinkNetwork(torus, link_bandwidth=2.0)
+    for pattern_name, pairs in (
+        ("antipodal pairing", bisection_pairing(torus)),
+        ("tornado (dim 0)", tornado(torus, dim=0)),
+    ):
+        paths = [
+            net.path_to_links(dimension_ordered_route(torus, s, d))
+            for s, d in pairs
+        ]
+        rates = max_min_fair_rates(paths, net.capacities)
+        print(f"  {pattern_name:<20} per-flow rate "
+              f"{rates.min():.3f}..{rates.max():.3f} GB/s")
+
+
+def main() -> None:
+    run_machine("Mira (Figure 3)", MIRA_ROWS)
+    run_machine("JUQUEEN (Figure 4)", JUQUEEN_ROWS)
+    low_level_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart — the paper's workflow in five minutes.
+
+Walks the core API end to end:
+
+1. build a torus network and ask isoperimetric questions;
+2. model a Blue Gene/Q machine and one of its partitions;
+3. find a better-shaped partition of the same size (Corollary 3.4);
+4. predict the contention speedup and verify it with the flow-level
+   simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MIRA,
+    PartitionGeometry,
+    Torus,
+    best_cuboid,
+    best_geometry_for_machine,
+    torus_isoperimetric_bound,
+)
+from repro.experiments.pairing import PairingParameters, run_pairing
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. Isoperimetry on a torus")
+    print("=" * 64)
+    torus = Torus((8, 4, 4))
+    print(f"network            : {torus.name}  ({torus.num_vertices} nodes)")
+    print(f"bisection width    : {torus.bisection_width()} links")
+    half = torus.num_vertices // 2
+    bound = torus_isoperimetric_bound(torus.dims, half)
+    shape, per = best_cuboid(torus.dims, half)
+    print(f"Theorem 3.1 bound  : {bound.value:.0f} (r = {bound.r})")
+    print(f"best cuboid        : {shape} with perimeter {per}")
+
+    print()
+    print("=" * 64)
+    print("2. A Blue Gene/Q machine and a partition")
+    print("=" * 64)
+    print(f"machine            : {MIRA.name} {MIRA.midplane_dims} "
+          f"({MIRA.num_nodes} nodes)")
+    current = PartitionGeometry((4, 1, 1, 1))  # Mira's 4-midplane shape
+    print(f"current partition  : {current.label()} "
+          f"-> bisection {current.normalized_bisection_bandwidth}")
+
+    print()
+    print("=" * 64)
+    print("3. A better geometry of the same size")
+    print("=" * 64)
+    proposed = best_geometry_for_machine(MIRA, current.num_midplanes)
+    print(f"proposed partition : {proposed.label()} "
+          f"-> bisection {proposed.normalized_bisection_bandwidth}")
+    gain = (proposed.normalized_bisection_bandwidth
+            / current.normalized_bisection_bandwidth)
+    print(f"predicted speedup  : x{gain:.2f} for contention-bound work")
+
+    print()
+    print("=" * 64)
+    print("4. Verify with the contention simulator (1 round)")
+    print("=" * 64)
+    params = PairingParameters(rounds=1)
+    t_cur = run_pairing(current, params).time_seconds
+    t_prop = run_pairing(proposed, params).time_seconds
+    print(f"simulated pairing time, current : {t_cur:7.2f} s")
+    print(f"simulated pairing time, proposed: {t_prop:7.2f} s")
+    print(f"realized speedup                : x{t_cur / t_prop:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Distributed matrix multiplication with real data on virtual hardware.
+
+The flagship demonstration of the whole stack: a SUMMA-style distributed
+matmul written as a simmpi rank program, where ranks exchange *actual
+NumPy blocks* (broadcast along grid rows and columns), compute real
+partial products, and the engine charges virtual network time over a
+Blue Gene/Q partition.  We get two things at once:
+
+* **numerical correctness** — the distributed result equals ``A @ B``;
+* **performance prediction** — the same program, run on two equal-size
+  partition geometries, shows how much of its wall-clock the partition
+  shape controls.
+
+Run:  python examples/simmpi_distributed_matmul.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation import PartitionGeometry
+from repro.netsim.embedding import block_embedding
+from repro.simmpi import Compute, VirtualMpi
+from repro.kernels.costmodel import FLOP_RATE_PER_RANK
+
+GRID = 8            # 8x8 rank grid = 64 ranks
+N = 1024            # global matrix dimension
+WORD = 8            # bytes per element
+
+
+def run_on_geometry(dims) -> tuple[float, float]:
+    geo = PartitionGeometry(dims)
+    torus = geo.bgq_network()
+    ranks = GRID * GRID
+    emb = block_embedding(torus, ranks, node_order="tedcba")
+
+    rng = np.random.default_rng(7)
+    nb = N // GRID
+    A = rng.standard_normal((N, N))
+    B = rng.standard_normal((N, N))
+    A_blocks = {
+        (i, k): A[i * nb:(i + 1) * nb, k * nb:(k + 1) * nb]
+        for i in range(GRID) for k in range(GRID)
+    }
+    B_blocks = {
+        (k, j): B[k * nb:(k + 1) * nb, j * nb:(j + 1) * nb]
+        for k in range(GRID) for j in range(GRID)
+    }
+    C_out: dict[tuple[int, int], np.ndarray] = {}
+
+    # Row/column broadcasts need subgroup communicators; emulate them by
+    # running the broadcasts through per-subgroup worlds is overkill —
+    # instead exploit that broadcast_ring only talks to local +-1
+    # neighbors, and give each rank a translation of its subgroup ring
+    # into global rank ids via closures:
+    block_gb = nb * nb * WORD / 1024**3
+    flops_per_panel = 2 * nb**3
+
+    from repro.simmpi import Isend, Recv
+
+    def program(rank, size):
+        i, j = divmod(rank, GRID)
+        acc = np.zeros((nb, nb))
+        row = [i * GRID + c for c in range(GRID)]     # my row's ranks
+        col = [r * GRID + j for r in range(GRID)]     # my column's ranks
+
+        def ring_bcast(group, my_pos, root_pos, data, tag):
+            size_g = len(group)
+            pos = (my_pos - root_pos) % size_g
+            succ = group[(my_pos + 1) % size_g]
+            pred = group[(my_pos - 1) % size_g]
+            if pos == 0:
+                yield Isend(dst=succ, gb=block_gb, payload=data, tag=tag)
+                return data
+            got = yield Recv(src=pred, tag=tag)
+            if pos != size_g - 1:
+                yield Isend(dst=succ, gb=block_gb, payload=got, tag=tag)
+            return got
+
+        for k in range(GRID):
+            a_panel = yield from ring_bcast(
+                row, j, k, A_blocks[(i, k)] if j == k else None, tag=10 + k
+            )
+            b_panel = yield from ring_bcast(
+                col, i, k, B_blocks[(k, j)] if i == k else None,
+                tag=100 + k,
+            )
+            yield Compute(seconds=flops_per_panel / FLOP_RATE_PER_RANK)
+            acc = acc + a_panel @ b_panel
+        C_out[(i, j)] = acc
+
+    world = VirtualMpi(torus, rank_to_node=emb.node_indices)
+    result = world.run(program)
+
+    # Assemble and verify numerically.
+    C = np.zeros((N, N))
+    for (i, j), blk in C_out.items():
+        C[i * nb:(i + 1) * nb, j * nb:(j + 1) * nb] = blk
+    err = np.abs(C - A @ B).max()
+    return result.time, err
+
+
+def main() -> None:
+    print("=" * 72)
+    print(f"SUMMA on virtual Blue Gene/Q: {GRID}x{GRID} ranks, "
+          f"n = {N}, real NumPy blocks")
+    print("=" * 72)
+    for dims in ((4, 1, 1, 1), (2, 2, 1, 1)):
+        t, err = run_on_geometry(dims)
+        geo = PartitionGeometry(dims)
+        print(f"  {geo.label():<14} virtual time {t:8.4f} s   "
+              f"max |C - A@B| = {err:.2e}")
+    print("\n  -> the distributed product is numerically exact on both")
+    print("     geometries; the virtual times show how much of SUMMA's")
+    print("     broadcast traffic the partition shape can hide.")
+
+
+if __name__ == "__main__":
+    main()

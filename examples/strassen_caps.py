@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fast matrix multiplication — real Strassen–Winograd + the CAPS model.
+
+Two halves:
+
+1. run the actual Strassen–Winograd recursion on random matrices,
+   verify it against NumPy, and count its flops vs the classical
+   algorithm;
+2. model a CAPS (communication-avoiding parallel Strassen) execution on
+   two 4-midplane Mira geometries and show how partition shape changes
+   the communication time but not the computation time — a scaled-down
+   Figure 5.
+
+Run:  python examples/strassen_caps.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.allocation import PartitionGeometry
+from repro.experiments.matmul import run_caps_on_geometry
+from repro.kernels import (
+    CapsConfig,
+    caps_steps,
+    classical_flop_count,
+    strassen_flop_count,
+    strassen_winograd,
+)
+
+
+def sequential_demo() -> None:
+    print("=" * 70)
+    print("1. Sequential Strassen-Winograd (real computation)")
+    print("=" * 70)
+    n = 512
+    rng = np.random.default_rng(42)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+
+    t0 = time.perf_counter()
+    C_fast = strassen_winograd(A, B, cutoff=64)
+    t_fast = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    C_ref = A @ B
+    t_ref = time.perf_counter() - t0
+
+    err = np.abs(C_fast - C_ref).max()
+    levels = 3  # 512 -> 64 cutoff
+    print(f"  n = {n}: max |error| vs BLAS = {err:.2e}")
+    print(f"  strassen_winograd: {t_fast * 1e3:7.1f} ms   "
+          f"numpy @: {t_ref * 1e3:7.1f} ms")
+    print(f"  flops at {levels} recursion levels: "
+          f"{strassen_flop_count(n, levels) / 1e6:.1f} M vs classical "
+          f"{classical_flop_count(n) / 1e6:.1f} M "
+          f"({strassen_flop_count(n, levels) / classical_flop_count(n):.2f}x)")
+
+
+def caps_schedule_demo() -> None:
+    print()
+    print("=" * 70)
+    print("2. CAPS communication schedule (paper Table 3, 4-midplane row)")
+    print("=" * 70)
+    config = CapsConfig(n=32928, num_ranks=31213)
+    print(f"  ranks = {config.num_ranks} = {config.f} x 7^{config.k}, "
+          f"n = {config.n}")
+    for step in caps_steps(config):
+        print(f"  BFS step {step.level}: {step.group_size}-way split, "
+              f"partner stride {step.stride:>5} ranks, "
+              f"{step.bytes_per_rank / 2**20:6.2f} MiB sent per rank")
+
+
+def geometry_comparison() -> None:
+    print()
+    print("=" * 70)
+    print("3. Geometry sensitivity of CAPS (simulated, scaled Figure 5)")
+    print("=" * 70)
+    for dims in ((4, 1, 1, 1), (2, 2, 1, 1)):
+        geo = PartitionGeometry(dims)
+        res = run_caps_on_geometry(
+            geo, num_ranks=4802, matrix_dim=9408, max_cores=4
+        )
+        print(f"  {geo.label():<14} comm {res.communication_time:7.4f} s   "
+              f"compute {res.computation_time:7.4f} s   "
+              f"total {res.total_time:7.4f} s")
+    print("  -> communication shrinks on the balanced geometry;")
+    print("     computation is identical (as the paper observes).")
+
+
+def main() -> None:
+    sequential_demo()
+    caps_schedule_demo()
+    geometry_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works on environments whose setuptools lacks the
+``wheel`` package (legacy ``setup.py develop`` path, offline clusters).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""repro — Network Partitioning and Avoidable Contention (SPAA 2020).
+
+A faithful, self-contained reproduction of Oltchik & Schwartz's paper:
+edge-isoperimetric analysis of torus (and other) networks, partition
+allocation policies of the Blue Gene/Q machines Mira / JUQUEEN /
+Sequoia, a flow-level network contention simulator replacing the
+retired hardware, and harnesses regenerating every table and figure of
+the paper's evaluation.
+
+Quick start
+-----------
+>>> import repro
+>>> geo = repro.PartitionGeometry((4, 1, 1, 1))      # Mira's 4-midplane
+>>> geo.normalized_bisection_bandwidth
+256
+>>> best = repro.best_geometry_for_machine(repro.MIRA, 4)
+>>> best.dims, best.normalized_bisection_bandwidth
+((2, 2, 1, 1), 512)
+
+Packages
+--------
+- :mod:`repro.topology` — torus / mesh / hypercube / HyperX / Dragonfly
+  / fat-tree graphs;
+- :mod:`repro.isoperimetry` — Theorem 3.1 and friends (Bollobás–Leader,
+  Harper, Lindsey, Ahlswede–Bezrukov, weighted, spectral), exact
+  brute-force oracles, small-set expansion;
+- :mod:`repro.machines` — Blue Gene/Q model and machine catalog;
+- :mod:`repro.allocation` — partition geometries, policies, optimizer,
+  scheduling advisor;
+- :mod:`repro.netsim` — routing, max-min fairness, fluid contention
+  simulation, traffic patterns, rank embeddings;
+- :mod:`repro.kernels` — Strassen–Winograd, the CAPS communication
+  model, classical baselines, calibrated cost model;
+- :mod:`repro.experiments` — the paper's Experiments A/B/C and the
+  machine-design study;
+- :mod:`repro.analysis` — paper ground-truth data, regenerated tables
+  and figures, contention bounds, ASCII reports.
+"""
+
+from .allocation import (
+    FreeCuboidPolicy,
+    PartitionGeometry,
+    PredefinedListPolicy,
+    SchedulingAdvisor,
+    best_geometry_for_machine,
+    enumerate_geometries,
+    improvable_sizes,
+    juqueen_policy,
+    mira_policy,
+    sequoia_policy,
+    worst_geometry_for_machine,
+)
+from .isoperimetry import (
+    best_cuboid,
+    bollobas_leader_bound,
+    cuboid_perimeter,
+    harper_min_boundary,
+    lindsey_min_boundary,
+    torus_isoperimetric_bound,
+    torus_small_set_expansion,
+)
+from .machines import (
+    JUQUEEN,
+    JUQUEEN_48,
+    JUQUEEN_54,
+    MIRA,
+    SEQUOIA,
+    BlueGeneQMachine,
+    get_machine,
+    normalized_bisection_bandwidth,
+)
+from .topology import (
+    CliqueProduct,
+    Dragonfly,
+    FatTree,
+    Hypercube,
+    Mesh,
+    Torus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "Torus",
+    "Mesh",
+    "Hypercube",
+    "CliqueProduct",
+    "Dragonfly",
+    "FatTree",
+    # isoperimetry
+    "torus_isoperimetric_bound",
+    "bollobas_leader_bound",
+    "best_cuboid",
+    "cuboid_perimeter",
+    "harper_min_boundary",
+    "lindsey_min_boundary",
+    "torus_small_set_expansion",
+    # machines
+    "BlueGeneQMachine",
+    "MIRA",
+    "JUQUEEN",
+    "SEQUOIA",
+    "JUQUEEN_48",
+    "JUQUEEN_54",
+    "get_machine",
+    "normalized_bisection_bandwidth",
+    # allocation
+    "PartitionGeometry",
+    "enumerate_geometries",
+    "PredefinedListPolicy",
+    "FreeCuboidPolicy",
+    "mira_policy",
+    "juqueen_policy",
+    "sequoia_policy",
+    "best_geometry_for_machine",
+    "worst_geometry_for_machine",
+    "improvable_sizes",
+    "SchedulingAdvisor",
+]

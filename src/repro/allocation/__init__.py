@@ -1,0 +1,63 @@
+"""Processor allocation analysis (S5 in DESIGN.md).
+
+Partition geometries, their enumeration, allocation policies (Mira's
+predefined list, JUQUEEN's free cuboids), the geometry optimizer behind
+the paper's Tables 1/2/5/6/7, and the contention-aware scheduling advisor
+proposed in the paper's future work.
+"""
+
+from .advisor import AdvisorDecision, JobRequest, SchedulingAdvisor
+from .enumeration import (
+    achievable_midplane_counts,
+    enumerate_geometries,
+    factorizations_into_dims,
+)
+from .geometry import PartitionGeometry
+from .optimizer import (
+    GeometryComparison,
+    best_geometry_for_machine,
+    best_worst_table,
+    compare_policy_to_optimal,
+    corollary_3_4_improves,
+    improvable_sizes,
+    worst_geometry_for_machine,
+)
+from .variability import (
+    SELECTION_RULES,
+    VariabilityReport,
+    simulate_job_stream,
+)
+from .policy import (
+    AllocationPolicy,
+    FreeCuboidPolicy,
+    PredefinedListPolicy,
+    juqueen_policy,
+    mira_policy,
+    sequoia_policy,
+)
+
+__all__ = [
+    "PartitionGeometry",
+    "factorizations_into_dims",
+    "enumerate_geometries",
+    "achievable_midplane_counts",
+    "AllocationPolicy",
+    "PredefinedListPolicy",
+    "FreeCuboidPolicy",
+    "mira_policy",
+    "juqueen_policy",
+    "sequoia_policy",
+    "GeometryComparison",
+    "best_geometry_for_machine",
+    "worst_geometry_for_machine",
+    "compare_policy_to_optimal",
+    "improvable_sizes",
+    "best_worst_table",
+    "corollary_3_4_improves",
+    "JobRequest",
+    "AdvisorDecision",
+    "SchedulingAdvisor",
+    "VariabilityReport",
+    "simulate_job_stream",
+    "SELECTION_RULES",
+]

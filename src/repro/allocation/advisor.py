@@ -1,0 +1,162 @@
+"""Contention-aware scheduling advisor (the paper's future-work feature).
+
+Section 5 proposes that job schedulers take a user hint — "this job is
+expected to be contention-bound" — and use it to decide between
+allocating a currently-free partition with sub-optimal bisection
+bandwidth or waiting for a better-shaped one.  This module implements
+that decision rule as a small, testable model:
+
+* a job is described by its size, an estimated run time on an optimal
+  partition, and a *contention fraction* (share of run time that scales
+  inversely with bisection bandwidth);
+* allocating a sub-optimal geometry inflates the contention-bound share
+  by the bandwidth ratio;
+* waiting costs the expected queue delay until a better partition frees
+  up.
+
+The advisor recommends whichever option minimizes expected completion
+time, and quantifies the regret of the other choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import (
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+from .geometry import PartitionGeometry
+from .policy import AllocationPolicy
+
+__all__ = ["JobRequest", "AdvisorDecision", "SchedulingAdvisor"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job submission with a contention hint.
+
+    Attributes
+    ----------
+    num_midplanes:
+        Requested partition size.
+    optimal_runtime:
+        Estimated wall-clock (seconds) on a best-bisection partition.
+    contention_fraction:
+        Fraction of *optimal_runtime* spent in contention-bound
+        communication (0 = pure compute, 1 = fully bandwidth-bound).
+        This is the paper's user-provided hint, made quantitative.
+    """
+
+    num_midplanes: int
+    optimal_runtime: float
+    contention_fraction: float
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_midplanes, "num_midplanes")
+        check_positive_float(self.optimal_runtime, "optimal_runtime")
+        check_probability(self.contention_fraction, "contention_fraction")
+
+    def runtime_on(self, geometry: PartitionGeometry, best_bw: int) -> float:
+        """Predicted runtime on *geometry*, given the best achievable
+        bandwidth *best_bw* for this size.
+
+        The contention-bound share inflates by ``best_bw / geometry_bw``;
+        the compute share is geometry-independent (as observed in the
+        paper's matrix multiplication experiment).
+        """
+        bw = geometry.normalized_bisection_bandwidth
+        if bw <= 0:
+            raise ValueError(f"geometry {geometry.dims} has no bandwidth")
+        slowdown = best_bw / bw
+        compute = self.optimal_runtime * (1.0 - self.contention_fraction)
+        comm = self.optimal_runtime * self.contention_fraction * slowdown
+        return compute + comm
+
+
+@dataclass(frozen=True)
+class AdvisorDecision:
+    """The advisor's recommendation for one job.
+
+    Attributes
+    ----------
+    action:
+        ``"allocate"`` (take the available partition now) or ``"wait"``
+        (hold for a better-shaped partition).
+    available_time:
+        Expected completion time if allocated now.
+    wait_time:
+        Expected completion time if waiting for the optimal geometry.
+    regret:
+        Time saved by following the recommendation instead of the
+        alternative (always >= 0).
+    """
+
+    action: str
+    available_time: float
+    wait_time: float
+
+    @property
+    def regret(self) -> float:
+        return abs(self.available_time - self.wait_time)
+
+
+class SchedulingAdvisor:
+    """Decides allocate-now vs wait-for-better-geometry for hinted jobs."""
+
+    def __init__(self, policy: AllocationPolicy):
+        self._policy = policy
+
+    @property
+    def policy(self) -> AllocationPolicy:
+        return self._policy
+
+    def decide(
+        self,
+        job: JobRequest,
+        available: PartitionGeometry,
+        expected_wait: float,
+    ) -> AdvisorDecision:
+        """Recommend allocating *available* now vs waiting *expected_wait*
+        seconds for a best-bandwidth partition of the job's size.
+
+        A non-contention-bound job (fraction 0) is always allocated
+        immediately — geometry cannot hurt it.
+        """
+        if available.num_midplanes != job.num_midplanes:
+            raise ValueError(
+                f"available partition has {available.num_midplanes} "
+                f"midplanes; job wants {job.num_midplanes}"
+            )
+        if expected_wait < 0:
+            raise ValueError(
+                f"expected_wait must be non-negative, got {expected_wait}"
+            )
+        best = self._policy.best_geometry(job.num_midplanes)
+        best_bw = best.normalized_bisection_bandwidth
+        now = job.runtime_on(available, best_bw)
+        later = expected_wait + job.runtime_on(best, best_bw)
+        action = "allocate" if now <= later else "wait"
+        return AdvisorDecision(
+            action=action, available_time=now, wait_time=later
+        )
+
+    def breakeven_wait(
+        self, job: JobRequest, available: PartitionGeometry
+    ) -> float:
+        """The queue delay below which waiting beats allocating now.
+
+        Zero when the available partition is already optimal for the job
+        (waiting can never help).
+        """
+        if available.num_midplanes != job.num_midplanes:
+            raise ValueError(
+                f"available partition has {available.num_midplanes} "
+                f"midplanes; job wants {job.num_midplanes}"
+            )
+        best = self._policy.best_geometry(job.num_midplanes)
+        best_bw = best.normalized_bisection_bandwidth
+        now = job.runtime_on(available, best_bw)
+        optimal = job.runtime_on(best, best_bw)
+        return max(0.0, now - optimal)

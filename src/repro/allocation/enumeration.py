@@ -1,0 +1,102 @@
+"""Enumeration of partition geometries.
+
+Generates every canonical cuboid-of-midplanes geometry of a given size
+that fits inside a host machine — the search space over which the
+paper's analysis finds best- and worst-case partitions (Tables 2, 5, 7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .._validation import check_positive_int
+from ..machines.bgq import BlueGeneQMachine
+from .geometry import PartitionGeometry
+
+__all__ = [
+    "factorizations_into_dims",
+    "enumerate_geometries",
+    "achievable_midplane_counts",
+]
+
+
+def factorizations_into_dims(
+    n: int, max_dims: int = 4, max_len: int | None = None
+) -> Iterator[tuple[int, ...]]:
+    """All descending factorizations of *n* into at most *max_dims* factors.
+
+    Yields tuples ``(f_1 >= f_2 >= ... )`` of length exactly *max_dims*
+    (padded with 1s) whose product is *n*, each at most *max_len* (if
+    given).  Deterministic descending-lexicographic order.
+
+    Examples
+    --------
+    >>> sorted(factorizations_into_dims(8, 3))
+    [(2, 2, 2), (4, 2, 1), (8, 1, 1)]
+    """
+    n = check_positive_int(n, "n")
+    max_dims = check_positive_int(max_dims, "max_dims")
+    cap = n if max_len is None else check_positive_int(max_len, "max_len")
+
+    def rec(remaining: int, slots: int, limit: int) -> Iterator[tuple[int, ...]]:
+        if slots == 1:
+            if remaining <= limit:
+                yield (remaining,)
+            return
+        f = min(limit, remaining)
+        while f >= 1:
+            if remaining % f == 0:
+                if f == 1:
+                    if remaining == 1:
+                        yield (1,) * slots
+                    f -= 1
+                    continue
+                for rest in rec(remaining // f, slots - 1, f):
+                    yield (f,) + rest
+            f -= 1
+
+    yield from rec(n, max_dims, cap)
+
+
+def enumerate_geometries(
+    machine: BlueGeneQMachine, num_midplanes: int
+) -> list[PartitionGeometry]:
+    """All canonical geometries of *num_midplanes* that fit in *machine*.
+
+    Sorted by descending bisection bandwidth (best first), ties broken by
+    dimension tuple for determinism.
+
+    Examples
+    --------
+    >>> from repro.machines import JUQUEEN
+    >>> [g.dims for g in enumerate_geometries(JUQUEEN, 4)]
+    [(2, 2, 1, 1), (4, 1, 1, 1)]
+    """
+    num_midplanes = check_positive_int(num_midplanes, "num_midplanes")
+    out = []
+    for dims in factorizations_into_dims(
+        num_midplanes, max_dims=4, max_len=machine.midplane_dims[0]
+    ):
+        geo = PartitionGeometry(dims)
+        if geo.fits_in(machine):
+            out.append(geo)
+    out.sort(
+        key=lambda g: (-g.normalized_bisection_bandwidth, g.dims)
+    )
+    return out
+
+
+def achievable_midplane_counts(machine: BlueGeneQMachine) -> list[int]:
+    """Every midplane count for which some cuboid fits in *machine*.
+
+    These are the sizes appearing on the x-axes of Figures 1, 2 and 7.
+    """
+    counts = set()
+    m = machine.midplane_dims
+    for a in range(1, m[0] + 1):
+        for b in range(1, m[1] + 1):
+            for c in range(1, m[2] + 1):
+                for d in range(1, m[3] + 1):
+                    if PartitionGeometry((a, b, c, d)).fits_in(machine):
+                        counts.add(a * b * c * d)
+    return sorted(counts)

@@ -1,0 +1,204 @@
+"""Partition geometries: canonical representation and derived quantities.
+
+A *partition geometry* is a cuboid of midplanes, written canonically with
+dimensions sorted in descending order (the paper's convention, which
+identifies rotations).  This module wraps the 4-tuple in a small
+value class carrying all the quantities the analysis needs: node counts,
+node-level dimensions, normalized internal bisection bandwidth, and shape
+predicates ("ring-shaped" geometries cause the bandwidth 'spikes' in
+Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from functools import total_ordering
+
+from .._validation import check_dims
+from ..machines.bgq import (
+    LINK_BANDWIDTH_GB_PER_S,
+    NODES_PER_MIDPLANE,
+    BlueGeneQMachine,
+    midplane_to_node_dims,
+    normalized_bisection_bandwidth,
+)
+from ..topology.torus import Torus
+
+__all__ = ["PartitionGeometry"]
+
+
+@total_ordering
+class PartitionGeometry:
+    """A canonical (sorted-descending) cuboid of midplanes.
+
+    Parameters
+    ----------
+    dims:
+        Midplane counts per dimension; up to 4 entries, padded with 1s
+        and sorted descending.
+
+    Examples
+    --------
+    >>> g = PartitionGeometry((1, 2, 2))
+    >>> g.dims
+    (2, 2, 1, 1)
+    >>> g.num_midplanes, g.num_nodes
+    (4, 2048)
+    >>> g.normalized_bisection_bandwidth
+    512
+    """
+
+    __slots__ = ("_dims",)
+
+    def __init__(self, dims: Sequence[int]):
+        d = check_dims(dims, "dims")
+        if len(d) > 4:
+            raise ValueError(
+                f"partition geometries have at most 4 dimensions, got "
+                f"{len(d)}"
+            )
+        padded = tuple(sorted(d, reverse=True)) + (1,) * (4 - len(d))
+        self._dims: tuple[int, int, int, int] = padded  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------ #
+    # Shape                                                                #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dims(self) -> tuple[int, int, int, int]:
+        """Canonical midplane dimensions (sorted descending, length 4)."""
+        return self._dims
+
+    @property
+    def num_midplanes(self) -> int:
+        """Number of midplanes ``P``."""
+        return math.prod(self._dims)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes (512 per midplane)."""
+        return NODES_PER_MIDPLANE * self.num_midplanes
+
+    @property
+    def node_dims(self) -> tuple[int, ...]:
+        """Node-level 5-D torus dimensions of the partition."""
+        return midplane_to_node_dims(self._dims)
+
+    @property
+    def longest_dim(self) -> int:
+        """Largest midplane dimension ``A_1``."""
+        return self._dims[0]
+
+    def is_ring(self) -> bool:
+        """Whether the geometry is ring-shaped (``P × 1 × 1 × 1``).
+
+        Ring partitions have the worst possible bisection (256 normalized
+        regardless of size) and cause the 'spiking' drops in Figure 2:
+        midplane counts with a large prime factor exceeding the host's
+        other dimensions *force* a ring.
+        """
+        return self._dims[1] == 1
+
+    def is_cube(self) -> bool:
+        """Whether all four midplane dimensions are equal."""
+        return len(set(self._dims)) == 1
+
+    def aspect_ratio(self) -> float:
+        """Largest over smallest midplane dimension."""
+        return self._dims[0] / self._dims[3]
+
+    # ------------------------------------------------------------------ #
+    # Bandwidth                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def normalized_bisection_bandwidth(self) -> int:
+        """Internal bisection bandwidth with unit link capacity.
+
+        Equals ``256 · P / A_1`` (Corollary 3.4's monotonicity in
+        ``A_1 / |A|`` at fixed size); computed from the node-level torus.
+        """
+        return normalized_bisection_bandwidth(self._dims)
+
+    def bisection_bandwidth_gb_per_s(
+        self, link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S
+    ) -> float:
+        """Internal bisection bandwidth in GB/s (per direction)."""
+        return self.normalized_bisection_bandwidth * link_bandwidth
+
+    @property
+    def bandwidth_per_node(self) -> float:
+        """Normalized bisection bandwidth per compute node.
+
+        The quantity that determines per-pair throughput in the bisection
+        pairing experiment (Figures 3 and 4).
+        """
+        return self.normalized_bisection_bandwidth / self.num_nodes
+
+    def network(self) -> Torus:
+        """The partition's node-level torus as a unit-capacity graph.
+
+        This is the *combinatorial* view used by the isoperimetric
+        analysis (each link contributes 1 unit, the paper's
+        normalization).  For simulation use :meth:`bgq_network`, which
+        models the E dimension's doubled physical capacity.
+        """
+        return Torus(self.node_dims)
+
+    def bgq_network(self) -> Torus:
+        """The partition's node-level torus with physical capacities.
+
+        Blue Gene/Q's E dimension has length 2, and both E ports of a
+        node reach the same partner — two parallel links, i.e. double
+        capacity on E edges.  Dimensions A–D have unit capacity.  The
+        bisection numbers of the paper are unaffected (the bisection
+        always cuts a longest dimension, never E), but local traffic in
+        the contention simulator sees the correct E bandwidth.
+        """
+        dims = self.node_dims
+        weights = tuple(2.0 if a == 2 else 1.0 for a in dims)
+        return Torus(dims, dim_weights=weights)
+
+    def midplane_network(self) -> Torus:
+        """The partition's 4-D torus of midplanes."""
+        return Torus(self._dims)
+
+    # ------------------------------------------------------------------ #
+    # Relations                                                            #
+    # ------------------------------------------------------------------ #
+
+    def fits_in(self, machine: BlueGeneQMachine) -> bool:
+        """Whether this geometry fits inside *machine* (sorted
+        componentwise comparison of midplane dimensions)."""
+        return machine.fits(self._dims)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PartitionGeometry):
+            return self._dims == other._dims
+        return NotImplemented
+
+    def __lt__(self, other: "PartitionGeometry") -> bool:
+        if not isinstance(other, PartitionGeometry):
+            return NotImplemented
+        # Order primarily by size, then by bandwidth (worse first), then
+        # lexicographically for determinism.
+        return (
+            self.num_midplanes,
+            self.normalized_bisection_bandwidth,
+            self._dims,
+        ) < (
+            other.num_midplanes,
+            other.normalized_bisection_bandwidth,
+            other._dims,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._dims)
+
+    def label(self) -> str:
+        """The paper's ``A × B × C × D`` rendering of the geometry."""
+        return " x ".join(str(a) for a in self._dims)
+
+    def __repr__(self) -> str:
+        return f"PartitionGeometry({self._dims})"

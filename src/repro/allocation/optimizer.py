@@ -1,0 +1,186 @@
+"""Partition geometry optimization — the paper's Section 3.2 analysis.
+
+Given a machine and (optionally) its allocation policy, find for every
+partition size the geometry with optimal internal bisection bandwidth,
+and flag sizes where the policy's current/worst geometry is sub-optimal.
+These routines generate the data behind Tables 1, 2, 5, 6 and 7 and
+Figures 1, 2 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive_int
+from ..machines.bgq import BlueGeneQMachine
+from .enumeration import enumerate_geometries
+from .geometry import PartitionGeometry
+from .policy import AllocationPolicy, PredefinedListPolicy
+
+__all__ = [
+    "GeometryComparison",
+    "best_geometry_for_machine",
+    "worst_geometry_for_machine",
+    "compare_policy_to_optimal",
+    "improvable_sizes",
+    "best_worst_table",
+    "corollary_3_4_improves",
+]
+
+
+@dataclass(frozen=True)
+class GeometryComparison:
+    """One row of a current-vs-proposed comparison (Table 1/2 style).
+
+    Attributes
+    ----------
+    num_midplanes:
+        Partition size ``P`` in midplanes.
+    num_nodes:
+        Partition size in compute nodes (512 per midplane).
+    current:
+        The geometry the policy serves today (Mira's listed geometry, or
+        the worst permissible one for free-cuboid policies).
+    current_bw:
+        Its normalized internal bisection bandwidth.
+    proposed:
+        The best geometry of the same size that fits the machine.
+    proposed_bw:
+        Its normalized internal bisection bandwidth.
+    """
+
+    num_midplanes: int
+    num_nodes: int
+    current: PartitionGeometry
+    current_bw: int
+    proposed: PartitionGeometry
+    proposed_bw: int
+
+    @property
+    def improvement(self) -> float:
+        """Bandwidth ratio proposed / current (1.0 = no improvement)."""
+        return self.proposed_bw / self.current_bw
+
+    @property
+    def is_improved(self) -> bool:
+        """Whether the proposed geometry strictly beats the current one."""
+        return self.proposed_bw > self.current_bw
+
+
+def best_geometry_for_machine(
+    machine: BlueGeneQMachine, num_midplanes: int
+) -> PartitionGeometry:
+    """The maximum-bisection geometry of a size that fits *machine*.
+
+    This ignores the allocation policy — it is the *physically possible*
+    optimum the paper proposes switching to.
+    """
+    check_positive_int(num_midplanes, "num_midplanes")
+    geos = enumerate_geometries(machine, num_midplanes)
+    if not geos:
+        raise ValueError(
+            f"no cuboid of {num_midplanes} midplanes fits in "
+            f"{machine.name} {machine.midplane_dims}"
+        )
+    return geos[0]
+
+
+def worst_geometry_for_machine(
+    machine: BlueGeneQMachine, num_midplanes: int
+) -> PartitionGeometry:
+    """The minimum-bisection geometry of a size that fits *machine*."""
+    check_positive_int(num_midplanes, "num_midplanes")
+    geos = enumerate_geometries(machine, num_midplanes)
+    if not geos:
+        raise ValueError(
+            f"no cuboid of {num_midplanes} midplanes fits in "
+            f"{machine.name} {machine.midplane_dims}"
+        )
+    return geos[-1]
+
+
+def compare_policy_to_optimal(
+    policy: AllocationPolicy,
+) -> list[GeometryComparison]:
+    """Compare every supported size of *policy* against the physical optimum.
+
+    For predefined-list policies the "current" geometry is the listed
+    one; for free-cuboid policies it is the worst permissible geometry
+    (the paper's "worst-case" column — what an unlucky size-only request
+    may receive).
+    """
+    rows: list[GeometryComparison] = []
+    for size in policy.supported_sizes():
+        if isinstance(policy, PredefinedListPolicy):
+            current = policy.geometry_for(size)
+        else:
+            current = policy.worst_geometry(size)
+        proposed = best_geometry_for_machine(policy.machine, size)
+        rows.append(
+            GeometryComparison(
+                num_midplanes=size,
+                num_nodes=current.num_nodes,
+                current=current,
+                current_bw=current.normalized_bisection_bandwidth,
+                proposed=proposed,
+                proposed_bw=proposed.normalized_bisection_bandwidth,
+            )
+        )
+    return rows
+
+
+def improvable_sizes(policy: AllocationPolicy) -> list[GeometryComparison]:
+    """The comparison rows where the proposed geometry strictly wins.
+
+    These are exactly the rows of Tables 1 and 2 (the "showing only rows
+    where the bisection is increased" filter).
+    """
+    return [r for r in compare_policy_to_optimal(policy) if r.is_improved]
+
+
+def best_worst_table(
+    machine: BlueGeneQMachine, sizes: list[int] | None = None
+) -> list[GeometryComparison]:
+    """Best-vs-worst geometry for every achievable size of *machine*.
+
+    The data behind Table 7 (JUQUEEN best/worst list); *sizes* defaults
+    to every achievable midplane count.
+    """
+    from .enumeration import achievable_midplane_counts
+
+    if sizes is None:
+        sizes = achievable_midplane_counts(machine)
+    rows: list[GeometryComparison] = []
+    for size in sizes:
+        worst = worst_geometry_for_machine(machine, size)
+        best = best_geometry_for_machine(machine, size)
+        rows.append(
+            GeometryComparison(
+                num_midplanes=size,
+                num_nodes=worst.num_nodes,
+                current=worst,
+                current_bw=worst.normalized_bisection_bandwidth,
+                proposed=best,
+                proposed_bw=best.normalized_bisection_bandwidth,
+            )
+        )
+    return rows
+
+
+def corollary_3_4_improves(
+    a: PartitionGeometry, b: PartitionGeometry
+) -> bool:
+    """Corollary 3.4: does *b* strictly improve on *a*?
+
+    For equal-size cuboids of midplanes, ``B`` has strictly greater
+    internal bisection bandwidth than ``A`` iff its largest dimension is
+    strictly smaller (``B_1 / |A| < A_1 / |A|``).
+
+    Raises :class:`ValueError` when the geometries differ in size.
+    """
+    if a.num_midplanes != b.num_midplanes:
+        raise ValueError(
+            "Corollary 3.4 compares equal-size partitions; got "
+            f"{a.num_midplanes} vs {b.num_midplanes} midplanes"
+        )
+    return b.longest_dim < a.longest_dim

@@ -1,0 +1,186 @@
+"""Processor allocation policies.
+
+An allocation policy determines which partition geometries a scheduler
+may hand to a job of a requested size.  The paper contrasts two policy
+styles:
+
+* **Predefined list** (Mira): only a fixed table of geometries exists;
+  jobs get exactly the listed geometry for their size.
+* **Free cuboid** (JUQUEEN, Sequoia): any cuboid of midplanes that fits
+  the machine is permissible.  Users may request an exact geometry or
+  only a size — in the latter case the scheduler's choice is
+  unconstrained, so *both* optimal and pessimal geometries can be
+  served, producing the run-to-run variance the strong-scaling
+  experiment (Section 4.3) warns about.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Mapping, Sequence
+
+from .._validation import check_positive_int
+from ..machines.bgq import BlueGeneQMachine
+from .enumeration import achievable_midplane_counts, enumerate_geometries
+from .geometry import PartitionGeometry
+
+__all__ = [
+    "AllocationPolicy",
+    "PredefinedListPolicy",
+    "FreeCuboidPolicy",
+    "mira_policy",
+    "juqueen_policy",
+    "sequoia_policy",
+]
+
+
+class AllocationPolicy(abc.ABC):
+    """Base class for allocation policies over a specific machine."""
+
+    def __init__(self, machine: BlueGeneQMachine):
+        self._machine = machine
+
+    @property
+    def machine(self) -> BlueGeneQMachine:
+        """The machine this policy allocates on."""
+        return self._machine
+
+    @abc.abstractmethod
+    def supported_sizes(self) -> list[int]:
+        """Midplane counts for which the policy can allocate a partition."""
+
+    @abc.abstractmethod
+    def permissible_geometries(
+        self, num_midplanes: int
+    ) -> list[PartitionGeometry]:
+        """All geometries the scheduler may serve for the given size.
+
+        Sorted best-bandwidth-first.  Empty when the size is unsupported.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived conveniences                                                 #
+    # ------------------------------------------------------------------ #
+
+    def supports(self, num_midplanes: int) -> bool:
+        """Whether any partition of this size can be allocated."""
+        return bool(self.permissible_geometries(num_midplanes))
+
+    def best_geometry(self, num_midplanes: int) -> PartitionGeometry:
+        """Permissible geometry with maximum internal bisection bandwidth."""
+        geos = self.permissible_geometries(num_midplanes)
+        if not geos:
+            raise ValueError(
+                f"{self._machine.name} policy supports no partition of "
+                f"{num_midplanes} midplanes"
+            )
+        return geos[0]
+
+    def worst_geometry(self, num_midplanes: int) -> PartitionGeometry:
+        """Permissible geometry with minimum internal bisection bandwidth."""
+        geos = self.permissible_geometries(num_midplanes)
+        if not geos:
+            raise ValueError(
+                f"{self._machine.name} policy supports no partition of "
+                f"{num_midplanes} midplanes"
+            )
+        return geos[-1]
+
+    def bandwidth_spread(self, num_midplanes: int) -> float:
+        """Ratio best/worst permissible bisection bandwidth for a size.
+
+        1.0 means the policy is geometry-deterministic for that size; the
+        paper's improvable Mira rows have spread 2.0 (new vs current).
+        """
+        geos = self.permissible_geometries(num_midplanes)
+        if not geos:
+            raise ValueError(
+                f"{self._machine.name} policy supports no partition of "
+                f"{num_midplanes} midplanes"
+            )
+        best = geos[0].normalized_bisection_bandwidth
+        worst = geos[-1].normalized_bisection_bandwidth
+        return best / worst
+
+
+class PredefinedListPolicy(AllocationPolicy):
+    """A fixed table of geometries, one per supported size (Mira-style).
+
+    Parameters
+    ----------
+    machine:
+        Host machine.
+    table:
+        Mapping ``midplane count -> geometry dims``.  Every geometry must
+        fit the machine and have the promised size.
+    """
+
+    def __init__(
+        self,
+        machine: BlueGeneQMachine,
+        table: Mapping[int, Sequence[int]],
+    ):
+        super().__init__(machine)
+        self._table: dict[int, PartitionGeometry] = {}
+        for size, dims in table.items():
+            size = check_positive_int(size, "table key")
+            geo = PartitionGeometry(dims)
+            if geo.num_midplanes != size:
+                raise ValueError(
+                    f"table entry {size}: geometry {geo.dims} has "
+                    f"{geo.num_midplanes} midplanes"
+                )
+            if not geo.fits_in(machine):
+                raise ValueError(
+                    f"table entry {size}: geometry {geo.dims} does not fit "
+                    f"in {machine.name} {machine.midplane_dims}"
+                )
+            self._table[size] = geo
+
+    def supported_sizes(self) -> list[int]:
+        return sorted(self._table)
+
+    def permissible_geometries(
+        self, num_midplanes: int
+    ) -> list[PartitionGeometry]:
+        check_positive_int(num_midplanes, "num_midplanes")
+        geo = self._table.get(num_midplanes)
+        return [geo] if geo is not None else []
+
+    def geometry_for(self, num_midplanes: int) -> PartitionGeometry:
+        """The single listed geometry for a size (KeyError if absent)."""
+        return self._table[num_midplanes]
+
+
+class FreeCuboidPolicy(AllocationPolicy):
+    """Any cuboid of midplanes that fits is permissible (JUQUEEN-style)."""
+
+    def supported_sizes(self) -> list[int]:
+        return achievable_midplane_counts(self._machine)
+
+    def permissible_geometries(
+        self, num_midplanes: int
+    ) -> list[PartitionGeometry]:
+        check_positive_int(num_midplanes, "num_midplanes")
+        return enumerate_geometries(self._machine, num_midplanes)
+
+
+def mira_policy() -> PredefinedListPolicy:
+    """Mira's production allocation policy (predefined list, Table 6)."""
+    from ..machines.catalog import MIRA, MIRA_PREDEFINED_PARTITIONS
+
+    return PredefinedListPolicy(MIRA, MIRA_PREDEFINED_PARTITIONS)
+
+
+def juqueen_policy() -> FreeCuboidPolicy:
+    """JUQUEEN's allocation policy (any fitting cuboid)."""
+    from ..machines.catalog import JUQUEEN
+
+    return FreeCuboidPolicy(JUQUEEN)
+
+
+def sequoia_policy() -> FreeCuboidPolicy:
+    """Sequoia's (apparent) allocation policy (any fitting cuboid)."""
+    from ..machines.catalog import SEQUOIA
+
+    return FreeCuboidPolicy(SEQUOIA)

@@ -1,0 +1,59 @@
+"""Reporting and paper reproduction data (S9 in DESIGN.md).
+
+* :mod:`~repro.analysis.paperdata` — every paper table transcribed as
+  ground truth;
+* :mod:`~repro.analysis.tables` — the same tables regenerated from the
+  library;
+* :mod:`~repro.analysis.figures` — every figure's data series
+  regenerated (combinatorial figures exactly, experiment figures via
+  the simulator);
+* :mod:`~repro.analysis.report` — ASCII rendering;
+* :mod:`~repro.analysis.contention` — kernel contention bounds (the
+  future-work sensitivity analysis).
+"""
+
+from . import paperdata
+from .contention import (
+    KernelContention,
+    caps_contention,
+    geometry_sensitivity,
+    nbody_contention,
+    summa_contention,
+)
+from .figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from .report import format_geometry, render_series, render_table
+from .tables import table1, table2, table3, table4, table5, table6, table7
+
+__all__ = [
+    "paperdata",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "render_table",
+    "render_series",
+    "format_geometry",
+    "KernelContention",
+    "caps_contention",
+    "summa_contention",
+    "nbody_contention",
+    "geometry_sensitivity",
+]

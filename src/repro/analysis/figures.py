@@ -1,0 +1,187 @@
+"""Regenerate the data series of every figure of the paper.
+
+Each ``figure*`` function returns the plotted series as plain Python
+structures (midplane counts on the x-axis, bandwidths or seconds on the
+y-axis).  The benchmark harnesses print them and assert the paper's
+shape claims; :mod:`repro.analysis.report` renders them as ASCII.
+"""
+
+from __future__ import annotations
+
+from ..allocation.enumeration import achievable_midplane_counts
+from ..allocation.optimizer import (
+    best_geometry_for_machine,
+    compare_policy_to_optimal,
+    worst_geometry_for_machine,
+)
+from ..allocation.policy import mira_policy
+from ..experiments.machinedesign import compare_machines
+from ..experiments.matmul import run_caps_on_geometry
+from ..experiments.pairing import PairingParameters, run_pairing
+from ..experiments.strongscaling import run_strong_scaling
+from ..machines.catalog import JUQUEEN, JUQUEEN_48, JUQUEEN_54
+from .paperdata import TABLE_3_MATMUL_PARAMS
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "FIGURE_3_MIDPLANES",
+    "FIGURE_4_MIDPLANES",
+]
+
+#: Midplane counts on the x-axes of the pairing figures.
+FIGURE_3_MIDPLANES: tuple[int, ...] = (4, 8, 16, 24)
+FIGURE_4_MIDPLANES: tuple[int, ...] = (4, 6, 8, 12, 16)
+
+
+def figure1() -> dict[str, dict[int, int]]:
+    """Figure 1 — Mira: current vs proposed bisection bandwidth.
+
+    Returns ``{"current": {midplanes: bw}, "proposed": {...}}`` over
+    Mira's predefined partition sizes; the proposed series uses the
+    best fitting geometry (which equals the current one where no
+    improvement exists).
+    """
+    current: dict[int, int] = {}
+    proposed: dict[int, int] = {}
+    for row in compare_policy_to_optimal(mira_policy()):
+        current[row.num_midplanes] = row.current_bw
+        proposed[row.num_midplanes] = row.proposed_bw
+    return {"current": current, "proposed": proposed}
+
+
+def figure2() -> dict[str, dict[int, int]]:
+    """Figure 2 — JUQUEEN: best vs worst-case bandwidth over all sizes.
+
+    The 'spiking' drops of the best-case series occur at sizes (5, 7,
+    10, 14, ...) whose factorizations force ring-shaped partitions.
+    """
+    best: dict[int, int] = {}
+    worst: dict[int, int] = {}
+    for size in achievable_midplane_counts(JUQUEEN):
+        best[size] = best_geometry_for_machine(
+            JUQUEEN, size
+        ).normalized_bisection_bandwidth
+        worst[size] = worst_geometry_for_machine(
+            JUQUEEN, size
+        ).normalized_bisection_bandwidth
+    return {"best": best, "worst": worst}
+
+
+def _pairing_series(
+    machine_rows: list[tuple[int, tuple, tuple]],
+    params: PairingParameters | None,
+) -> dict[str, dict[int, float]]:
+    from ..allocation.geometry import PartitionGeometry
+
+    first: dict[int, float] = {}
+    second: dict[int, float] = {}
+    for midplanes, a_dims, b_dims in machine_rows:
+        first[midplanes] = run_pairing(
+            PartitionGeometry(a_dims), params
+        ).time_seconds
+        second[midplanes] = run_pairing(
+            PartitionGeometry(b_dims), params
+        ).time_seconds
+    return {"worse": first, "better": second}
+
+
+def figure3(
+    params: PairingParameters | None = None,
+) -> dict[str, dict[int, float]]:
+    """Figure 3 — Mira bisection pairing times (simulated).
+
+    Returns ``{"current": {...}, "proposed": {...}}`` in seconds.
+    """
+    rows = [
+        (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+        (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+        (16, (4, 4, 1, 1), (2, 2, 2, 2)),
+        (24, (4, 3, 2, 1), (3, 2, 2, 2)),
+    ]
+    series = _pairing_series(rows, params)
+    return {"current": series["worse"], "proposed": series["better"]}
+
+
+def figure4(
+    params: PairingParameters | None = None,
+) -> dict[str, dict[int, float]]:
+    """Figure 4 — JUQUEEN bisection pairing times (simulated).
+
+    Returns ``{"worst": {...}, "proposed": {...}}`` in seconds.
+    """
+    rows = [
+        (4, (4, 1, 1, 1), (2, 2, 1, 1)),
+        (6, (6, 1, 1, 1), (3, 2, 1, 1)),
+        (8, (4, 2, 1, 1), (2, 2, 2, 1)),
+        (12, (6, 2, 1, 1), (3, 2, 2, 1)),
+        (16, (4, 2, 2, 1), (2, 2, 2, 2)),
+    ]
+    series = _pairing_series(rows, params)
+    return {"worst": series["worse"], "proposed": series["better"]}
+
+
+def figure5(**caps_kwargs) -> dict[str, dict[int, float]]:
+    """Figure 5 — Mira CAPS communication times (simulated, seconds).
+
+    Uses the Table 3 parameters; extra keyword arguments go to
+    :func:`repro.experiments.matmul.run_caps_on_geometry`.
+    """
+    from ..allocation.geometry import PartitionGeometry
+
+    geos = {
+        4: ((4, 1, 1, 1), (2, 2, 1, 1)),
+        8: ((4, 2, 1, 1), (2, 2, 2, 1)),
+        16: ((4, 4, 1, 1), (2, 2, 2, 2)),
+        24: ((4, 3, 2, 1), (3, 2, 2, 2)),
+    }
+    current: dict[int, float] = {}
+    proposed: dict[int, float] = {}
+    for row in TABLE_3_MATMUL_PARAMS:
+        mp = row["midplanes"]
+        cur_dims, prop_dims = geos[mp]
+        for dims, sink in ((cur_dims, current), (prop_dims, proposed)):
+            res = run_caps_on_geometry(
+                PartitionGeometry(dims),
+                num_ranks=row["ranks"],
+                matrix_dim=row["matrix_dim"],
+                max_cores=row["max_cores"],
+                **caps_kwargs,
+            )
+            sink[mp] = res.communication_time
+    return {"current": current, "proposed": proposed}
+
+
+def figure6(**caps_kwargs) -> dict[str, dict[int, float]]:
+    """Figure 6 — strong-scaling communication times (simulated).
+
+    Returns ``{"current": {...}, "proposed": {...},
+    "computation": {...}}`` in seconds.
+    """
+    res = run_strong_scaling(**caps_kwargs)
+    return {
+        "current": {
+            p.num_midplanes: p.communication_time for p in res.current
+        },
+        "proposed": {
+            p.num_midplanes: p.communication_time for p in res.proposed
+        },
+        "computation": {
+            p.num_midplanes: p.computation_time for p in res.current
+        },
+    }
+
+
+def figure7() -> dict[str, dict[int, int | None]]:
+    """Figure 7 — JUQUEEN vs JUQUEEN-48/54 best-case bandwidth curves."""
+    machines = [JUQUEEN, JUQUEEN_48, JUQUEEN_54]
+    out: dict[str, dict[int, int | None]] = {m.name: {} for m in machines}
+    for row in compare_machines(machines):
+        for m in machines:
+            out[m.name][row.num_midplanes] = row.bandwidths[m.name]
+    return out

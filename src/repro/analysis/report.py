@@ -1,0 +1,94 @@
+"""ASCII rendering of tables and figure series.
+
+The benchmark harnesses print these renderings so that running
+``pytest benchmarks/`` regenerates the paper's tables and figures as
+readable text, one per harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_geometry"]
+
+
+def format_geometry(dims: Sequence[int] | None) -> str:
+    """Render a geometry tuple like the paper: ``4 x 2 x 1 x 1``."""
+    if dims is None:
+        return "-"
+    return " x ".join(str(d) for d in dims)
+
+
+def render_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Geometry tuples are rendered via :func:`format_geometry`; ``None``
+    becomes ``-``; floats are shown with 4 significant digits.
+    """
+    if headers is None:
+        headers = list(columns)
+    if len(headers) != len(columns):
+        raise ValueError(
+            f"{len(headers)} headers for {len(columns)} columns"
+        )
+
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, tuple):
+            return format_geometry(value)
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    grid = [[fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in grid)) if grid else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in grid:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[int, float | int | None]],
+    title: str | None = None,
+    x_label: str = "midplanes",
+    y_format: str = "{:.4g}",
+) -> str:
+    """Render named series (x -> y) side by side, one x per row."""
+    xs = sorted({x for s in series.values() for x in s})
+    names = list(series)
+    widths = [max(len(x_label), 9)] + [
+        max(len(n), 9) for n in names
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = [x_label.ljust(widths[0])] + [
+        n.ljust(w) for n, w in zip(names, widths[1:])
+    ]
+    lines.append("  ".join(header))
+    lines.append("  ".join("-" * w for w in widths))
+    for x in xs:
+        cells = [str(x).ljust(widths[0])]
+        for n, w in zip(names, widths[1:]):
+            y = series[n].get(x)
+            cells.append(
+                ("-" if y is None else y_format.format(y)).ljust(w)
+            )
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

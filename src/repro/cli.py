@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro`` / ``repro-nets``.
+
+Subcommands
+-----------
+``machines``
+    List the machine catalog with sizes and bisection bandwidths.
+``analyze <machine>``
+    Best/worst geometry per achievable size; flag improvable ones.
+``geometry <dims...>``
+    Inspect one partition geometry (bandwidth, node dims, shape).
+``pairing <dims...>``
+    Simulate the bisection pairing benchmark on a geometry.
+``table <1-7>`` / ``figure <1-7>``
+    Regenerate a paper table or figure as ASCII.
+``advise <machine> <size> <available-dims...> --wait S --fraction F``
+    Run the contention-aware scheduling advisor on a job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nets",
+        description=(
+            "Network Partitioning and Avoidable Contention (SPAA 2020) "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the machine catalog")
+
+    p = sub.add_parser("analyze", help="analyze a machine's allocations")
+    p.add_argument("machine", help="machine name (e.g. mira, juqueen)")
+    p.add_argument(
+        "--improvable-only",
+        action="store_true",
+        help="show only sizes where geometry matters",
+    )
+
+    p = sub.add_parser("geometry", help="inspect a partition geometry")
+    p.add_argument("dims", type=int, nargs="+", help="midplane dimensions")
+
+    p = sub.add_parser("pairing", help="simulate the pairing benchmark")
+    p.add_argument("dims", type=int, nargs="+", help="midplane dimensions")
+    p.add_argument("--rounds", type=int, default=26)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 8))
+
+    p = sub.add_parser("figure", help="regenerate a paper figure's data")
+    p.add_argument("number", type=int, choices=range(1, 8))
+
+    p = sub.add_parser(
+        "design-search",
+        help="rank machine geometries against a baseline (Section 5)",
+    )
+    p.add_argument("baseline", help="baseline machine (e.g. juqueen)")
+    p.add_argument("--max-midplanes", type=int, default=56)
+    p.add_argument("--top", type=int, default=10)
+
+    p = sub.add_parser(
+        "variability",
+        help="run-time spread of size-only requests (Section 4.3 risk)",
+    )
+    p.add_argument("machine")
+    p.add_argument("size", type=int, help="job size in midplanes")
+    p.add_argument("--jobs", type=int, default=100)
+    p.add_argument("--fraction", type=float, default=0.6,
+                   help="contention-bound fraction of run time")
+    p.add_argument("--runtime", type=float, default=3600.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("advise", help="scheduling advisor for a hinted job")
+    p.add_argument("machine")
+    p.add_argument("size", type=int, help="job size in midplanes")
+    p.add_argument(
+        "available", type=int, nargs="+",
+        help="geometry currently available (midplane dims)",
+    )
+    p.add_argument(
+        "--wait", type=float, default=600.0,
+        help="expected seconds until an optimal partition frees up",
+    )
+    p.add_argument(
+        "--runtime", type=float, default=3600.0,
+        help="estimated runtime on an optimal partition (s)",
+    )
+    p.add_argument(
+        "--fraction", type=float, default=0.5,
+        help="contention-bound fraction of the runtime [0, 1]",
+    )
+    return parser
+
+
+def _cmd_machines() -> int:
+    from .analysis.report import render_table
+    from .machines.catalog import MACHINES
+
+    rows = [
+        {
+            "name": m.name,
+            "midplanes": m.num_midplanes,
+            "nodes": m.num_nodes,
+            "geometry": m.midplane_dims,
+            "bisection": m.bisection_bandwidth(),
+        }
+        for m in MACHINES.values()
+    ]
+    print(
+        render_table(
+            rows,
+            ["name", "geometry", "midplanes", "nodes", "bisection"],
+            title="Blue Gene/Q machine catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(machine_name: str, improvable_only: bool) -> int:
+    from .allocation.optimizer import best_worst_table
+    from .analysis.report import render_table
+    from .machines.catalog import get_machine
+
+    machine = get_machine(machine_name)
+    rows = []
+    for r in best_worst_table(machine):
+        if improvable_only and not r.is_improved:
+            continue
+        rows.append(
+            {
+                "midplanes": r.num_midplanes,
+                "nodes": r.num_nodes,
+                "worst": r.current.dims,
+                "worst_bw": r.current_bw,
+                "best": r.proposed.dims,
+                "best_bw": r.proposed_bw,
+                "gain": f"x{r.improvement:.2f}",
+            }
+        )
+    print(
+        render_table(
+            rows,
+            ["midplanes", "nodes", "worst", "worst_bw", "best",
+             "best_bw", "gain"],
+            title=f"{machine.name} {machine.midplane_dims}: geometry "
+            "best/worst per size",
+        )
+    )
+    return 0
+
+
+def _cmd_geometry(dims: Sequence[int]) -> int:
+    from .allocation.geometry import PartitionGeometry
+
+    geo = PartitionGeometry(tuple(dims))
+    print(f"geometry        : {geo.label()}")
+    print(f"midplanes       : {geo.num_midplanes}")
+    print(f"compute nodes   : {geo.num_nodes}")
+    print(f"node dimensions : {geo.node_dims}")
+    print(f"bisection (norm): {geo.normalized_bisection_bandwidth}")
+    print(f"bisection (GB/s): {geo.bisection_bandwidth_gb_per_s():.0f}")
+    print(f"BW per node     : {geo.bandwidth_per_node:.4f}")
+    print(f"ring-shaped     : {geo.is_ring()}")
+    return 0
+
+
+def _cmd_pairing(dims: Sequence[int], rounds: int) -> int:
+    from .allocation.geometry import PartitionGeometry
+    from .experiments.pairing import PairingParameters, run_pairing
+
+    geo = PartitionGeometry(tuple(dims))
+    params = PairingParameters(rounds=rounds)
+    res = run_pairing(geo, params)
+    print(f"geometry      : {geo.label()} ({geo.num_nodes} nodes)")
+    print(f"pairs         : {res.num_flows}")
+    print(f"rate per flow : {res.min_rate:.3f}..{res.max_rate:.3f} GB/s")
+    print(f"time          : {res.time_seconds:.2f} s")
+    return 0
+
+
+def _cmd_table(number: int) -> int:
+    from .analysis import tables
+    from .analysis.report import render_table
+
+    fn = getattr(tables, f"table{number}")
+    data = fn()
+    if number == 5:
+        rows = []
+        for size in sorted(data):
+            row = {"midplanes": size}
+            for name, val in data[size].items():
+                row[name] = "-" if val is None else (
+                    f"{'x'.join(map(str, val[0]))} ({val[1]})"
+                )
+            rows.append(row)
+        cols = ["midplanes"] + list(next(iter(data.values())))
+        print(render_table(rows, cols, title=f"Table {number}"))
+        return 0
+    cols = list(data[0].keys()) if data else []
+    print(render_table(data, cols, title=f"Table {number}"))
+    return 0
+
+
+def _cmd_figure(number: int) -> int:
+    from .analysis import figures
+    from .analysis.report import render_series
+
+    fn = getattr(figures, f"figure{number}")
+    series = fn()
+    print(render_series(series, title=f"Figure {number}"))
+    return 0
+
+
+def _cmd_advise(
+    machine_name: str,
+    size: int,
+    available: Sequence[int],
+    wait: float,
+    runtime: float,
+    fraction: float,
+) -> int:
+    from .allocation.advisor import JobRequest, SchedulingAdvisor
+    from .allocation.geometry import PartitionGeometry
+    from .allocation.policy import FreeCuboidPolicy
+    from .machines.catalog import get_machine
+
+    machine = get_machine(machine_name)
+    advisor = SchedulingAdvisor(FreeCuboidPolicy(machine))
+    job = JobRequest(
+        num_midplanes=size,
+        optimal_runtime=runtime,
+        contention_fraction=fraction,
+    )
+    avail = PartitionGeometry(tuple(available))
+    decision = advisor.decide(job, avail, expected_wait=wait)
+    print(f"machine          : {machine.name}")
+    print(f"available        : {avail.label()} "
+          f"(BW {avail.normalized_bisection_bandwidth})")
+    print(f"recommendation   : {decision.action.upper()}")
+    print(f"allocate-now time: {decision.available_time:.0f} s")
+    print(f"wait-then-run    : {decision.wait_time:.0f} s")
+    print(f"regret avoided   : {decision.regret:.0f} s")
+    breakeven = advisor.breakeven_wait(job, avail)
+    print(f"break-even wait  : {breakeven:.0f} s")
+    return 0
+
+
+def _cmd_design_search(baseline: str, max_midplanes: int, top: int) -> int:
+    from .analysis.report import render_table
+    from .experiments.designsearch import design_search
+    from .machines.catalog import get_machine
+
+    machine = get_machine(baseline)
+    search = design_search(max_midplanes, machine)
+    rows = [
+        {
+            "geometry": c.machine.midplane_dims,
+            "midplanes": c.machine.num_midplanes,
+            "dominates": c.dominated_baseline,
+            "wins": c.wins,
+            "total_bw": c.total_bandwidth,
+        }
+        for c in search[:top]
+    ]
+    print(render_table(
+        rows,
+        ["geometry", "midplanes", "dominates", "wins", "total_bw"],
+        title=f"Top {len(rows)} of {len(search)} machine designs vs "
+        f"{machine.name} (<= {max_midplanes} midplanes)",
+    ))
+    return 0
+
+
+def _cmd_variability(
+    machine_name: str,
+    size: int,
+    jobs: int,
+    fraction: float,
+    runtime: float,
+    seed: int,
+) -> int:
+    from .allocation.advisor import JobRequest
+    from .allocation.policy import FreeCuboidPolicy
+    from .allocation.variability import SELECTION_RULES, simulate_job_stream
+    from .analysis.report import render_table
+    from .machines.catalog import get_machine
+
+    machine = get_machine(machine_name)
+    policy = FreeCuboidPolicy(machine)
+    job = JobRequest(
+        num_midplanes=size,
+        optimal_runtime=runtime,
+        contention_fraction=fraction,
+    )
+    rows = []
+    for rule in SELECTION_RULES:
+        rep = simulate_job_stream(policy, job, jobs, rule, seed=seed)
+        rows.append({
+            "selection": rule,
+            "mean_s": rep.mean,
+            "stdev_s": rep.stdev,
+            "spread": rep.spread,
+            "geometries": rep.distinct_geometries,
+        })
+    print(render_table(
+        rows,
+        ["selection", "mean_s", "stdev_s", "spread", "geometries"],
+        title=f"{machine.name}: {jobs} identical {size}-midplane jobs, "
+        f"contention fraction {fraction}",
+    ))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "machines":
+            return _cmd_machines()
+        if args.command == "analyze":
+            return _cmd_analyze(args.machine, args.improvable_only)
+        if args.command == "geometry":
+            return _cmd_geometry(args.dims)
+        if args.command == "pairing":
+            return _cmd_pairing(args.dims, args.rounds)
+        if args.command == "table":
+            return _cmd_table(args.number)
+        if args.command == "figure":
+            return _cmd_figure(args.number)
+        if args.command == "design-search":
+            return _cmd_design_search(
+                args.baseline, args.max_midplanes, args.top
+            )
+        if args.command == "variability":
+            return _cmd_variability(
+                args.machine, args.size, args.jobs, args.fraction,
+                args.runtime, args.seed,
+            )
+        if args.command == "advise":
+            return _cmd_advise(
+                args.machine, args.size, args.available,
+                args.wait, args.runtime, args.fraction,
+            )
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Experiment harnesses reproducing Section 4 and 5 of the paper (S8).
+
+* :mod:`~repro.experiments.pairing` — Experiment A, bisection pairing
+  (Figures 3/4);
+* :mod:`~repro.experiments.matmul` — Experiment B, CAPS fast matrix
+  multiplication (Table 3, Figure 5);
+* :mod:`~repro.experiments.strongscaling` — Experiment C, the
+  strong-scaling illusion (Table 4, Figure 6);
+* :mod:`~repro.experiments.machinedesign` — the JUQUEEN-48/54
+  machine-design study (Table 5, Figure 7).
+"""
+
+from .designsearch import DesignCandidate, design_search, score_machine
+from .futurekernels import KernelRun, run_fft_transpose, run_nbody_sweep
+from .machinedesign import (
+    MachineDesignRow,
+    compare_machines,
+    is_constructible_within,
+    peak_speedup_nearest_size,
+    peak_speedup_over_baseline,
+)
+from .matmul import MatmulResult, run_caps_on_geometry, step_traffic_matrix
+from .pairing import PairingParameters, PairingResult, run_pairing
+from .strongscaling import (
+    STRONG_SCALING_MATRIX_DIM,
+    STRONG_SCALING_TABLE4,
+    ScalingPoint,
+    StrongScalingResult,
+    run_strong_scaling,
+)
+
+__all__ = [
+    "PairingParameters",
+    "PairingResult",
+    "run_pairing",
+    "MatmulResult",
+    "run_caps_on_geometry",
+    "step_traffic_matrix",
+    "ScalingPoint",
+    "StrongScalingResult",
+    "STRONG_SCALING_TABLE4",
+    "STRONG_SCALING_MATRIX_DIM",
+    "run_strong_scaling",
+    "MachineDesignRow",
+    "compare_machines",
+    "is_constructible_within",
+    "peak_speedup_over_baseline",
+    "peak_speedup_nearest_size",
+    "KernelRun",
+    "run_fft_transpose",
+    "run_nbody_sweep",
+    "DesignCandidate",
+    "design_search",
+    "score_machine",
+]

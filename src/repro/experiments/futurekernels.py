@@ -1,0 +1,172 @@
+"""Future-work experiment: bisection sensitivity of FFT and N-body.
+
+Section 5 of the paper predicts that kernels with higher asymptotic
+contention costs — direct N-body and FFT — show a *larger* share of the
+×2 bandwidth improvement in wall-clock than fast matrix multiplication
+did (×1.08–×1.22 total).  This harness makes that prediction concrete
+on the simulator:
+
+* **FFT** — one global transpose (pairwise all-to-all) of an
+  ``n``-point complex dataset, one rank per node;
+* **N-body** — one ring-pass force sweep over ``B`` bodies;
+* both run on a worse/better geometry pair, with computation modelled
+  from flop counts so wall-clock ratios can be compared against CAPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive_float, check_positive_int
+from ..allocation.geometry import PartitionGeometry
+from ..kernels.costmodel import FLOP_RATE_PER_RANK, LINK_BANDWIDTH_GB_PER_S
+from ..kernels.fft import COMPLEX_BYTES, fft_flops, fft_transpose_block_words
+from ..netsim.collectives import pairwise_alltoall, ring_pass
+from ..netsim.network import LinkNetwork
+from ..netsim.schedule import RouteCache, simulate_rounds
+
+__all__ = ["KernelRun", "run_fft_transpose", "run_nbody_sweep"]
+
+_GB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Simulated run of one kernel on one partition geometry."""
+
+    kernel: str
+    geometry: PartitionGeometry
+    communication_time: float
+    computation_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.communication_time + self.computation_time
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of wall-clock spent communicating."""
+        total = self.total_time
+        return self.communication_time / total if total > 0 else 0.0
+
+
+def run_fft_transpose(
+    geometry: PartitionGeometry,
+    n: int,
+    link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S,
+    flop_rate: float = FLOP_RATE_PER_RANK,
+    max_sampled_rounds: int = 64,
+) -> KernelRun:
+    """Simulate one distributed-FFT global transpose on *geometry*.
+
+    One rank per node.  The transpose is the pairwise all-to-all with
+    block volume ``n / P²`` complex words; computation is the local FFT
+    work ``5 n log2 n / P``.
+
+    The all-to-all has ``P − 1`` shift rounds; for large partitions the
+    time is estimated from a uniform sample of *max_sampled_rounds*
+    shift offsets scaled to the full count (shift-round times vary
+    smoothly with the offset, so the stratified sample converges fast;
+    pass ``max_sampled_rounds >= P`` for the exact sum).
+    """
+    check_positive_int(n, "n")
+    check_positive_float(link_bandwidth, "link_bandwidth")
+    check_positive_int(max_sampled_rounds, "max_sampled_rounds")
+    torus = geometry.bgq_network()
+    p = torus.num_vertices
+    net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
+    cache = RouteCache(net, torus)
+    block_gb = fft_transpose_block_words(n, p) * COMPLEX_BYTES / _GB
+    all_rounds = pairwise_alltoall(p, block_gb)
+    if len(all_rounds) <= max_sampled_rounds:
+        comm, _ = simulate_rounds(cache, all_rounds)
+    else:
+        stride = len(all_rounds) / max_sampled_rounds
+        sample = [
+            all_rounds[int(i * stride)] for i in range(max_sampled_rounds)
+        ]
+        sampled_time, _ = simulate_rounds(cache, sample)
+        comm = sampled_time * len(all_rounds) / len(sample)
+    comp = fft_flops(n) / (p * flop_rate)
+    return KernelRun(
+        kernel="fft-transpose",
+        geometry=geometry,
+        communication_time=comm,
+        computation_time=comp,
+    )
+
+
+def run_nbody_sweep(
+    geometry: PartitionGeometry,
+    num_bodies: int,
+    bytes_per_body: int = 32,
+    flops_per_interaction: float = 20.0,
+    link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S,
+    flop_rate: float = FLOP_RATE_PER_RANK,
+    ring_order: str = "walk",
+    seed: int = 0,
+) -> KernelRun:
+    """Simulate one direct N-body ring-pass force sweep on *geometry*.
+
+    One rank per node; each holds ``B / P`` bodies (position + mass,
+    *bytes_per_body*) and forwards its visiting block around the ring
+    for ``P − 1`` rounds while evaluating all pairwise interactions.
+
+    ``ring_order`` selects the task mapping:
+
+    * ``"walk"`` (default) — the ring follows the node walk order, so
+      every hop is near-neighbor: the schedule is contention-free and
+      *geometry-insensitive*, illustrating that a good task mapping can
+      sidestep the bisection entirely (the paper's related-work point);
+    * ``"random"`` — a seeded random ring order models a mapping-unaware
+      launcher.  Empirically the simulated time is then dominated by
+      *random link collisions* (a handful of flows stacking on one
+      link), not by the bisection — a hotspot effect that is nearly
+      geometry-independent and ~5× slower than the walk ring.  This is
+      the flip side of the paper's framing: N-body's high contention
+      *floor* (see :mod:`repro.analysis.contention`) is only reached by
+      adversarial traffic; a real launcher's random mapping loses to
+      hotspots first, which is why the related work on topology-aware
+      task mapping and hotspot-avoiding routing matters.
+    """
+    check_positive_int(num_bodies, "num_bodies")
+    check_positive_int(bytes_per_body, "bytes_per_body")
+    check_positive_float(flops_per_interaction, "flops_per_interaction")
+    if ring_order not in ("walk", "random"):
+        raise ValueError(
+            f"ring_order must be 'walk' or 'random', got {ring_order!r}"
+        )
+    torus = geometry.bgq_network()
+    p = torus.num_vertices
+    net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
+    cache = RouteCache(net, torus)
+    block_gb = (num_bodies / p) * bytes_per_body / _GB
+    if ring_order == "walk":
+        # All P-1 ring rounds are the same shift-by-one permutation, so
+        # the total is one round's bottleneck time times the count.
+        rounds = ring_pass(p, block_gb)
+        if rounds:
+            one, _ = simulate_rounds(cache, rounds[:1])
+            comm = one * len(rounds)
+        else:
+            comm = 0.0
+    else:
+        import numpy as np
+
+        from ..netsim.schedule import TransferRound
+
+        rng = np.random.default_rng(seed)
+        order = [int(x) for x in rng.permutation(p)]
+        succ = tuple(order[(i + 1) % p] for i in range(p))
+        rnd = TransferRound(tuple(order), succ, block_gb,
+                            label="shuffled ring pass")
+        one, _ = simulate_rounds(cache, [rnd])
+        comm = one * (p - 1)
+    interactions = float(num_bodies) * float(num_bodies)
+    comp = interactions * flops_per_interaction / (p * flop_rate)
+    return KernelRun(
+        kernel="nbody-ring",
+        geometry=geometry,
+        communication_time=comm,
+        computation_time=comp,
+    )

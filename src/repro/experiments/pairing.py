@@ -1,0 +1,136 @@
+"""Experiment A — the bisection pairing benchmark (Figures 3 and 4).
+
+Reproduces the paper's furthest-node ping-pong: every node exchanges
+fixed-size messages with the node at maximal hop distance, all pairs
+simultaneously, for a number of rounds.  On the real machines this
+saturates the partition bisection; in the reproduction the same traffic
+is driven through the max-min fluid simulator, whose bottleneck is the
+same set of links.
+
+Paper parameters (Section 4.1): 30 rounds of which 4 are uncounted
+warm-up, total volume 2 GB per pair per round sent as 16 chunks of
+0.1342 GB, links at 2 GB/s per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive_float, check_positive_int
+from ..allocation.geometry import PartitionGeometry
+from ..kernels.costmodel import LINK_BANDWIDTH_GB_PER_S
+from ..netsim.fluid import FluidSimulation
+from ..netsim.network import LinkNetwork
+from ..netsim.routing import dimension_ordered_route
+from ..netsim.traffic import bisection_pairing
+
+__all__ = ["PairingParameters", "PairingResult", "run_pairing"]
+
+
+@dataclass(frozen=True)
+class PairingParameters:
+    """Knobs of the bisection pairing benchmark (paper defaults).
+
+    Attributes
+    ----------
+    rounds:
+        Counted communication rounds (26 in the paper: 30 minus 4
+        warm-up rounds, which are not timed).
+    chunks_per_round:
+        Message chunks per pair per round (16).
+    chunk_gb:
+        Chunk size in GB (0.1342).
+    link_bandwidth:
+        Link capacity, GB/s per direction (2.0).
+    tie:
+        Routing tie-break for exact-half ring distances (see
+        :func:`repro.netsim.routing.dimension_ordered_route`).
+    """
+
+    rounds: int = 26
+    chunks_per_round: int = 16
+    chunk_gb: float = 0.1342
+    link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S
+    tie: str = "parity"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.rounds, "rounds")
+        check_positive_int(self.chunks_per_round, "chunks_per_round")
+        check_positive_float(self.chunk_gb, "chunk_gb")
+        check_positive_float(self.link_bandwidth, "link_bandwidth")
+
+    @property
+    def volume_per_pair_gb(self) -> float:
+        """Total counted volume each pair sends in each direction (GB)."""
+        return self.rounds * self.chunks_per_round * self.chunk_gb
+
+
+@dataclass(frozen=True)
+class PairingResult:
+    """Outcome of one pairing run on one partition geometry.
+
+    Attributes
+    ----------
+    geometry:
+        The partition geometry.
+    time_seconds:
+        Simulated wall-clock for all pairs to finish all rounds (the
+        paper's y-axis in Figures 3/4, "average time required for a pair
+        of nodes to complete all rounds" — in the fluid model all pairs
+        finish together for symmetric geometries).
+    min_rate, max_rate:
+        Extremes of the per-flow max-min rates at t=0 (GB/s); equal for
+        fully symmetric patterns.
+    num_flows:
+        Number of simulated flows (= nodes; each node sends one stream).
+    """
+
+    geometry: PartitionGeometry
+    time_seconds: float
+    min_rate: float
+    max_rate: float
+    num_flows: int
+
+    @property
+    def num_midplanes(self) -> int:
+        return self.geometry.num_midplanes
+
+
+def run_pairing(
+    geometry: PartitionGeometry,
+    params: PairingParameters | None = None,
+) -> PairingResult:
+    """Simulate the bisection pairing benchmark on *geometry*.
+
+    Builds the partition's node-level torus, routes every node's stream
+    to its antipode with dimension-ordered routing, and runs the fluid
+    contention simulation to completion.
+
+    Examples
+    --------
+    >>> r = run_pairing(PartitionGeometry((2, 2, 1, 1)))
+    >>> round(r.time_seconds, 1)
+    55.8
+    """
+    if params is None:
+        params = PairingParameters()
+    torus = geometry.bgq_network()
+    net = LinkNetwork(torus, link_bandwidth=params.link_bandwidth)
+    pairs = bisection_pairing(torus)
+    paths = [
+        net.path_to_links(
+            dimension_ordered_route(torus, src, dst, tie=params.tie)
+        )
+        for src, dst in pairs
+    ]
+    volume = params.volume_per_pair_gb
+    sim = FluidSimulation(net, paths, [volume] * len(paths))
+    makespan, results = sim.run()
+    rates = [r.initial_rate for r in results]
+    return PairingResult(
+        geometry=geometry,
+        time_seconds=makespan,
+        min_rate=min(rates),
+        max_rate=max(rates),
+        num_flows=len(paths),
+    )

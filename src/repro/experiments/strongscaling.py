@@ -1,0 +1,147 @@
+"""Experiment C — the strong-scaling illusion (Table 4, Figure 6).
+
+The paper's point: when a scheduler may serve either optimal or
+sub-optimal geometries for the same size, the *apparent* strong-scaling
+curve of an algorithm depends on which geometries the runs happened to
+get — communication may scale linearly on proposed geometries but
+sub-linearly on current ones, falsely suggesting the algorithm stops
+scaling.
+
+Setup (Table 4): CAPS with matrix dimension 9408 on 2, 4 and 8 midplanes
+(2401, 4802 and 9604 ranks, ≤ 4 cores per node).  The 2-midplane cuboid
+is unique (``2 × 1 × 1 × 1``), giving the two curves a common starting
+point.  The paper additionally observes a *super-linear* drop from 2 to
+4 midplanes and attributes it to the CAPS working set
+(18.55 GB × ≈2 for buffers) exceeding the 32 GB aggregate L2 of 2
+midplanes; :func:`repro.kernels.costmodel.l2_spill_penalty` reproduces
+that as a communication slowdown on the spilling runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive_int
+from ..allocation.geometry import PartitionGeometry
+from ..kernels.caps import split_rank_count
+from ..kernels.costmodel import l2_spill_penalty
+from .matmul import MatmulResult, run_caps_on_geometry
+
+__all__ = [
+    "ScalingPoint",
+    "StrongScalingResult",
+    "STRONG_SCALING_TABLE4",
+    "run_strong_scaling",
+]
+
+#: Table 4 of the paper: (midplanes, ranks, max cores, current geometry,
+#: proposed geometry).  The 2-midplane row admits only one geometry.
+STRONG_SCALING_TABLE4: list[tuple[int, int, int, tuple, tuple]] = [
+    (2, 2401, 4, (2, 1, 1, 1), (2, 1, 1, 1)),
+    (4, 4802, 4, (4, 1, 1, 1), (2, 2, 1, 1)),
+    (8, 9604, 4, (4, 2, 1, 1), (2, 2, 2, 1)),
+]
+
+#: Table 4's matrix dimension.
+STRONG_SCALING_MATRIX_DIM = 9408
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling curve.
+
+    Attributes
+    ----------
+    num_midplanes:
+        Partition size.
+    result:
+        The underlying simulated CAPS run.
+    spill_penalty:
+        The L2-spill communication slowdown applied (1.0 = working set
+        fits in aggregate L2).
+    """
+
+    num_midplanes: int
+    result: MatmulResult
+    spill_penalty: float
+
+    @property
+    def communication_time(self) -> float:
+        return self.result.communication_time
+
+    @property
+    def computation_time(self) -> float:
+        return self.result.computation_time
+
+
+@dataclass(frozen=True)
+class StrongScalingResult:
+    """Both strong-scaling curves (current and proposed geometries)."""
+
+    matrix_dim: int
+    current: tuple[ScalingPoint, ...]
+    proposed: tuple[ScalingPoint, ...]
+
+    def speedup(self, curve: str = "proposed") -> float:
+        """Communication speedup from the smallest to the largest point."""
+        pts = self.proposed if curve == "proposed" else self.current
+        return pts[0].communication_time / pts[-1].communication_time
+
+
+def run_strong_scaling(
+    matrix_dim: int = STRONG_SCALING_MATRIX_DIM,
+    table: list[tuple[int, int, int, tuple, tuple]] | None = None,
+    apply_cache_model: bool = True,
+    **caps_kwargs,
+) -> StrongScalingResult:
+    """Simulate the strong-scaling experiment of Section 4.3.
+
+    Parameters
+    ----------
+    matrix_dim:
+        Matrix dimension (9408 in the paper).
+    table:
+        Rows ``(midplanes, ranks, max_cores, current_dims,
+        proposed_dims)``; defaults to Table 4.
+    apply_cache_model:
+        Whether to apply the L2-spill communication penalty (the paper's
+        explanation for the super-linear 2→4 drop).
+    caps_kwargs:
+        Extra arguments forwarded to
+        :func:`repro.experiments.matmul.run_caps_on_geometry`
+        (``schedule``, ``digit_order``, ``link_bandwidth``...).
+    """
+    check_positive_int(matrix_dim, "matrix_dim")
+    if table is None:
+        table = STRONG_SCALING_TABLE4
+    current: list[ScalingPoint] = []
+    proposed: list[ScalingPoint] = []
+    for midplanes, ranks, cores, cur_dims, prop_dims in table:
+        _, k = split_rank_count(ranks)
+        for dims, sink in ((cur_dims, current), (prop_dims, proposed)):
+            geo = PartitionGeometry(dims)
+            penalty = (
+                l2_spill_penalty(matrix_dim, k, geo.num_nodes)
+                if apply_cache_model
+                else 1.0
+            )
+            res = run_caps_on_geometry(
+                geo,
+                num_ranks=ranks,
+                matrix_dim=matrix_dim,
+                max_cores=cores,
+                comm_slowdown=penalty,
+                **caps_kwargs,
+            )
+            sink.append(
+                ScalingPoint(
+                    num_midplanes=midplanes,
+                    result=res,
+                    spill_penalty=penalty,
+                )
+            )
+    return StrongScalingResult(
+        matrix_dim=matrix_dim,
+        current=tuple(current),
+        proposed=tuple(proposed),
+    )

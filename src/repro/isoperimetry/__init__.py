@@ -1,0 +1,123 @@
+"""Edge-isoperimetric analysis (S2/S3 in DESIGN.md) — the paper's theory.
+
+* :mod:`~repro.isoperimetry.bounds` — Theorem 2.1 (Bollobás–Leader) and
+  the paper's Theorem 3.1 for arbitrary tori;
+* :mod:`~repro.isoperimetry.cuboids` — exact cuboid perimeters, the
+  Lemma 3.2 construction, exhaustive cuboid optimizers;
+* :mod:`~repro.isoperimetry.exact` — brute-force oracles and conjecture
+  probing;
+* :mod:`~repro.isoperimetry.harper` — hypercubes (Harper 1964);
+* :mod:`~repro.isoperimetry.lindsey` — clique products / HyperX
+  (Lindsey 1964);
+* :mod:`~repro.isoperimetry.mesh2d` — 2-D grids (Ahlswede–Bezrukov 1995);
+* :mod:`~repro.isoperimetry.weighted` — weighted tori and Dragonfly
+  groups;
+* :mod:`~repro.isoperimetry.expansion` — small-set expansion and the
+  contention lower bounds of Ballard et al.;
+* :mod:`~repro.isoperimetry.spectral` — Cheeger bounds and Fiedler sweep
+  cuts for arbitrary graphs.
+"""
+
+from .bounds import (
+    BoundResult,
+    bollobas_leader_bound,
+    bound_is_attained,
+    reduced_torus_bound,
+    torus_isoperimetric_bound,
+)
+from .cuboids import (
+    best_cuboid,
+    cuboid_interior,
+    cuboid_perimeter,
+    cuboid_profile,
+    cuboid_vertices,
+    enumerate_cuboid_shapes,
+    lemma_3_2_cuboid,
+    worst_cuboid,
+)
+from .exact import (
+    ExactSolver,
+    conjecture_counterexample,
+    exact_isoperimetric_set,
+    exact_min_perimeter,
+    exact_profile,
+)
+from .expansion import (
+    contention_lower_bound,
+    expansion_attained_at_bisection,
+    small_set_expansion_exact,
+    torus_small_set_expansion,
+)
+from .harper import (
+    harper_min_boundary,
+    harper_set,
+    hypercube_partition_bandwidth,
+    subcube_boundary,
+)
+from .lindsey import (
+    hyperx_bisection,
+    lindsey_min_boundary,
+    lindsey_order,
+    lindsey_set,
+)
+from .mesh2d import (
+    mesh2d_min_boundary,
+    mesh2d_optimal_set,
+    quasi_square_set,
+)
+from .spectral import (
+    algebraic_connectivity,
+    cheeger_bounds,
+    fiedler_cut,
+    spectral_expansion_estimate,
+)
+from .weighted import (
+    best_weighted_cuboid,
+    dragonfly_group_cut,
+    weighted_cuboid_perimeter,
+    weighted_torus_bisection,
+)
+
+__all__ = [
+    "BoundResult",
+    "bollobas_leader_bound",
+    "torus_isoperimetric_bound",
+    "reduced_torus_bound",
+    "bound_is_attained",
+    "cuboid_perimeter",
+    "cuboid_interior",
+    "cuboid_vertices",
+    "lemma_3_2_cuboid",
+    "enumerate_cuboid_shapes",
+    "best_cuboid",
+    "worst_cuboid",
+    "cuboid_profile",
+    "ExactSolver",
+    "exact_min_perimeter",
+    "exact_isoperimetric_set",
+    "exact_profile",
+    "conjecture_counterexample",
+    "harper_set",
+    "harper_min_boundary",
+    "subcube_boundary",
+    "hypercube_partition_bandwidth",
+    "lindsey_order",
+    "lindsey_set",
+    "lindsey_min_boundary",
+    "hyperx_bisection",
+    "mesh2d_min_boundary",
+    "mesh2d_optimal_set",
+    "quasi_square_set",
+    "weighted_cuboid_perimeter",
+    "best_weighted_cuboid",
+    "weighted_torus_bisection",
+    "dragonfly_group_cut",
+    "small_set_expansion_exact",
+    "torus_small_set_expansion",
+    "expansion_attained_at_bisection",
+    "contention_lower_bound",
+    "algebraic_connectivity",
+    "cheeger_bounds",
+    "fiedler_cut",
+    "spectral_expansion_estimate",
+]

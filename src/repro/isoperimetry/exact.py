@@ -1,0 +1,250 @@
+"""Exact (brute-force) edge-isoperimetric solvers for small graphs.
+
+These solvers enumerate *all* vertex subsets of a given size, so they are
+exponential and only usable for graphs with roughly 26 vertices or fewer.
+They serve as ground-truth oracles in the test-suite:
+
+* validating the Theorem 3.1 bound and the Lemma 3.2/3.3 cuboid
+  constructions on every small torus we can afford;
+* probing the paper's open conjecture (is the bound optimal for
+  *arbitrary* subsets, not just cuboids?) — see
+  :func:`conjecture_counterexample`;
+* computing exact small-set expansion for the contention lower bounds.
+
+Implementation: vertices are indexed densely; neighborhoods become
+bitmasks; a subset is one ``int``; the cut size of a subset is computed
+with popcounts.  Subsets are enumerated with Gosper's hack (next integer
+with the same popcount), keeping the inner loop allocation-free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .._validation import check_subset_size
+from ..topology.base import Topology, Vertex
+
+__all__ = [
+    "ExactSolver",
+    "exact_min_perimeter",
+    "exact_isoperimetric_set",
+    "exact_profile",
+    "conjecture_counterexample",
+]
+
+#: Refuse to enumerate subsets of graphs larger than this.
+MAX_BRUTE_FORCE_VERTICES = 28
+
+
+def _gosper_next(x: int) -> int:
+    """Next integer with the same popcount (Gosper's hack)."""
+    c = x & -x
+    r = x + c
+    return (((r ^ x) >> 2) // c) | r
+
+
+class ExactSolver:
+    """Brute-force edge-isoperimetric solver over a fixed topology.
+
+    Precomputes the bitmask adjacency once so repeated queries (different
+    subset sizes ``t``) share the setup cost.
+
+    Parameters
+    ----------
+    topo:
+        Any :class:`~repro.topology.base.Topology`; edge weights are
+        honoured (weighted perimeters), with an integer fast path when all
+        weights equal 1.
+    """
+
+    def __init__(self, topo: Topology):
+        n = topo.num_vertices
+        if n > MAX_BRUTE_FORCE_VERTICES:
+            raise ValueError(
+                f"{topo.name} has {n} vertices; brute force is limited to "
+                f"{MAX_BRUTE_FORCE_VERTICES}"
+            )
+        self._topo = topo
+        self._verts: list[Vertex] = list(topo.vertices())
+        self._index = {v: i for i, v in enumerate(self._verts)}
+        self._nbr_masks: list[int] = [0] * n
+        self._uniform = True
+        weights: dict[tuple[int, int], float] = {}
+        for v in self._verts:
+            i = self._index[v]
+            mask = 0
+            for u, w in topo.neighbors(v):
+                j = self._index[u]
+                mask |= 1 << j
+                weights[(i, j)] = w
+                if w != 1.0:
+                    self._uniform = False
+            self._nbr_masks[i] = mask
+        self._weights = weights
+        self._n = n
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether all edge weights are 1 (cut weight == cut count)."""
+        return self._uniform
+
+    # ------------------------------------------------------------------ #
+
+    def cut_of_mask(self, mask: int) -> float:
+        """Perimeter (weighted) of the subset encoded by bitmask *mask*."""
+        if self._uniform:
+            total = 0
+            m = mask
+            while m:
+                i = (m & -m).bit_length() - 1
+                m &= m - 1
+                total += (self._nbr_masks[i] & ~mask).bit_count()
+            return float(total)
+        total = 0.0
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            m &= m - 1
+            outside = self._nbr_masks[i] & ~mask
+            while outside:
+                j = (outside & -outside).bit_length() - 1
+                outside &= outside - 1
+                total += self._weights[(i, j)]
+        return total
+
+    def mask_to_set(self, mask: int) -> set[Vertex]:
+        """Decode a bitmask into the corresponding vertex set."""
+        out: set[Vertex] = set()
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            m &= m - 1
+            out.add(self._verts[i])
+        return out
+
+    def min_perimeter(self, t: int) -> tuple[float, set[Vertex]]:
+        """Minimum perimeter over all subsets of size *t*, with a witness.
+
+        Returns ``(cut, subset)``; ties are broken by enumeration order
+        (deterministic).
+        """
+        t = check_subset_size(t, self._n)
+        best_cut = math.inf
+        best_mask = 0
+        mask = (1 << t) - 1
+        limit = 1 << self._n
+        while mask < limit:
+            cut = self.cut_of_mask(mask)
+            if cut < best_cut:
+                best_cut = cut
+                best_mask = mask
+                if cut == 0:
+                    break
+            if mask == 0:
+                break
+            mask = _gosper_next(mask)
+        return best_cut, self.mask_to_set(best_mask)
+
+    def small_set_expansion(self, t: int) -> float:
+        """Exact small-set expansion ``h_t``: min over ``|A| <= t`` of
+        ``cut(A) / (2·interior(A) + cut(A))``.
+
+        For unweighted graphs the denominator is the total degree of
+        ``A``; the weighted generalization uses capacities throughout.
+        """
+        t = check_subset_size(t, self._n)
+        best = math.inf
+        for size in range(1, t + 1):
+            mask = (1 << size) - 1
+            limit = 1 << self._n
+            while mask < limit:
+                cut = self.cut_of_mask(mask)
+                incident = self._incident_of_mask(mask)
+                if incident > 0:
+                    best = min(best, cut / incident)
+                mask = _gosper_next(mask)
+        return best
+
+    def _incident_of_mask(self, mask: int) -> float:
+        """Sum of weighted degrees of the subset (= 2·interior + cut)."""
+        total = 0.0
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            m &= m - 1
+            if self._uniform:
+                total += self._nbr_masks[i].bit_count()
+            else:
+                nbrs = self._nbr_masks[i]
+                while nbrs:
+                    j = (nbrs & -nbrs).bit_length() - 1
+                    nbrs &= nbrs - 1
+                    total += self._weights[(i, j)]
+        return total
+
+
+def exact_min_perimeter(topo: Topology, t: int) -> float:
+    """Minimum perimeter of any size-*t* subset of *topo* (brute force)."""
+    return ExactSolver(topo).min_perimeter(t)[0]
+
+
+def exact_isoperimetric_set(topo: Topology, t: int) -> set[Vertex]:
+    """A minimum-perimeter subset of size *t* (brute force witness)."""
+    return ExactSolver(topo).min_perimeter(t)[1]
+
+
+def exact_profile(topo: Topology) -> dict[int, float]:
+    """Exact isoperimetric profile: ``t -> min perimeter`` for all
+    ``1 <= t <= |V| / 2``."""
+    solver = ExactSolver(topo)
+    return {
+        t: solver.min_perimeter(t)[0]
+        for t in range(1, topo.num_vertices // 2 + 1)
+    }
+
+
+def conjecture_counterexample(
+    dims: Sequence[int],
+) -> tuple[int, float, float] | None:
+    """Probe the paper's open conjecture on one small torus.
+
+    The conjecture (Section 3.1 / future work): the Theorem 3.1 lower
+    bound holds for *arbitrary* subsets, not just cuboids.  This
+    function brute-forces every ``t <= |V|/2`` of the torus with the
+    given dimensions and compares the true minimum perimeter against the
+    bound.
+
+    Note that arbitrary subsets *can* beat the best cuboid at sizes
+    where the bound is not attained (a quasi-cuboid of 9 vertices in the
+    5×4 torus has perimeter 10 < the best cuboid's 12) — that does not
+    refute the conjecture, because the bound there is only 8.
+
+    Requires every dimension to be at least 3 (proper cycles — the
+    convention under which Equation 3 is stated; length-2 dimensions
+    follow Harper's hypercube solution instead).
+
+    Returns ``None`` if no counterexample is found (the conjecture holds
+    for this torus), else ``(t, exact_min, bound)`` for the first ``t``
+    where some subset has a strictly smaller perimeter than the bound.
+    """
+    from ..topology.torus import Torus
+    from .bounds import torus_isoperimetric_bound
+
+    torus = Torus(dims)
+    if any(a < 3 for a in torus.dims):
+        raise ValueError(
+            "conjecture probing requires all dimensions >= 3 (got "
+            f"{torus.dims}); Equation 3 is stated for proper cycles"
+        )
+    solver = ExactSolver(torus)
+    for t in range(1, torus.num_vertices // 2 + 1):
+        bound = torus_isoperimetric_bound(torus.dims, t).value
+        exact, _ = solver.min_perimeter(t)
+        if exact < bound - 1e-9:
+            return (t, exact, bound)
+    return None

@@ -1,0 +1,145 @@
+"""Small-set expansion and contention lower bounds.
+
+The small-set expansion of a graph ``G`` at scale ``t`` is
+
+.. math::
+
+    h_t(G) = \\min_{|A| \\le t}
+        \\frac{|E(A, \\bar A)|}{2 |E(A, A)| + |E(A, \\bar A)|},
+
+i.e. the worst ratio of escaping capacity to total incident capacity over
+all sets of at most ``t`` vertices.  For a ``k``-regular graph the
+denominator is ``k |A|`` (Equation 1 of the paper), so minimizing the
+perimeter at each size and dividing by ``k·size`` gives ``h_t`` — which
+is how :func:`torus_small_set_expansion` exploits the cuboid machinery.
+
+Ballard et al. (COMHPC 2016, reference [7] of the paper) use ``h_t`` to
+derive *contention* lower bounds: if every processor must communicate
+``W`` words, any schedule takes at least ``W / (k · h_t(G))`` time on a
+``k``-regular network with unit link bandwidth — see
+:func:`contention_lower_bound`.  The paper's observation that "the
+small-set expansion is attained by the bisection for all networks and
+partitions considered" is checked by
+:func:`expansion_attained_at_bisection`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .._validation import check_dims, check_positive_float, check_subset_size
+from ..topology.base import Topology
+from .cuboids import best_cuboid, enumerate_cuboid_shapes
+from .exact import ExactSolver
+
+__all__ = [
+    "small_set_expansion_exact",
+    "torus_small_set_expansion",
+    "expansion_attained_at_bisection",
+    "contention_lower_bound",
+]
+
+
+def small_set_expansion_exact(topo: Topology, t: int) -> float:
+    """Exact ``h_t`` by brute force (small graphs only)."""
+    return ExactSolver(topo).small_set_expansion(t)
+
+
+def torus_small_set_expansion(
+    dims: Sequence[int], t: int | None = None
+) -> float:
+    """Cuboid-based small-set expansion of a torus.
+
+    Minimizes ``perimeter / (k · size)`` over all cuboid sizes up to *t*
+    (default: half the vertices).  Under the paper's conjecture (optimal
+    cuboids are globally isoperimetric) this equals ``h_t`` exactly; it
+    is always an upper bound on ``h_t``, and a lower bound on the
+    bisection-only estimate.
+    """
+    dims = check_dims(dims, "dims")
+    total = math.prod(dims)
+    if t is None:
+        t = total // 2
+    t = check_subset_size(t, total)
+    k = sum(2 if a >= 3 else 1 for a in dims if a > 1)
+    if k == 0:
+        raise ValueError(f"torus {tuple(dims)} has no edges")
+    best = math.inf
+    for size in range(1, t + 1):
+        shapes = enumerate_cuboid_shapes(dims, size)
+        has_shape = False
+        for shape in shapes:
+            has_shape = True
+            break
+        if not has_shape:
+            continue
+        _, per = best_cuboid(dims, size)
+        best = min(best, per / (k * size))
+    return best
+
+
+def expansion_attained_at_bisection(dims: Sequence[int]) -> bool:
+    """Whether the torus's small-set expansion is attained at ``t = |V|/2``.
+
+    The paper notes this holds for every network and partition it
+    considers, which justifies ranking partitions by bisection bandwidth
+    alone.  Evaluated over cuboid sets (exact under the paper's
+    conjecture).
+    """
+    dims = check_dims(dims, "dims")
+    total = math.prod(dims)
+    half = total // 2
+    if half < 1:
+        return True
+    k = sum(2 if a >= 3 else 1 for a in dims if a > 1)
+    if k == 0:
+        return True
+    overall = torus_small_set_expansion(dims)
+    try:
+        _, per_half = best_cuboid(dims, half)
+    except ValueError:
+        return False
+    at_half = per_half / (k * half)
+    return math.isclose(overall, at_half, rel_tol=1e-12)
+
+
+def contention_lower_bound(
+    dims: Sequence[int],
+    words_per_processor: float,
+    link_bandwidth: float = 1.0,
+    t: int | None = None,
+) -> float:
+    """Contention time lower bound of Ballard et al. on a torus network.
+
+    If a parallel algorithm requires every processor to send/receive at
+    least *words_per_processor* words, then for any subset ``A`` the
+    total traffic crossing ``E(A, Ā)`` is at least
+    ``words_per_processor · |A|`` (each member's words must be assumed to
+    potentially cross), so the time is at least
+
+    ``max_A  words_per_processor · |A| / (bandwidth · |E(A, Ā)|)``
+
+    which equals ``words_per_processor / (k · bandwidth · h_t)`` for
+    ``k``-regular networks.  We evaluate the maximum over cuboid subsets.
+
+    Returns the lower bound in the same time units as
+    ``words / bandwidth``.
+    """
+    dims = check_dims(dims, "dims")
+    w = check_positive_float(words_per_processor, "words_per_processor")
+    b = check_positive_float(link_bandwidth, "link_bandwidth")
+    total = math.prod(dims)
+    if t is None:
+        t = total // 2
+    t = check_subset_size(t, total)
+    best = 0.0
+    for size in range(1, t + 1):
+        try:
+            _, per = best_cuboid(dims, size)
+        except ValueError:
+            continue
+        if per == 0:
+            continue
+        best = max(best, w * size / (b * per))
+    return best

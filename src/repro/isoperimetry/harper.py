@@ -1,0 +1,106 @@
+"""Harper's theorem: the edge-isoperimetric problem on hypercubes.
+
+Harper (1964) solved the edge-isoperimetric problem for the hypercube
+``Q_d``: initial segments of the *binary order* (vertices taken in
+increasing order of their integer labels) minimize the edge boundary
+among all sets of the same size.  For ``t = 2^m`` the optimal set is an
+``m``-dimensional subcube with boundary ``2^m (d - m)``.
+
+Section 5 of the paper notes that for hypercube-based machines such as
+Pleiades "the edge-isoperimetric problem is long solved [Harper], and so
+our method is directly usable" — this module is that direct usability:
+:func:`harper_min_boundary` gives exact optimal perimeters for any subset
+size, and :func:`hypercube_partition_bandwidth` ranks allocation choices
+exactly as :mod:`repro.allocation` does for tori.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_nonnegative_int, check_subset_size
+
+__all__ = [
+    "harper_set",
+    "harper_boundary_of_initial_segment",
+    "harper_min_boundary",
+    "subcube_boundary",
+    "hypercube_partition_bandwidth",
+]
+
+
+def harper_set(d: int, t: int) -> list[int]:
+    """The first *t* vertices of ``Q_d`` in Harper's binary order.
+
+    These are simply the integers ``0 .. t-1``; Harper's theorem says this
+    initial segment has minimum edge boundary among all size-*t* subsets.
+    """
+    d = check_nonnegative_int(d, "d")
+    t = check_subset_size(t, 1 << d)
+    return list(range(t))
+
+
+def harper_boundary_of_initial_segment(d: int, t: int) -> int:
+    """Edge boundary of the initial segment ``{0, ..., t-1}`` in ``Q_d``.
+
+    Counted directly: for each ``x < t`` and each bit ``k``, the neighbor
+    ``x ^ 2^k`` is outside iff it is ``>= t``.  O(t·d) time, which is fine
+    for the dimensions arising in allocation analysis.
+    """
+    d = check_nonnegative_int(d, "d")
+    t = check_subset_size(t, 1 << d)
+    boundary = 0
+    for x in range(t):
+        for k in range(d):
+            if x ^ (1 << k) >= t:
+                boundary += 1
+    return boundary
+
+
+def harper_min_boundary(d: int, t: int) -> int:
+    """Minimum edge boundary of any size-*t* subset of ``Q_d`` (Harper).
+
+    Examples
+    --------
+    >>> harper_min_boundary(3, 4)    # a 2-subcube inside Q_3
+    4
+    >>> harper_min_boundary(4, 8)    # bisection of Q_4
+    8
+    """
+    return harper_boundary_of_initial_segment(d, t)
+
+
+def subcube_boundary(d: int, m: int) -> int:
+    """Boundary of an ``m``-subcube in ``Q_d``: ``2^m (d - m)``.
+
+    Agrees with :func:`harper_min_boundary` at ``t = 2^m`` (the initial
+    segment of a power-of-two size *is* a subcube).
+    """
+    d = check_nonnegative_int(d, "d")
+    m = check_nonnegative_int(m, "m")
+    if m > d:
+        raise ValueError(f"subcube dimension {m} exceeds cube dimension {d}")
+    return (1 << m) * (d - m)
+
+
+def hypercube_partition_bandwidth(d: int, partition_dim: int) -> int:
+    """Internal bisection bandwidth of a ``partition_dim``-subcube
+    allocation inside ``Q_d``.
+
+    A subcube partition of ``Q_d`` is itself a hypercube
+    ``Q_{partition_dim}``; its internal bisection cuts one dimension:
+    ``2^{partition_dim - 1}`` links.  Unlike tori, *all* subcube
+    allocations of equal size are isomorphic, so hypercube allocation
+    policies cannot exhibit the geometry spread the paper finds on Blue
+    Gene/Q — the interesting hypercube question is only whether
+    non-subcube allocations are permitted (they lose bandwidth, by
+    Harper's theorem).
+    """
+    d = check_nonnegative_int(d, "d")
+    partition_dim = check_nonnegative_int(partition_dim, "partition_dim")
+    if partition_dim > d:
+        raise ValueError(
+            f"partition dimension {partition_dim} exceeds machine "
+            f"dimension {d}"
+        )
+    if partition_dim == 0:
+        return 0
+    return 1 << (partition_dim - 1)

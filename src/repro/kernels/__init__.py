@@ -1,0 +1,78 @@
+"""Computation kernels and their communication models (S7 in DESIGN.md).
+
+Real Strassen–Winograd matrix multiplication plus the CAPS parallel
+communication schedule of the paper's Experiment B, classical baselines
+(SUMMA, 2.5-D, N-body ring), and the calibrated cost-model constants.
+"""
+
+from .caps import (
+    CapsConfig,
+    CapsStep,
+    caps_computation_time,
+    caps_steps,
+    caps_total_words_per_rank,
+    split_rank_count,
+    step_rank_pairs,
+)
+from .classical import (
+    c25d_words_per_rank,
+    nbody_ring_words_per_rank,
+    ring_rank_pairs,
+    summa_rank_pairs,
+    summa_words_per_rank,
+)
+from .fft import (
+    fft_flops,
+    fft_flops_per_word,
+    fft_transpose_block_words,
+    fft_transpose_words_per_rank,
+)
+from .costmodel import (
+    CAPS_COMM_FACTOR,
+    FLOP_RATE_PER_RANK,
+    L2_BYTES_PER_NODE,
+    LINK_BANDWIDTH_GB_PER_S,
+    WORD_BYTES,
+    aggregate_l2,
+    caps_memory_footprint,
+    l2_spill_penalty,
+)
+from .strassen import (
+    classical_flop_count,
+    matrix_dim_constraint,
+    required_rank_count,
+    strassen_flop_count,
+    strassen_winograd,
+)
+
+__all__ = [
+    "strassen_winograd",
+    "strassen_flop_count",
+    "classical_flop_count",
+    "required_rank_count",
+    "matrix_dim_constraint",
+    "CapsConfig",
+    "CapsStep",
+    "caps_steps",
+    "step_rank_pairs",
+    "caps_total_words_per_rank",
+    "caps_computation_time",
+    "split_rank_count",
+    "summa_words_per_rank",
+    "c25d_words_per_rank",
+    "nbody_ring_words_per_rank",
+    "summa_rank_pairs",
+    "ring_rank_pairs",
+    "LINK_BANDWIDTH_GB_PER_S",
+    "FLOP_RATE_PER_RANK",
+    "L2_BYTES_PER_NODE",
+    "WORD_BYTES",
+    "CAPS_COMM_FACTOR",
+    "caps_memory_footprint",
+    "aggregate_l2",
+    "l2_spill_penalty",
+    "fft_flops",
+    "fft_transpose_words_per_rank",
+    "fft_transpose_block_words",
+    "fft_flops_per_word",
+]

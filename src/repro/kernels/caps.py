@@ -1,0 +1,279 @@
+"""CAPS — Communication-Avoiding Parallel Strassen (communication model).
+
+Experiment B of the paper benchmarks the Strassen–Winograd implementation
+of Ballard et al. / Lipshitz et al. ("CAPS").  CAPS runs on ``f · 7^k``
+ranks: at each of the ``k`` **BFS steps** the current processor group
+splits into 7 subgroups, one per Strassen subproblem, and the groups
+exchange submatrix blocks; an initial ``f``-way step handles the non-7
+factor.  After the BFS steps each rank multiplies its local block.
+
+This module models the *communication schedule* of that algorithm:
+
+* :class:`CapsConfig` validates the paper's parameter constraints
+  (rank count ``f · 7^k``, matrix dimension a multiple of
+  ``f · 2^r · 7^{⌈k/2⌉}``);
+* :func:`caps_steps` lists the BFS steps with their group sizes, rank
+  strides (contiguous-block grouping, matching the launcher's rank
+  order), and per-rank communication volumes — each step moves
+  ``CAPS_COMM_FACTOR × (local share at that level)`` words per rank,
+  which telescopes to the known CAPS bandwidth cost
+  ``Θ((7/4)^k · n² / P)``;
+* :func:`step_rank_pairs` enumerates which ranks exchange at a step
+  (each rank with the ``g - 1`` ranks at the same position of the other
+  subgroups);
+* :func:`caps_computation_time` gives the local-multiply time from the
+  calibrated flop rate.
+
+Driving these pairs through :mod:`repro.netsim` (see
+:mod:`repro.experiments.matmul`) reproduces the geometry sensitivity of
+Figure 5: early (large-stride) steps cross the partition bisection and
+speed up on better-shaped partitions, while the late local steps —
+which carry *more* volume — do not, so the end-to-end ratio lands below
+the raw ×2 bandwidth ratio, as the paper measures (×1.37–×1.52).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from .._validation import check_positive_int
+from .costmodel import CAPS_COMM_FACTOR, FLOP_RATE_PER_RANK, WORD_BYTES
+from .strassen import strassen_flop_count
+
+__all__ = [
+    "CapsConfig",
+    "CapsStep",
+    "caps_steps",
+    "step_rank_pairs",
+    "caps_total_words_per_rank",
+    "caps_computation_time",
+    "split_rank_count",
+]
+
+
+def split_rank_count(num_ranks: int) -> tuple[int, int]:
+    """Factor a rank count as ``f · 7^k`` with maximal ``k``.
+
+    Examples
+    --------
+    >>> split_rank_count(31213)     # the paper's 13 · 7^4
+    (13, 4)
+    >>> split_rank_count(117649)    # 7^6
+    (1, 6)
+    """
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    k = 0
+    f = num_ranks
+    while f % 7 == 0:
+        f //= 7
+        k += 1
+    return f, k
+
+
+@dataclass(frozen=True)
+class CapsConfig:
+    """Parameters of one CAPS execution.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension.
+    num_ranks:
+        Total MPI ranks, ``f · 7^k``.
+    word_bytes:
+        Bytes per element (8 for double precision).
+    comm_factor:
+        Words exchanged per rank per BFS step, in units of the local
+        submatrix share at that level.
+    """
+
+    n: int
+    num_ranks: int
+    word_bytes: int = WORD_BYTES
+    comm_factor: float = CAPS_COMM_FACTOR
+    digit_order: str = "deep-major"
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        check_positive_int(self.num_ranks, "num_ranks")
+        check_positive_int(self.word_bytes, "word_bytes")
+        if self.comm_factor <= 0:
+            raise ValueError(
+                f"comm_factor must be positive, got {self.comm_factor}"
+            )
+        if self.digit_order not in ("deep-major", "top-major"):
+            raise ValueError(
+                "digit_order must be 'deep-major' or 'top-major', got "
+                f"{self.digit_order!r}"
+            )
+
+    @property
+    def f(self) -> int:
+        """The non-7 factor of the rank count."""
+        return split_rank_count(self.num_ranks)[0]
+
+    @property
+    def k(self) -> int:
+        """Number of 7-way BFS steps (``7^k`` divides the rank count)."""
+        return split_rank_count(self.num_ranks)[1]
+
+    def satisfies_paper_constraints(self, r: int = 0) -> bool:
+        """Whether ``f <= 6`` and the matrix dimension constraint hold.
+
+        The reference implementation requires ``1 <= f <= 6`` and ``n`` a
+        multiple of ``f · 2^r · 7^{⌈k/2⌉}``.  (The paper's own 31 213-rank
+        runs have ``f = 13``; they emulate the extra factor with
+        multi-rank nodes, which this model also permits.)
+        """
+        from .strassen import matrix_dim_constraint
+
+        f, k = split_rank_count(self.num_ranks)
+        if f > 6:
+            return False
+        return self.n % matrix_dim_constraint(f, k, r) == 0
+
+
+@dataclass(frozen=True)
+class CapsStep:
+    """One BFS step of the CAPS schedule.
+
+    Attributes
+    ----------
+    level:
+        Step index, 0-based; step 0 is the outermost split (largest
+        rank strides, most bisection-crossing traffic).
+    group_size:
+        Fan-out of the split: 7 for Strassen steps, ``f`` for the
+        initial non-7 step.
+    stride:
+        Rank-id distance between exchange partners (the subgroup size).
+    words_per_rank:
+        Words each rank sends during the step.
+    """
+
+    level: int
+    group_size: int
+    stride: int
+    words_per_rank: float
+
+    @property
+    def bytes_per_rank(self) -> float:
+        """Bytes each rank sends during the step (at 8-byte words)."""
+        return self.words_per_rank * WORD_BYTES
+
+
+def caps_steps(config: CapsConfig) -> list[CapsStep]:
+    """The BFS steps of a CAPS run, in execution order (outermost first).
+
+    Every rank starts with a ``n² / P``-word share of each matrix.  Each
+    7-way BFS step blows the per-rank share up by ``7/4`` (seven
+    subproblems of a quarter the elements) and moves
+    ``comm_factor × share`` words per rank; the initial ``f``-way step
+    (when ``f > 1``) redistributes panels without changing the share.
+
+    Partner strides depend on how ranks encode their position in the
+    recursion tree (``config.digit_order``):
+
+    * ``"deep-major"`` (default) — the *deepest* recursion level is the
+      most significant rank digit, so the outermost step exchanges with
+      nearby ranks (stride ``f·7^0``-ish) and the deepest, highest-volume
+      step spans the whole allocation (stride ``P / 7``).  This order
+      reproduces the bisection sensitivity the paper measures (the
+      dominant traffic crosses the partition bisection).
+    * ``"top-major"`` — contiguous top-level groups: the outermost step
+      has stride ``P / group_size`` and the deepest step is
+      nearest-neighbor.  Under this order the dominant traffic is local
+      and geometry barely matters; the ablation benchmark contrasts the
+      two.
+    """
+    f, k = split_rank_count(config.num_ranks)
+    steps: list[CapsStep] = []
+    level = 0
+    share = float(config.n) * float(config.n) / config.num_ranks
+    # Group sizes in execution order: the f-way split first, then k
+    # 7-way Strassen steps.
+    sizes: list[int] = ([f] if f > 1 else []) + [7] * k
+    shares: list[float] = []
+    for g in sizes:
+        shares.append(share)
+        if g == 7:
+            share *= 7.0 / 4.0
+    # Strides per execution order under each digit layout.
+    strides: list[int] = []
+    if config.digit_order == "top-major":
+        remaining = config.num_ranks
+        for g in sizes:
+            strides.append(remaining // g)
+            remaining //= g
+    else:  # deep-major: execution-order step i varies digit i (LSB first)
+        stride = 1
+        for g in sizes:
+            strides.append(stride)
+            stride *= g
+    for g, s, sh in zip(sizes, strides, shares):
+        steps.append(
+            CapsStep(
+                level=level,
+                group_size=g,
+                stride=s,
+                words_per_rank=config.comm_factor * sh,
+            )
+        )
+        level += 1
+    return steps
+
+
+def step_rank_pairs(
+    config: CapsConfig, step: CapsStep
+) -> Iterator[tuple[int, int]]:
+    """Ordered rank pairs ``(sender, receiver)`` exchanging at *step*.
+
+    With contiguous grouping, rank ``r`` belongs to subgroup
+    ``(r // stride) mod group_size`` of its enclosing group and talks to
+    the ranks at the same in-subgroup offset of every *other* subgroup:
+    ``base + j·stride + offset`` for ``j ≠`` its own subgroup index.
+    Every rank sends to ``group_size - 1`` partners.
+    """
+    g = step.group_size
+    s = step.stride
+    block = g * s  # enclosing group size at this level
+    for r in range(config.num_ranks):
+        base = (r // block) * block
+        offset = r % s
+        mine = (r - base) // s
+        for j in range(g):
+            if j != mine:
+                yield (r, base + j * s + offset)
+
+
+def caps_total_words_per_rank(config: CapsConfig) -> float:
+    """Total words sent per rank over all BFS steps.
+
+    Telescopes to ``comm_factor · n²/P · Σ (7/4)^ℓ ≈ Θ((7/4)^k n²/P)``,
+    the CAPS bandwidth cost.
+    """
+    return sum(s.words_per_rank for s in caps_steps(config))
+
+
+def caps_computation_time(
+    config: CapsConfig, flop_rate: float = FLOP_RATE_PER_RANK
+) -> float:
+    """Local-multiply time (seconds) of one CAPS run.
+
+    The ``7^k`` base-case multiplies of dimension ``n / 2^k`` (plus the
+    BFS additions) are spread over the ranks; per-rank flops divide
+    evenly because CAPS is fully load balanced.  The default *flop_rate*
+    is calibrated to the paper's measured computation times (which are
+    geometry-independent, as the paper observes).
+    """
+    if flop_rate <= 0:
+        raise ValueError(f"flop_rate must be positive, got {flop_rate}")
+    _, k = split_rank_count(config.num_ranks)
+    # Round the matrix dimension down to a multiple of 2^k for the flop
+    # formula; the error is negligible at experiment scales.
+    n_eff = (config.n // (1 << k)) * (1 << k)
+    if n_eff == 0:
+        n_eff = 1 << k
+    flops = strassen_flop_count(n_eff, k)
+    return flops / (config.num_ranks * flop_rate)

@@ -1,0 +1,112 @@
+"""Classical parallel matrix-multiplication communication models.
+
+Baselines against which the CAPS model is compared in the benchmark
+ablations: the paper's future-work section predicts that kernels with
+higher communication-to-computation ratios (classical matmul, FFT,
+N-body) are *more* sensitive to partition bisection bandwidth than fast
+matrix multiplication.  These models provide per-rank communication
+volumes and simple traffic patterns for:
+
+* **2-D SUMMA** — ``P = p²`` ranks in a grid, per-rank bandwidth cost
+  ``≈ 2 n² / √P`` words (row/column broadcasts);
+* **3-D / 2.5-D** (Solomonik & Demmel) — with replication factor ``c``,
+  per-rank cost ``≈ 2 n² / √(c P)`` words plus a reduction;
+* **direct N-body** — all-pairs force evaluation with a ring pass:
+  per-rank cost ``≈ N_bodies / P`` words per ring step, ``P`` steps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from .._validation import check_positive_int
+
+__all__ = [
+    "summa_words_per_rank",
+    "c25d_words_per_rank",
+    "nbody_ring_words_per_rank",
+    "summa_rank_pairs",
+    "ring_rank_pairs",
+]
+
+
+def summa_words_per_rank(n: int, num_ranks: int) -> float:
+    """Per-rank communication volume (words) of 2-D SUMMA.
+
+    Requires *num_ranks* to be a perfect square; each rank broadcasts
+    its ``(n/√P)²`` block along its row and column ``√P - 1`` times in
+    panels, for ``≈ 2 n²/√P`` words total.
+    """
+    n = check_positive_int(n, "n")
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    p = math.isqrt(num_ranks)
+    if p * p != num_ranks:
+        raise ValueError(
+            f"SUMMA needs a square rank count, got {num_ranks}"
+        )
+    return 2.0 * n * n / p
+
+
+def c25d_words_per_rank(n: int, num_ranks: int, c: int = 1) -> float:
+    """Per-rank communication volume (words) of 2.5-D matmul.
+
+    Replication factor *c* trades memory for bandwidth:
+    ``≈ 2 n² / √(c P)`` words (Solomonik & Demmel 2011).  ``c = 1``
+    recovers SUMMA's asymptotics.
+    """
+    n = check_positive_int(n, "n")
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    c = check_positive_int(c, "c")
+    if c > round(num_ranks ** (1.0 / 3.0)) ** 2 + 1:
+        raise ValueError(
+            f"replication c={c} exceeds the 2.5-D limit ~P^(2/3) for "
+            f"P={num_ranks}"
+        )
+    return 2.0 * n * n / math.sqrt(c * num_ranks)
+
+
+def nbody_ring_words_per_rank(num_bodies: int, num_ranks: int) -> float:
+    """Per-rank total volume (words) of a ring-pass direct N-body step.
+
+    Each rank holds ``N/P`` bodies and forwards them around a ring for
+    ``P - 1`` steps: ``≈ N`` words per rank per force evaluation — the
+    Θ(1) computation-to-communication ratio that makes N-body the
+    paper's candidate for stronger bisection sensitivity.
+    """
+    num_bodies = check_positive_int(num_bodies, "num_bodies")
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    per = num_bodies / num_ranks
+    return per * max(num_ranks - 1, 1)
+
+
+def summa_rank_pairs(num_ranks: int) -> Iterator[tuple[int, int]]:
+    """Rank pairs of one SUMMA panel step (row + column broadcasts).
+
+    Rank ``(i, j)`` of the ``√P × √P`` grid (row-major ids) exchanges
+    with its whole row and column.  Yields each ordered pair once.
+    """
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    p = math.isqrt(num_ranks)
+    if p * p != num_ranks:
+        raise ValueError(
+            f"SUMMA needs a square rank count, got {num_ranks}"
+        )
+    for i in range(p):
+        for j in range(p):
+            r = i * p + j
+            for jj in range(p):
+                if jj != j:
+                    yield (r, i * p + jj)
+            for ii in range(p):
+                if ii != i:
+                    yield (r, ii * p + j)
+
+
+def ring_rank_pairs(num_ranks: int) -> Iterator[tuple[int, int]]:
+    """Rank pairs of one ring-pass step: each rank sends to its successor."""
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    if num_ranks < 2:
+        raise ValueError("a ring needs at least 2 ranks")
+    for r in range(num_ranks):
+        yield (r, (r + 1) % num_ranks)

@@ -1,0 +1,69 @@
+"""Distributed FFT communication model.
+
+The paper's future work singles out FFT as a kernel whose higher
+communication-to-computation ratio should make it *more* sensitive to
+partition bisection bandwidth than fast matrix multiplication.  The
+dominant communication of a distributed 1-D (or pencil-decomposed
+multi-dimensional) FFT is the global **transpose**: an all-to-all in
+which every rank sends ``local_elements / P`` to every other rank.
+
+This module provides the volume accounting; the transfer schedule comes
+from :func:`repro.netsim.collectives.pairwise_alltoall` and the
+experiment harness in :mod:`repro.experiments.futurekernels`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_positive_int
+from .costmodel import WORD_BYTES
+
+__all__ = [
+    "fft_flops",
+    "fft_transpose_words_per_rank",
+    "fft_transpose_block_words",
+    "fft_flops_per_word",
+]
+
+#: Complex double = 16 bytes per element.
+COMPLEX_BYTES = 2 * WORD_BYTES
+
+
+def fft_flops(n: int) -> float:
+    """Flops of an ``n``-point complex FFT: ``5 n log2 n`` (standard)."""
+    n = check_positive_int(n, "n")
+    return 5.0 * n * math.log2(max(n, 2))
+
+
+def fft_transpose_words_per_rank(n: int, num_ranks: int) -> float:
+    """Complex words each rank sends in one global transpose.
+
+    Each rank holds ``n / P`` elements and re-partitions them across all
+    ranks: ``n/P · (P−1)/P ≈ n/P`` words leave the rank.
+    """
+    n = check_positive_int(n, "n")
+    p = check_positive_int(num_ranks, "num_ranks")
+    local = n / p
+    return local * (p - 1) / p
+
+
+def fft_transpose_block_words(n: int, num_ranks: int) -> float:
+    """Complex words per rank pair in the transpose: ``n / P²``."""
+    n = check_positive_int(n, "n")
+    p = check_positive_int(num_ranks, "num_ranks")
+    return n / (p * p)
+
+
+def fft_flops_per_word(n: int, num_ranks: int) -> float:
+    """Computation-to-communication ratio of the distributed FFT.
+
+    ``O(log n)`` flops per transferred word — far below matmul's
+    ``O(n / sqrt(P))``, which is exactly why the paper expects the
+    bisection to dominate FFT wall-clock.
+    """
+    per_rank_flops = fft_flops(n) / num_ranks
+    words = fft_transpose_words_per_rank(n, num_ranks)
+    if words == 0:
+        return math.inf
+    return per_rank_flops / words

@@ -1,0 +1,41 @@
+"""Blue Gene/Q machine models and catalog (S4 in DESIGN.md)."""
+
+from .bgq import (
+    LINK_BANDWIDTH_GB_PER_S,
+    MIDPLANE_NODE_DIMS,
+    MIDPLANES_PER_RACK,
+    NODES_PER_MIDPLANE,
+    BlueGeneQMachine,
+    bgq_bisection_formula,
+    midplane_to_node_dims,
+    normalized_bisection_bandwidth,
+)
+from .catalog import (
+    JUQUEEN,
+    JUQUEEN_48,
+    JUQUEEN_54,
+    MACHINES,
+    MIRA,
+    MIRA_PREDEFINED_PARTITIONS,
+    SEQUOIA,
+    get_machine,
+)
+
+__all__ = [
+    "MIDPLANE_NODE_DIMS",
+    "NODES_PER_MIDPLANE",
+    "MIDPLANES_PER_RACK",
+    "LINK_BANDWIDTH_GB_PER_S",
+    "BlueGeneQMachine",
+    "midplane_to_node_dims",
+    "normalized_bisection_bandwidth",
+    "bgq_bisection_formula",
+    "MIRA",
+    "JUQUEEN",
+    "SEQUOIA",
+    "JUQUEEN_48",
+    "JUQUEEN_54",
+    "MACHINES",
+    "MIRA_PREDEFINED_PARTITIONS",
+    "get_machine",
+]

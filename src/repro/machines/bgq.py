@@ -1,0 +1,228 @@
+"""IBM Blue Gene/Q machine model.
+
+Blue Gene/Q systems (Chen et al. 2012) are 5-D tori where at least one
+dimension has length exactly 2.  The building block is the **midplane**:
+512 compute nodes arranged as a ``4 × 4 × 4 × 4 × 2`` torus; a rack holds
+two midplanes.  Machines and their partitions are cuboids of midplanes,
+so the paper represents everything as **4-D tori of midplanes**, always
+written in sorted (descending) order — the canonical representation that
+treats rotations of a geometry as one.
+
+Key facts encoded here (all from Section 2 of the paper):
+
+* node dimensions of a machine with midplane dimensions
+  ``(M_1, M_2, M_3, M_4)`` are ``(4·M_1, 4·M_2, 4·M_3, 4·M_4, 2)``;
+* the bisection bandwidth of a Blue Gene/Q network is ``2 · N / L · B``
+  (``N`` nodes, ``L`` longest dimension, ``B`` link capacity), which for
+  a partition of ``P`` midplanes with largest midplane dimension ``A_1``
+  gives the *normalized* (``B = 1``) bandwidth ``256 · P / A_1``;
+* partitions keep wrap-around links even when not covering a machine
+  dimension, so a partition is itself a torus;
+* one link moves 2 GB/s per direction.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .._validation import check_dims
+from ..topology.torus import Torus
+
+__all__ = [
+    "MIDPLANE_NODE_DIMS",
+    "NODES_PER_MIDPLANE",
+    "MIDPLANES_PER_RACK",
+    "LINK_BANDWIDTH_GB_PER_S",
+    "midplane_to_node_dims",
+    "normalized_bisection_bandwidth",
+    "bgq_bisection_formula",
+    "BlueGeneQMachine",
+]
+
+#: Node-level torus dimensions of a single midplane.
+MIDPLANE_NODE_DIMS: tuple[int, ...] = (4, 4, 4, 4, 2)
+
+#: Compute nodes in one midplane (product of MIDPLANE_NODE_DIMS).
+NODES_PER_MIDPLANE: int = 512
+
+#: Midplanes per physical rack.
+MIDPLANES_PER_RACK: int = 2
+
+#: Capacity of one bidirectional link, GB/s per direction (Chen et al.).
+LINK_BANDWIDTH_GB_PER_S: float = 2.0
+
+
+def midplane_to_node_dims(midplane_dims: Sequence[int]) -> tuple[int, ...]:
+    """Node-level 5-D torus dimensions of a midplane cuboid.
+
+    Each of the four midplane dimensions spans 4 nodes; the fifth (E)
+    dimension of length 2 is internal to every midplane.
+
+    Examples
+    --------
+    >>> midplane_to_node_dims((4, 4, 3, 2))      # Mira
+    (16, 16, 12, 8, 2)
+    """
+    dims = check_dims(midplane_dims, "midplane_dims")
+    if len(dims) != 4:
+        raise ValueError(
+            f"midplane geometries are 4-dimensional, got {len(dims)} "
+            "dimensions"
+        )
+    return tuple(4 * a for a in dims) + (2,)
+
+
+def bgq_bisection_formula(num_nodes: int, longest_dim: int) -> int:
+    """The Blue Gene/Q bisection bandwidth ``2 · N / L`` (normalized).
+
+    *longest_dim* is the longest node-level dimension; valid whenever it
+    is even and at least 4 (true for every whole-midplane cuboid).
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if longest_dim < 4 or longest_dim % 2 != 0:
+        raise ValueError(
+            "the 2N/L formula requires an even longest dimension >= 4, "
+            f"got {longest_dim}"
+        )
+    if num_nodes % longest_dim != 0:
+        raise ValueError(
+            f"num_nodes={num_nodes} is not a multiple of "
+            f"longest_dim={longest_dim}"
+        )
+    return 2 * num_nodes // longest_dim
+
+
+def normalized_bisection_bandwidth(midplane_dims: Sequence[int]) -> int:
+    """Normalized internal bisection bandwidth of a midplane cuboid.
+
+    Computed from the node-level torus via the perpendicular-cut rule
+    (equivalently ``256 · P / A_1`` with ``P`` midplanes and largest
+    midplane dimension ``A_1``); each link contributes 1 unit, matching
+    the numbers in the paper's tables and figures.
+
+    Examples
+    --------
+    >>> normalized_bisection_bandwidth((4, 1, 1, 1))
+    256
+    >>> normalized_bisection_bandwidth((2, 2, 1, 1))
+    512
+    """
+    node_dims = midplane_to_node_dims(midplane_dims)
+    return Torus(node_dims).bisection_width()
+
+
+class BlueGeneQMachine:
+    """A Blue Gene/Q system described by its midplane dimensions.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name (e.g. ``"Mira"``).
+    midplane_dims:
+        4-tuple of midplane counts per dimension; stored sorted
+        descending (the canonical representation).
+
+    Examples
+    --------
+    >>> mira = BlueGeneQMachine("Mira", (4, 4, 3, 2))
+    >>> mira.num_nodes
+    49152
+    >>> mira.node_dims
+    (16, 16, 12, 8, 2)
+    >>> mira.bisection_bandwidth()
+    6144
+    """
+
+    def __init__(self, name: str, midplane_dims: Sequence[int]):
+        if not name:
+            raise ValueError("machine name must be non-empty")
+        dims = check_dims(midplane_dims, "midplane_dims")
+        if len(dims) != 4:
+            raise ValueError(
+                "Blue Gene/Q machines are 4-D tori of midplanes, got "
+                f"{len(dims)} dimensions"
+            )
+        self._name = str(name)
+        self._dims = tuple(sorted(dims, reverse=True))
+
+    @property
+    def name(self) -> str:
+        """Machine name."""
+        return self._name
+
+    @property
+    def midplane_dims(self) -> tuple[int, int, int, int]:
+        """Midplane dimensions, sorted descending."""
+        return self._dims  # type: ignore[return-value]
+
+    @property
+    def num_midplanes(self) -> int:
+        """Total midplanes in the machine."""
+        return math.prod(self._dims)
+
+    @property
+    def num_racks(self) -> int:
+        """Physical racks (2 midplanes per rack)."""
+        return -(-self.num_midplanes // MIDPLANES_PER_RACK)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total compute nodes (512 per midplane)."""
+        return NODES_PER_MIDPLANE * self.num_midplanes
+
+    @property
+    def node_dims(self) -> tuple[int, ...]:
+        """Node-level 5-D torus dimensions."""
+        return midplane_to_node_dims(self._dims)
+
+    def network(self) -> Torus:
+        """The machine's full node-level torus network graph.
+
+        Note: for the large production machines this torus has tens of
+        thousands of vertices — fine for routing/bandwidth computations,
+        but not for brute-force isoperimetry.
+        """
+        return Torus(self.node_dims)
+
+    def midplane_network(self) -> Torus:
+        """The machine's 4-D torus of midplanes."""
+        return Torus(self._dims)
+
+    def bisection_bandwidth(self, link_bandwidth: float = 1.0) -> float:
+        """Bisection bandwidth of the whole machine.
+
+        With the default ``link_bandwidth=1`` this is the normalized
+        value used throughout the paper; pass
+        :data:`LINK_BANDWIDTH_GB_PER_S` for GB/s.
+        """
+        norm = normalized_bisection_bandwidth(self._dims)
+        if link_bandwidth == 1.0:
+            return norm
+        return norm * link_bandwidth
+
+    def fits(self, midplane_dims: Sequence[int]) -> bool:
+        """Whether a midplane cuboid with the given dimensions fits.
+
+        Sorted-componentwise comparison: each partition dimension must fit
+        inside a distinct machine dimension.
+        """
+        dims = check_dims(midplane_dims, "midplane_dims")
+        if len(dims) > 4:
+            return False
+        padded = tuple(sorted(dims, reverse=True)) + (1,) * (4 - len(dims))
+        return all(g <= m for g, m in zip(padded, self._dims))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BlueGeneQMachine)
+            and self._name == other._name
+            and self._dims == other._dims
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._dims))
+
+    def __repr__(self) -> str:
+        return f"BlueGeneQMachine({self._name!r}, {self._dims})"

@@ -1,0 +1,82 @@
+"""Catalog of the Blue Gene/Q machines analyzed in the paper.
+
+Real systems:
+
+* **Mira** (Argonne National Laboratory) — 49 152 nodes, network
+  ``16 × 16 × 12 × 8 × 2``, i.e. ``4 × 4 × 3 × 2`` midplanes.  Mira's
+  scheduler only allocates a *predefined list* of partition geometries
+  (:data:`MIRA_PREDEFINED_PARTITIONS`, Table 6 of the paper).
+* **JUQUEEN** (Jülich Supercomputing Centre) — 28 672 nodes, network
+  ``28 × 8 × 8 × 8 × 2``, i.e. ``7 × 2 × 2 × 2`` midplanes.  Any cuboid
+  of midplanes that fits is permissible; users may request a geometry or
+  just a size (in which case the scheduler picks — possibly badly).
+* **Sequoia** (Lawrence Livermore National Laboratory) — 98 304 nodes,
+  network ``16 × 16 × 16 × 12 × 2``, i.e. ``4 × 4 × 4 × 3`` midplanes;
+  scheduler appears to permit all geometries (like JUQUEEN).
+
+Hypothetical machines of the paper's machine-design section:
+
+* **JUQUEEN-48** — ``4 × 3 × 2 × 2`` (48 midplanes);
+* **JUQUEEN-54** — ``3 × 3 × 3 × 2`` (54 midplanes).
+
+Both are subgraphs of Mira's network, hence physically constructible, and
+despite having fewer midplanes than JUQUEEN they match or beat its
+partition bisection bandwidth at every common size (Table 5 / Figure 7).
+"""
+
+from __future__ import annotations
+
+from .bgq import BlueGeneQMachine
+
+__all__ = [
+    "MIRA",
+    "JUQUEEN",
+    "SEQUOIA",
+    "JUQUEEN_48",
+    "JUQUEEN_54",
+    "MACHINES",
+    "MIRA_PREDEFINED_PARTITIONS",
+    "get_machine",
+]
+
+MIRA = BlueGeneQMachine("Mira", (4, 4, 3, 2))
+JUQUEEN = BlueGeneQMachine("JUQUEEN", (7, 2, 2, 2))
+SEQUOIA = BlueGeneQMachine("Sequoia", (4, 4, 4, 3))
+JUQUEEN_48 = BlueGeneQMachine("JUQUEEN-48", (4, 3, 2, 2))
+JUQUEEN_54 = BlueGeneQMachine("JUQUEEN-54", (3, 3, 3, 2))
+
+#: All machines by lower-case name.
+MACHINES: dict[str, BlueGeneQMachine] = {
+    m.name.lower(): m
+    for m in (MIRA, JUQUEEN, SEQUOIA, JUQUEEN_48, JUQUEEN_54)
+}
+
+#: Mira's predefined partition list: midplane count -> current geometry
+#: (Table 6 of the paper, "Current Geometry" column).
+MIRA_PREDEFINED_PARTITIONS: dict[int, tuple[int, int, int, int]] = {
+    1: (1, 1, 1, 1),
+    2: (2, 1, 1, 1),
+    4: (4, 1, 1, 1),
+    8: (4, 2, 1, 1),
+    16: (4, 4, 1, 1),
+    24: (4, 3, 2, 1),
+    32: (4, 4, 2, 1),
+    48: (4, 4, 3, 1),
+    64: (4, 4, 2, 2),
+    96: (4, 4, 3, 2),
+}
+
+
+def get_machine(name: str) -> BlueGeneQMachine:
+    """Look up a machine by (case-insensitive) name.
+
+    Raises :class:`KeyError` with the list of known machines when the
+    name is unknown.
+    """
+    key = name.strip().lower()
+    if key not in MACHINES:
+        raise KeyError(
+            f"unknown machine {name!r}; known machines: "
+            f"{sorted(MACHINES)}"
+        )
+    return MACHINES[key]

@@ -1,0 +1,56 @@
+"""Flow-level network contention simulator (S6 in DESIGN.md).
+
+The experimental substrate replacing the Blue Gene/Q hardware:
+capacitated directed links (:mod:`~repro.netsim.network`), deterministic
+dimension-ordered torus routing (:mod:`~repro.netsim.routing`), max-min
+fair rate allocation (:mod:`~repro.netsim.fairness`), a fluid
+completion-time engine (:mod:`~repro.netsim.fluid`), traffic patterns
+(:mod:`~repro.netsim.traffic`), and rank-to-node embeddings
+(:mod:`~repro.netsim.embedding`).
+"""
+
+from .collectives import (
+    pairwise_alltoall,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    ring_pass,
+)
+from .embedding import RankEmbedding, block_embedding, node_enumeration
+from .fairness import max_min_fair_rates
+from .fluid import FlowResult, FluidSimulation, simulate_flows
+from .network import LinkNetwork
+from .routing import bfs_route, dimension_ordered_route, route
+from .schedule import RouteCache, TransferRound, simulate_rounds
+from .traffic import (
+    all_pairs_uniform,
+    bisection_pairing,
+    dimension_shift,
+    random_permutation,
+    tornado,
+)
+
+__all__ = [
+    "LinkNetwork",
+    "dimension_ordered_route",
+    "bfs_route",
+    "route",
+    "max_min_fair_rates",
+    "FluidSimulation",
+    "FlowResult",
+    "simulate_flows",
+    "bisection_pairing",
+    "dimension_shift",
+    "random_permutation",
+    "all_pairs_uniform",
+    "tornado",
+    "RankEmbedding",
+    "block_embedding",
+    "node_enumeration",
+    "RouteCache",
+    "TransferRound",
+    "simulate_rounds",
+    "ring_allgather",
+    "recursive_doubling_allreduce",
+    "pairwise_alltoall",
+    "ring_pass",
+]

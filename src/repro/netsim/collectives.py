@@ -1,0 +1,122 @@
+"""MPI-style collective operations as transfer-round schedules.
+
+The paper's future work argues that common kernels (FFT, classical
+matmul, N-body) stress the network through their collectives, making
+them *more* bisection-sensitive than fast matmul.  This module builds
+the classical collective algorithms as :class:`TransferRound` sequences
+over a partition's nodes (one rank per node), ready for
+:func:`repro.netsim.schedule.simulate_rounds`:
+
+* :func:`ring_allgather` — P−1 shift rounds, each moving every rank's
+  block one step around the (rank-order) ring;
+* :func:`recursive_doubling_allreduce` — log₂P rounds of pairwise
+  exchanges at doubling strides, volume constant per round;
+* :func:`pairwise_alltoall` — P−1 rounds; in round j every rank sends
+  its j-th block to the rank j positions away (the classical pairwise
+  exchange algorithm, and the communication core of a distributed FFT
+  transpose);
+* :func:`ring_pass` — the N-body ring pipeline (same pattern as
+  allgather but with the full body block each round).
+
+All functions take node counts and per-block volumes and return plain
+round lists; mapping rank order to node indices is the caller's choice
+(identity = the launcher's walk order).
+"""
+
+from __future__ import annotations
+
+from .._validation import check_positive_float, check_positive_int
+from .schedule import TransferRound
+
+__all__ = [
+    "ring_allgather",
+    "recursive_doubling_allreduce",
+    "pairwise_alltoall",
+    "ring_pass",
+]
+
+
+def ring_allgather(num_nodes: int, block_volume: float) -> list[TransferRound]:
+    """Ring allgather: P−1 rounds, each node forwards one block.
+
+    After round ``j`` every node holds ``j+1`` blocks; each round moves
+    exactly one *block_volume* from node ``i`` to node ``i+1``.
+    """
+    p = check_positive_int(num_nodes, "num_nodes")
+    check_positive_float(block_volume, "block_volume")
+    if p < 2:
+        return []
+    nodes = tuple(range(p))
+    succ = tuple((i + 1) % p for i in range(p))
+    return [
+        TransferRound(nodes, succ, block_volume,
+                      label=f"allgather round {j}")
+        for j in range(p - 1)
+    ]
+
+
+def recursive_doubling_allreduce(
+    num_nodes: int, volume: float
+) -> list[TransferRound]:
+    """Recursive-doubling allreduce: log₂P pairwise-exchange rounds.
+
+    Requires a power-of-two node count.  Every round, node ``i``
+    exchanges the full *volume* with ``i XOR 2^j`` (both directions are
+    generated — the exchange is symmetric).
+    """
+    p = check_positive_int(num_nodes, "num_nodes")
+    check_positive_float(volume, "volume")
+    if p & (p - 1):
+        raise ValueError(
+            f"recursive doubling needs a power-of-two node count, got {p}"
+        )
+    rounds: list[TransferRound] = []
+    j = 1
+    level = 0
+    while j < p:
+        srcs = tuple(range(p))
+        dsts = tuple(i ^ j for i in range(p))
+        rounds.append(
+            TransferRound(srcs, dsts, volume,
+                          label=f"allreduce level {level}")
+        )
+        j <<= 1
+        level += 1
+    return rounds
+
+
+def pairwise_alltoall(
+    num_nodes: int, block_volume: float
+) -> list[TransferRound]:
+    """Pairwise-exchange all-to-all: P−1 shift-permutation rounds.
+
+    Round ``j`` sends each node's ``j``-th block to the node ``j``
+    positions ahead (cyclically).  Total per-node volume:
+    ``(P−1) · block_volume`` — the transpose step of a distributed FFT
+    with ``block_volume = local_data / P``.
+    """
+    p = check_positive_int(num_nodes, "num_nodes")
+    check_positive_float(block_volume, "block_volume")
+    rounds: list[TransferRound] = []
+    nodes = tuple(range(p))
+    for j in range(1, p):
+        dsts = tuple((i + j) % p for i in range(p))
+        rounds.append(
+            TransferRound(nodes, dsts, block_volume,
+                          label=f"alltoall shift {j}")
+        )
+    return rounds
+
+
+def ring_pass(num_nodes: int, block_volume: float) -> list[TransferRound]:
+    """N-body ring pipeline: P−1 rounds forwarding the visiting block.
+
+    Identical round structure to :func:`ring_allgather`; kept separate
+    because the N-body volume per round is the full local body block,
+    whereas allgather semantics accumulate received data.
+    """
+    return [
+        TransferRound(r.sources, r.destinations, block_volume,
+                      label=f"ring pass {j}")
+        for j, r in enumerate(ring_allgather(num_nodes, block_volume))
+    ]

@@ -1,0 +1,191 @@
+"""Rank-to-node embeddings.
+
+The matrix-multiplication experiments run ``R`` MPI ranks on ``N``
+compute nodes with up to ``c`` active cores per node (Table 3 of the
+paper: e.g. 31 213 ranks on 2 048 nodes with 16 cores each).  An
+*embedding* maps rank ids to node coordinates; communication between
+ranks on the same node is free (shared memory), and inter-node traffic
+aggregates over the rank pairs mapped to each node pair.
+
+The default is the **block (contiguous) embedding** used by Blue Gene/Q
+job launchers in ABCDET order: ranks fill node 0's cores, then node 1's,
+with nodes enumerated lexicographically by torus coordinates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..topology.torus import Torus
+
+__all__ = ["RankEmbedding", "block_embedding", "node_enumeration"]
+
+
+class RankEmbedding:
+    """A mapping from rank ids to torus node coordinates.
+
+    Parameters
+    ----------
+    torus:
+        The partition's node-level torus.
+    node_of_rank:
+        For each rank, the index of its node in ``list(torus.vertices())``
+        order.
+
+    Notes
+    -----
+    The class stores node *indices* internally; :meth:`node_of` returns
+    coordinates.  Aggregation helpers work on indices for speed.
+    """
+
+    def __init__(self, torus: Torus, node_of_rank: Sequence[int]):
+        self._torus = torus
+        arr = np.asarray(list(node_of_rank), dtype=np.int64)
+        n = torus.num_vertices
+        if len(arr) == 0:
+            raise ValueError("embedding must place at least one rank")
+        if arr.min() < 0 or arr.max() >= n:
+            raise ValueError(
+                f"node indices must be in [0, {n - 1}]"
+            )
+        self._node_of_rank = arr
+        self._verts = list(torus.vertices())
+
+    @property
+    def torus(self) -> Torus:
+        """The partition's node-level torus."""
+        return self._torus
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of MPI ranks."""
+        return len(self._node_of_rank)
+
+    @property
+    def node_indices(self) -> np.ndarray:
+        """Per-rank node indices as a read-only array (vectorized access)."""
+        view = self._node_of_rank.view()
+        view.flags.writeable = False
+        return view
+
+    def node_index_of(self, rank: int) -> int:
+        """Dense node index hosting *rank*."""
+        return int(self._node_of_rank[rank])
+
+    def node_of(self, rank: int) -> tuple[int, ...]:
+        """Torus coordinates of the node hosting *rank*."""
+        return self._verts[self.node_index_of(rank)]
+
+    def ranks_per_node(self) -> np.ndarray:
+        """Histogram: number of ranks on each node index."""
+        return np.bincount(
+            self._node_of_rank, minlength=self._torus.num_vertices
+        )
+
+    def max_ranks_per_node(self) -> int:
+        """Maximum rank count on any node (must not exceed cores)."""
+        return int(self.ranks_per_node().max())
+
+    def aggregate_traffic(
+        self,
+        rank_pairs: Sequence[tuple[int, int]],
+        volumes: Sequence[float] | None = None,
+    ) -> dict[tuple[int, int], float]:
+        """Aggregate rank-to-rank traffic into node-to-node volumes.
+
+        Pairs whose endpoints share a node are dropped (intra-node
+        communication uses shared memory, not network links).  Returns a
+        mapping ``(src_node_index, dst_node_index) -> total volume``.
+        """
+        out: dict[tuple[int, int], float] = {}
+        if volumes is None:
+            vols: Sequence[float] = [1.0] * len(rank_pairs)
+        else:
+            vols = volumes
+            if len(vols) != len(rank_pairs):
+                raise ValueError(
+                    f"{len(vols)} volumes for {len(rank_pairs)} pairs"
+                )
+        nor = self._node_of_rank
+        for (r1, r2), v in zip(rank_pairs, vols):
+            n1 = int(nor[r1])
+            n2 = int(nor[r2])
+            if n1 == n2:
+                continue
+            key = (n1, n2)
+            out[key] = out.get(key, 0.0) + float(v)
+        return out
+
+    def node_coords(self, node_index: int) -> tuple[int, ...]:
+        """Coordinates of a dense node index."""
+        return self._verts[node_index]
+
+
+def node_enumeration(torus: Torus, node_order: str = "abcdet") -> np.ndarray:
+    """Dense node indices in the requested walk order.
+
+    ``"abcdet"`` (the Blue Gene/Q launcher default) walks nodes in
+    lexicographic coordinate order — the last (shortest) dimension varies
+    fastest, so consecutive nodes are E/D-neighbors.  ``"tedcba"`` is the
+    reversed significance — the first (longest) dimension varies fastest,
+    so consecutive nodes stride along the long axis.  Returns an array
+    ``order`` such that ``order[i]`` is the lexicographic index of the
+    ``i``-th node in the walk.
+    """
+    if node_order not in ("abcdet", "tedcba"):
+        raise ValueError(
+            f"node_order must be 'abcdet' or 'tedcba', got {node_order!r}"
+        )
+    n = torus.num_vertices
+    if node_order == "abcdet":
+        return np.arange(n, dtype=np.int64)
+    verts = list(torus.vertices())
+    perm = sorted(range(n), key=lambda i: tuple(reversed(verts[i])))
+    return np.asarray(perm, dtype=np.int64)
+
+
+def block_embedding(
+    torus: Torus,
+    num_ranks: int,
+    max_ranks_per_node: int | None = None,
+    node_order: str = "abcdet",
+) -> RankEmbedding:
+    """Contiguous block embedding of *num_ranks* ranks onto the torus.
+
+    Ranks are distributed as evenly as possible over nodes walked in
+    *node_order* (see :func:`node_enumeration`): each node receives
+    either ``floor(R/N)`` or ``ceil(R/N)`` consecutive ranks (the first
+    ``R mod N`` nodes get the extra one) — mirroring how the paper's
+    runs spread ranks when the count does not divide the node count
+    ("tried to minimize the imbalance").
+
+    Raises :class:`ValueError` if the per-node count would exceed
+    *max_ranks_per_node* (the partition's active-core limit).
+    """
+    num_ranks = check_positive_int(num_ranks, "num_ranks")
+    n = torus.num_vertices
+    base = num_ranks // n
+    extra = num_ranks % n
+    per_node = base + (1 if extra else 0)
+    if per_node == 0:
+        per_node = 1
+    if max_ranks_per_node is not None:
+        check_positive_int(max_ranks_per_node, "max_ranks_per_node")
+        if per_node > max_ranks_per_node:
+            raise ValueError(
+                f"{num_ranks} ranks on {n} nodes needs {per_node} "
+                f"ranks/node, exceeding the limit of {max_ranks_per_node}"
+            )
+    walk = node_enumeration(torus, node_order)
+    node_of_rank = np.empty(num_ranks, dtype=np.int64)
+    rank = 0
+    for pos in range(n):
+        count = base + (1 if pos < extra else 0)
+        node_of_rank[rank : rank + count] = walk[pos]
+        rank += count
+        if rank >= num_ranks:
+            break
+    return RankEmbedding(torus, node_of_rank)

@@ -1,0 +1,134 @@
+"""Deterministic routing over the simulated networks.
+
+Blue Gene/Q uses (by default) deterministic dimension-ordered routing on
+its torus: a packet corrects one coordinate at a time, in a fixed
+dimension order, taking the shorter way around each ring.  This module
+implements that scheme plus a generic BFS shortest-path router for
+non-torus topologies.
+
+Tie-breaking matters: on a ring of even length ``a``, the antipodal
+distance ``a/2`` is reached equally fast both ways.  Routing *all* tied
+traffic the same way would leave half of each ring's links idle, which
+real adaptive/balanced torus routing does not do.  The default
+``tie="parity"`` sends ties in the + direction from even source
+coordinates and the − direction from odd ones, using both directions
+evenly (deterministically); ``tie="positive"`` always goes up, which
+models a strictly deterministic router.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..topology.base import Topology, Vertex
+from ..topology.torus import Torus
+
+__all__ = ["dimension_ordered_route", "bfs_route", "route"]
+
+_TIES = ("parity", "positive")
+
+
+def dimension_ordered_route(
+    torus: Torus,
+    src: Sequence[int],
+    dst: Sequence[int],
+    dim_order: Sequence[int] | None = None,
+    tie: str = "parity",
+) -> list[tuple[int, ...]]:
+    """Dimension-ordered route on a torus, as a vertex list.
+
+    Parameters
+    ----------
+    torus:
+        The torus network.
+    src, dst:
+        Endpoint coordinate tuples.
+    dim_order:
+        Order in which dimensions are corrected; defaults to
+        ``0, 1, ..., D-1``.
+    tie:
+        Direction for exact-half distances: ``"parity"`` (default,
+        alternates by source coordinate parity) or ``"positive"``.
+
+    Returns
+    -------
+    list of vertices from *src* to *dst* inclusive.
+    """
+    if tie not in _TIES:
+        raise ValueError(f"tie must be one of {_TIES}, got {tie!r}")
+    s = tuple(src)
+    d = tuple(dst)
+    if not torus.contains(s):
+        raise ValueError(f"{s!r} is not a vertex of {torus.name}")
+    if not torus.contains(d):
+        raise ValueError(f"{d!r} is not a vertex of {torus.name}")
+    dims = torus.dims
+    if dim_order is None:
+        order: Sequence[int] = range(len(dims))
+    else:
+        order = dim_order
+        if sorted(order) != list(range(len(dims))):
+            raise ValueError(
+                f"dim_order must be a permutation of 0..{len(dims)-1}, "
+                f"got {tuple(dim_order)}"
+            )
+    path = [s]
+    cur = list(s)
+    for k in order:
+        a = dims[k]
+        if a == 1 or cur[k] == d[k]:
+            continue
+        up = (d[k] - cur[k]) % a
+        down = (cur[k] - d[k]) % a
+        if up < down:
+            step = 1
+        elif down < up:
+            step = -1
+        else:  # exact half: tie-break
+            if tie == "positive":
+                step = 1
+            else:
+                step = 1 if cur[k] % 2 == 0 else -1
+        while cur[k] != d[k]:
+            cur[k] = (cur[k] + step) % a
+            path.append(tuple(cur))
+    return path
+
+
+def bfs_route(topo: Topology, src: Vertex, dst: Vertex) -> list[Vertex]:
+    """Deterministic BFS shortest path for arbitrary topologies.
+
+    Neighbor iteration order breaks ties, so repeated calls give the same
+    path.  Raises :class:`ValueError` when *dst* is unreachable.
+    """
+    if src == dst:
+        return [src]
+    prev: dict[Vertex, Vertex] = {src: src}
+    frontier = [src]
+    while frontier:
+        nxt: list[Vertex] = []
+        for u in frontier:
+            for v, _ in topo.neighbors(u):
+                if v not in prev:
+                    prev[v] = u
+                    if v == dst:
+                        out = [dst]
+                        while out[-1] != src:
+                            out.append(prev[out[-1]])
+                        out.reverse()
+                        return out
+                    nxt.append(v)
+        frontier = nxt
+    raise ValueError(f"{dst!r} is unreachable from {src!r} in {topo.name}")
+
+
+def route(
+    topo: Topology, src: Vertex, dst: Vertex, tie: str = "parity"
+) -> list[Vertex]:
+    """Route using the topology's natural scheme.
+
+    Dimension-ordered on tori, BFS shortest path elsewhere.
+    """
+    if isinstance(topo, Torus):
+        return dimension_ordered_route(topo, src, dst, tie=tie)  # type: ignore[arg-type]
+    return bfs_route(topo, src, dst)

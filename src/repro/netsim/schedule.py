@@ -1,0 +1,139 @@
+"""Round-based communication schedules over a simulated network.
+
+Many parallel communication patterns — collectives, the CAPS BFS
+exchanges, FFT transposes — execute as a sequence of globally
+synchronized *rounds*, each round a set of point-to-point transfers.
+This module provides the common machinery:
+
+* :class:`RouteCache` — memoized dimension-ordered routing from dense
+  node indices to link-id arrays;
+* :class:`TransferRound` — one round: parallel ``(src, dst, volume)``
+  transfers between node indices;
+* :func:`simulate_rounds` — total time under the static bottleneck
+  model (each round completes when its most loaded link drains), the
+  same model the experiment harnesses use.
+
+Volumes are in the same units as link capacity × time (the experiments
+use GB and GB/s).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.torus import Torus
+from .network import LinkNetwork
+from .routing import dimension_ordered_route
+
+__all__ = ["RouteCache", "TransferRound", "simulate_rounds"]
+
+
+class RouteCache:
+    """Memoized routing between dense node indices of a torus network."""
+
+    def __init__(self, network: LinkNetwork, torus: Torus, tie: str = "parity"):
+        if network.topology is not torus and network.topology != torus:
+            raise ValueError(
+                "network was built over a different topology than the "
+                "provided torus"
+            )
+        self._net = network
+        self._torus = torus
+        self._verts = list(torus.vertices())
+        self._tie = tie
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def network(self) -> LinkNetwork:
+        return self._net
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._verts)
+
+    def links(self, src: int, dst: int) -> np.ndarray:
+        """Directed link ids of the route from node index *src* to *dst*."""
+        key = (src, dst)
+        path = self._cache.get(key)
+        if path is None:
+            path = self._net.path_to_links(
+                dimension_ordered_route(
+                    self._torus, self._verts[src], self._verts[dst],
+                    tie=self._tie,
+                )
+            )
+            self._cache[key] = path
+        return path
+
+
+@dataclass(frozen=True)
+class TransferRound:
+    """One synchronized round of point-to-point transfers.
+
+    Attributes
+    ----------
+    sources, destinations:
+        Dense node indices, same length.
+    volumes:
+        Per-transfer volume; a scalar applies to every transfer.
+    label:
+        Optional description (shown by reporting helpers).
+    """
+
+    sources: tuple[int, ...]
+    destinations: tuple[int, ...]
+    volumes: tuple[float, ...] | float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != len(self.destinations):
+            raise ValueError(
+                f"{len(self.sources)} sources but "
+                f"{len(self.destinations)} destinations"
+            )
+        if not isinstance(self.volumes, (int, float)):
+            if len(self.volumes) != len(self.sources):
+                raise ValueError(
+                    f"{len(self.volumes)} volumes for "
+                    f"{len(self.sources)} transfers"
+                )
+
+    def volume_of(self, i: int) -> float:
+        if isinstance(self.volumes, (int, float)):
+            return float(self.volumes)
+        return float(self.volumes[i])
+
+    @property
+    def total_volume(self) -> float:
+        if isinstance(self.volumes, (int, float)):
+            return float(self.volumes) * len(self.sources)
+        return float(sum(self.volumes))
+
+
+def simulate_rounds(
+    cache: RouteCache, rounds: Iterable[TransferRound]
+) -> tuple[float, list[float]]:
+    """Bottleneck-model time of a round sequence: ``(total, per-round)``.
+
+    Each round's time is its most loaded link's volume divided by that
+    link's capacity; rounds are globally synchronized so times add.
+    Intra-node transfers (src == dst) are free.
+    """
+    net = cache.network
+    per_round: list[float] = []
+    for rnd in rounds:
+        load = np.zeros(net.num_links, dtype=float)
+        for i, (s, d) in enumerate(zip(rnd.sources, rnd.destinations)):
+            if s == d:
+                continue
+            path = cache.links(s, d)
+            if len(path):
+                load[path] += rnd.volume_of(i)
+        if load.any():
+            per_round.append(float((load / net.capacities).max()))
+        else:
+            per_round.append(0.0)
+    return sum(per_round), per_round

@@ -1,0 +1,120 @@
+"""Traffic-pattern generators.
+
+Produces the communication patterns of the paper's experiments as lists
+of ``(source, destination)`` vertex pairs (optionally with volumes):
+
+* :func:`bisection_pairing` — the furthest-node scheme of Chen et al.
+  used in Experiment A: every node exchanges with the node at maximal
+  hop distance (coordinate offset ``a_k / 2`` in every dimension);
+* :func:`dimension_shift` — nearest-neighbor shifts (halo exchanges);
+* :func:`random_permutation` — seeded random permutation traffic;
+* :func:`all_pairs_uniform` — uniform all-to-all (for small networks);
+* :func:`tornado` — the classical adversarial tornado pattern
+  (``a_k / 2 - 1`` offset along one dimension).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .._validation import check_nonnegative_int
+from ..topology.torus import Torus
+
+__all__ = [
+    "bisection_pairing",
+    "dimension_shift",
+    "random_permutation",
+    "all_pairs_uniform",
+    "tornado",
+]
+
+Pair = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def bisection_pairing(torus: Torus) -> list[Pair]:
+    """Furthest-node pairing: each node sends to its antipode.
+
+    Every vertex appears exactly once as a source; when all dimensions
+    are even the antipode map is an involution and the pattern is the
+    union of ``N/2`` bidirectional exchanges, exactly as in the paper's
+    bisection pairing benchmark.
+    """
+    return [(v, torus.antipode(v)) for v in torus.vertices()]
+
+
+def dimension_shift(torus: Torus, dim: int, offset: int = 1) -> list[Pair]:
+    """Shift-by-*offset* along dimension *dim* (halo-exchange style)."""
+    if not 0 <= dim < torus.ndim:
+        raise ValueError(
+            f"dim must be in [0, {torus.ndim - 1}], got {dim}"
+        )
+    a = torus.dims[dim]
+    off = offset % a
+    if off == 0:
+        raise ValueError(
+            f"offset {offset} is a multiple of dimension length {a}; "
+            "every node would send to itself"
+        )
+    out: list[Pair] = []
+    for v in torus.vertices():
+        dst = v[:dim] + ((v[dim] + off) % a,) + v[dim + 1 :]
+        out.append((v, dst))
+    return out
+
+
+def random_permutation(torus: Torus, seed: int = 0) -> list[Pair]:
+    """A seeded random permutation with no fixed points (derangement-ish).
+
+    Fixed points are removed by swapping with a neighbor in the
+    permutation order, so every node sends to some *other* node; the
+    result is deterministic for a given seed.
+    """
+    check_nonnegative_int(seed, "seed")
+    verts = list(torus.vertices())
+    n = len(verts)
+    if n < 2:
+        raise ValueError("random_permutation requires at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    # Remove fixed points deterministically.
+    for i in range(n):
+        if perm[i] == i:
+            j = (i + 1) % n
+            perm[i], perm[j] = perm[j], perm[i]
+    return [(verts[i], verts[int(perm[i])]) for i in range(n)]
+
+
+def all_pairs_uniform(torus: Torus) -> Iterator[Pair]:
+    """All ordered pairs of distinct vertices (uniform all-to-all).
+
+    A generator — the pattern has ``N (N-1)`` pairs, so materialize it
+    only for small networks.
+    """
+    for u in torus.vertices():
+        for v in torus.vertices():
+            if u != v:
+                yield (u, v)
+
+
+def tornado(torus: Torus, dim: int = 0) -> list[Pair]:
+    """Tornado pattern: offset ``a/2 - 1`` along one dimension.
+
+    The classical adversarial pattern for minimal-path routing on rings:
+    traffic travels almost half way around, loading one direction.
+    Requires the dimension length to be at least 3.
+    """
+    if not 0 <= dim < torus.ndim:
+        raise ValueError(
+            f"dim must be in [0, {torus.ndim - 1}], got {dim}"
+        )
+    a = torus.dims[dim]
+    if a < 3:
+        raise ValueError(
+            f"tornado needs dimension length >= 3, got {a}"
+        )
+    off = a // 2 - 1
+    if off == 0:
+        off = 1
+    return dimension_shift(torus, dim, off)

@@ -1,0 +1,39 @@
+"""simmpi — a virtual-time MPI-style simulator over the contention model.
+
+Write rank programs as Python generators yielding operations; execute
+them with :class:`VirtualMpi` over any torus partition.  The engine
+advances a global virtual clock, sharing link bandwidth max-min fairly
+among concurrent transfers — the same contention model as
+:mod:`repro.netsim`, now programmable.
+
+>>> from repro.simmpi import VirtualMpi, Send, Recv, Compute
+>>> from repro.topology import Torus
+>>> def program(rank, size):
+...     if rank == 0:
+...         yield Send(dst=1, gb=4.0)
+...     elif rank == 1:
+...         yield Recv(src=0)
+>>> world = VirtualMpi(Torus((4,)), link_bandwidth=2.0)
+>>> world.run(program).time
+2.0
+"""
+
+from .collectives import allgather_ring, alltoall_pairwise, broadcast_ring
+from .engine import DeadlockError, RankStats, RunResult, VirtualMpi
+from .ops import Barrier, Compute, Isend, Recv, Send, SendRecv
+
+__all__ = [
+    "VirtualMpi",
+    "RunResult",
+    "RankStats",
+    "DeadlockError",
+    "Compute",
+    "Send",
+    "Isend",
+    "Recv",
+    "SendRecv",
+    "Barrier",
+    "allgather_ring",
+    "alltoall_pairwise",
+    "broadcast_ring",
+]

@@ -1,0 +1,108 @@
+"""Reusable collective sub-programs for simmpi rank programs.
+
+Each helper is a generator meant to be composed into a rank program with
+``yield from``; its return value (via ``StopIteration``) is the
+collective's result:
+
+>>> def program(rank, size):
+...     blocks = yield from allgather_ring(rank, size, my_block, gb)
+
+The algorithms mirror :mod:`repro.netsim.collectives` but move *real
+payloads* between ranks, so programs can both compute with the gathered
+data and be charged the correct virtual network time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from .._validation import check_nonnegative_int, check_positive_int
+from .ops import Isend, Recv, SendRecv
+
+__all__ = ["allgather_ring", "alltoall_pairwise", "broadcast_ring"]
+
+
+def allgather_ring(
+    rank: int, size: int, block: object, gb_per_block: float
+) -> Generator:
+    """Ring allgather: returns the list of every rank's block, in rank
+    order.  ``size - 1`` rounds; round ``j`` forwards the block received
+    in round ``j - 1`` to the successor.
+    """
+    check_nonnegative_int(rank, "rank")
+    check_positive_int(size, "size")
+    blocks: list[object] = [None] * size
+    blocks[rank] = block
+    if size == 1:
+        return blocks
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+    carried = block
+    carried_idx = rank
+    for _ in range(size - 1):
+        # Eager-send the carried block forward, then wait for the
+        # predecessor's — a ring pipeline needs distinct send/recv
+        # partners, so rendezvous Send would deadlock here.
+        yield Isend(dst=succ, gb=gb_per_block,
+                    payload=(carried_idx, carried), tag=1)
+        got_idx, got = yield Recv(src=pred, tag=1)
+        blocks[got_idx] = got
+        carried, carried_idx = got, got_idx
+    return blocks
+
+
+def alltoall_pairwise(
+    rank: int, size: int, outgoing: list[object], gb_per_block: float
+) -> Generator:
+    """Pairwise-exchange all-to-all: ``outgoing[j]`` goes to rank ``j``;
+    returns the list of blocks received (own block passes through).
+
+    ``size - 1`` rounds; in round ``j`` every rank exchanges with the
+    rank ``j`` ahead/behind cyclically (the shift schedule of
+    :func:`repro.netsim.collectives.pairwise_alltoall`).
+    """
+    check_nonnegative_int(rank, "rank")
+    check_positive_int(size, "size")
+    if len(outgoing) != size:
+        raise ValueError(
+            f"outgoing has {len(outgoing)} blocks for {size} ranks"
+        )
+    received: list[object] = [None] * size
+    received[rank] = outgoing[rank]
+    for j in range(1, size):
+        to = (rank + j) % size
+        frm = (rank - j) % size
+        if to == frm:
+            # Even size, antipodal round: a symmetric exchange.
+            got = yield SendRecv(peer=to, gb=gb_per_block,
+                                 payload=outgoing[to], tag=2)
+            received[frm] = got
+            continue
+        yield Isend(dst=to, gb=gb_per_block, payload=outgoing[to], tag=2)
+        received[frm] = (yield Recv(src=frm, tag=2))
+    return received
+
+
+def broadcast_ring(
+    rank: int, size: int, block: object, gb: float, root: int = 0
+) -> Generator:
+    """Ring broadcast from *root*: returns the root's block on every rank.
+
+    A pipeline around the ring — ``size - 1`` sequential hops (simple,
+    bandwidth-optimal for large messages up to the pipeline latency).
+    """
+    check_nonnegative_int(rank, "rank")
+    check_positive_int(size, "size")
+    check_nonnegative_int(root, "root")
+    if size == 1:
+        return block
+    pos = (rank - root) % size
+    succ = (rank + 1) % size
+    pred = (rank - 1) % size
+    if pos == 0:
+        yield Isend(dst=succ, gb=gb, payload=block, tag=3)
+        return block
+    data = yield Recv(src=pred, tag=3)
+    if pos != size - 1:
+        yield Isend(dst=succ, gb=gb, payload=data, tag=3)
+    return data

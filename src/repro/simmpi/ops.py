@@ -1,0 +1,123 @@
+"""Operation types for the virtual-time MPI simulator.
+
+Rank programs are Python generators that ``yield`` operation objects;
+the engine (:mod:`repro.simmpi.engine`) interprets them, advances
+virtual time, and resumes the generator when the operation completes.
+Supported operations:
+
+* :class:`Compute` — spend local computation time;
+* :class:`Send` / :class:`Recv` — blocking rendezvous point-to-point
+  (the transfer starts when both sides have posted, and both resume when
+  the last byte arrives — the behaviour of large-message MPI); sends may
+  carry a Python *payload* that the matching receive's ``yield``
+  expression evaluates to, so programs can move real data;
+* :class:`Isend` — eager (buffered) send: the sender continues at once,
+  only the receiver waits for the wire time;
+* :class:`SendRecv` — simultaneous exchange (full-duplex links make the
+  two directions independent);
+* :class:`Barrier` — global synchronization.
+
+All volumes are in GB (matching the link-capacity units of
+:mod:`repro.netsim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_nonnegative_int, check_positive_float
+
+__all__ = ["Compute", "Send", "Isend", "Recv", "SendRecv", "Barrier"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Spend *seconds* of local computation time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(
+                f"compute time must be non-negative, got {self.seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking send of *gb* gigabytes to rank *dst* with a *tag*.
+
+    *payload* is an optional Python object delivered to the matching
+    :class:`Recv` when the transfer completes — rank programs can move
+    real data (e.g. NumPy blocks) while the engine charges virtual time
+    for *gb*.  The payload is passed by reference; treat it as
+    immutable after sending.
+    """
+
+    dst: int
+    gb: float
+    tag: int = 0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.dst, "dst")
+        check_positive_float(self.gb, "gb")
+        check_nonnegative_int(self.tag, "tag")
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Eager (buffered, non-blocking) send: the rank continues
+    immediately; the transfer occupies the network once the receiver
+    posts, and only the receiver waits for its completion.  Models
+    MPI's buffered/eager path and is what makes ring pipelines
+    expressible under rendezvous semantics.
+    """
+
+    dst: int
+    gb: float
+    tag: int = 0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.dst, "dst")
+        check_positive_float(self.gb, "gb")
+        check_nonnegative_int(self.tag, "tag")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive from rank *src* with a matching *tag*."""
+
+    src: int
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.src, "src")
+        check_nonnegative_int(self.tag, "tag")
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    """Simultaneously send *gb* to *peer* and receive from *peer*.
+
+    Equivalent to posting a :class:`Send` and a :class:`Recv` to the
+    same peer at once; completes when both directions finish.  The
+    yielding rank resumes with the peer's *payload* as the value of the
+    ``yield`` expression.
+    """
+
+    peer: int
+    gb: float
+    tag: int = 0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.peer, "peer")
+        check_positive_float(self.gb, "gb")
+        check_nonnegative_int(self.tag, "tag")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Block until every rank has reached a barrier."""

@@ -1,0 +1,36 @@
+"""Network topology graphs (S1 in DESIGN.md).
+
+Provides the graph substrate for the whole package: tori (Blue Gene/Q),
+meshes, hypercubes, Cartesian products of cliques (HyperX), Dragonfly
+networks with the three global-link arrangements of Hastings et al., and a
+three-tier fat-tree.  All classes implement the small
+:class:`~repro.topology.base.Topology` interface (vertex iteration,
+weighted neighbors, cut evaluation, NetworkX export).
+"""
+
+from .base import Topology, Vertex, cut_edges, is_connected_subset
+from .clique_product import CliqueProduct
+from .dragonfly import ARRANGEMENTS, Dragonfly
+from .fattree import FatTree
+from .hypercube import Hypercube
+from .mesh import Mesh
+from .slimfly import SlimFly, mms_parameters
+from .torus import Torus, degenerate_free_dims, torus_num_edges
+
+__all__ = [
+    "Topology",
+    "Vertex",
+    "cut_edges",
+    "is_connected_subset",
+    "Torus",
+    "Mesh",
+    "Hypercube",
+    "CliqueProduct",
+    "Dragonfly",
+    "ARRANGEMENTS",
+    "FatTree",
+    "SlimFly",
+    "mms_parameters",
+    "torus_num_edges",
+    "degenerate_free_dims",
+]

@@ -1,0 +1,253 @@
+"""Abstract topology interface shared by all network graphs in :mod:`repro`.
+
+A :class:`Topology` is an undirected, possibly edge-weighted graph whose
+vertices are hashable labels (tuples of coordinates for product topologies,
+ints for others).  The interface is deliberately small — vertex iteration,
+weighted neighbor iteration, and degree — and everything else (edge lists,
+cut evaluation, NetworkX export, regularity checks) is derived generically.
+
+Edge weights model *link capacities*: an edge of weight ``w`` contributes
+``w`` units to any cut it crosses.  Unweighted topologies simply report
+weight 1.0 for every edge, in which case cut weights coincide with cut
+cardinalities (the convention used throughout the paper for Blue Gene/Q,
+whose links all have equal capacity).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+__all__ = ["Vertex", "Topology", "cut_edges", "is_connected_subset"]
+
+#: Type alias for vertex labels.  Product topologies use coordinate tuples.
+Vertex = Hashable
+
+
+class Topology(abc.ABC):
+    """Base class for network topologies.
+
+    Subclasses must implement :meth:`vertices`, :meth:`neighbors` and
+    :attr:`num_vertices`.  The neighbor relation must be symmetric with
+    symmetric weights; :meth:`validate` checks this exhaustively and is used
+    by the test-suite on small instances.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Abstract interface                                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+
+    @abc.abstractmethod
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertex labels in a deterministic order."""
+
+    @abc.abstractmethod
+    def neighbors(self, v: Vertex) -> Iterator[tuple[Vertex, float]]:
+        """Yield ``(neighbor, weight)`` pairs for vertex *v*.
+
+        Each undirected edge ``{u, v}`` must be reported from both
+        endpoints with the same weight.  Parallel edges are modelled by
+        summing their capacities into a single weighted edge.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Generic derived functionality                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Human-readable topology name (defaults to the class name)."""
+        return type(self).__name__
+
+    def contains(self, v: Vertex) -> bool:
+        """Whether *v* is a vertex of this topology.
+
+        The generic implementation scans :meth:`vertices`; subclasses with
+        structured labels override this with an O(1) check.
+        """
+        return any(u == v for u in self.vertices())
+
+    def degree(self, v: Vertex) -> int:
+        """Number of distinct neighbors of *v* (ignoring weights)."""
+        return sum(1 for _ in self.neighbors(v))
+
+    def weighted_degree(self, v: Vertex) -> float:
+        """Total capacity of edges incident to *v*."""
+        return sum(w for _, w in self.neighbors(v))
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return sum(self.degree(v) for v in self.vertices()) // 2
+
+    @property
+    def total_capacity(self) -> float:
+        """Sum of all edge weights."""
+        return sum(self.weighted_degree(v) for v in self.vertices()) / 2.0
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex, float]]:
+        """Iterate over undirected edges as ``(u, v, weight)``.
+
+        Each edge is yielded exactly once; the endpoint ordering within a
+        pair is arbitrary but deterministic.
+        """
+        seen: set[Vertex] = set()
+        for u in self.vertices():
+            seen.add(u)
+            for v, w in self.neighbors(u):
+                if v not in seen:
+                    yield (u, v, w)
+
+    def is_regular(self) -> bool:
+        """Whether every vertex has the same (unweighted) degree."""
+        it = self.vertices()
+        try:
+            first = next(it)
+        except StopIteration:
+            return True
+        d0 = self.degree(first)
+        return all(self.degree(v) == d0 for v in it)
+
+    def regular_degree(self) -> int:
+        """Common degree of a regular topology.
+
+        Raises :class:`ValueError` if the topology is not regular.
+        """
+        degrees = {self.degree(v) for v in self.vertices()}
+        if len(degrees) != 1:
+            raise ValueError(
+                f"{self.name} is not regular: observed degrees {sorted(degrees)}"
+            )
+        return degrees.pop()
+
+    # ------------------------------------------------------------------ #
+    # Cuts                                                                 #
+    # ------------------------------------------------------------------ #
+
+    def cut_weight(self, subset: Iterable[Vertex]) -> float:
+        """Total capacity of edges with exactly one endpoint in *subset*.
+
+        This is the weighted perimeter ``|E(S, S̄)|`` of the paper.  For
+        unweighted topologies it equals the edge count of the cut.
+        """
+        s = set(subset)
+        total = 0.0
+        for u in s:
+            for v, w in self.neighbors(u):
+                if v not in s:
+                    total += w
+        return total
+
+    def interior_weight(self, subset: Iterable[Vertex]) -> float:
+        """Total capacity of edges with both endpoints in *subset*.
+
+        This is the weighted interior ``|E(S, S)|``; for a k-regular
+        unweighted graph, ``k·|S| = 2·interior + perimeter`` (Equation 1
+        of the paper), which the test-suite verifies.
+        """
+        s = set(subset)
+        total = 0.0
+        for u in s:
+            for v, w in self.neighbors(u):
+                if v in s:
+                    total += w
+        return total / 2.0
+
+    def expansion(self, subset: Iterable[Vertex]) -> float:
+        """Edge expansion of *subset*: perimeter / total incident capacity.
+
+        For a k-regular graph this is ``cut / (k · |S|)``, the quantity
+        minimized by the small-set expansion ``h_t(G)``.
+        """
+        s = set(subset)
+        if not s:
+            raise ValueError("expansion of the empty set is undefined")
+        incident = sum(self.weighted_degree(v) for v in s)
+        return self.cut_weight(s) / incident
+
+    # ------------------------------------------------------------------ #
+    # Interop & checking                                                   #
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self) -> Any:
+        """Export to a :class:`networkx.Graph` with ``weight`` edge data."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.vertices())
+        for u, v, w in self.edges():
+            g.add_edge(u, v, weight=w)
+        return g
+
+    def validate(self) -> None:
+        """Exhaustively check structural invariants (small graphs only).
+
+        Verifies that the neighbor relation is symmetric with symmetric
+        weights, free of self-loops, and consistent with
+        :attr:`num_vertices`.  Raises :class:`AssertionError` on violation.
+        """
+        verts = list(self.vertices())
+        assert len(verts) == self.num_vertices, (
+            f"vertices() yielded {len(verts)} labels but num_vertices is "
+            f"{self.num_vertices}"
+        )
+        assert len(set(verts)) == len(verts), "vertices() yielded duplicates"
+        vset = set(verts)
+        weights: dict[tuple[Vertex, Vertex], float] = {}
+        for u in verts:
+            seen_here: set[Vertex] = set()
+            for v, w in self.neighbors(u):
+                assert v != u, f"self-loop at {u!r}"
+                assert v in vset, f"neighbor {v!r} of {u!r} is not a vertex"
+                assert v not in seen_here, f"duplicate neighbor {v!r} of {u!r}"
+                assert w > 0, f"non-positive weight {w} on edge ({u!r}, {v!r})"
+                seen_here.add(v)
+                weights[(u, v)] = w
+        for (u, v), w in weights.items():
+            assert (v, u) in weights, f"edge ({u!r}, {v!r}) not symmetric"
+            assert weights[(v, u)] == w, (
+                f"asymmetric weights on edge ({u!r}, {v!r}): "
+                f"{w} vs {weights[(v, u)]}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(|V|={self.num_vertices})"
+
+
+def cut_edges(
+    topo: Topology, subset: Iterable[Vertex]
+) -> list[tuple[Vertex, Vertex, float]]:
+    """Return the list of cut edges ``(inside, outside, weight)`` of *subset*."""
+    s = set(subset)
+    out: list[tuple[Vertex, Vertex, float]] = []
+    for u in s:
+        for v, w in topo.neighbors(u):
+            if v not in s:
+                out.append((u, v, w))
+    return out
+
+
+def is_connected_subset(topo: Topology, subset: Iterable[Vertex]) -> bool:
+    """Whether the subgraph induced by *subset* is connected.
+
+    The empty set is considered connected (vacuously).
+    """
+    s = set(subset)
+    if not s:
+        return True
+    start = next(iter(s))
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        u = frontier.pop()
+        for v, _ in topo.neighbors(u):
+            if v in s and v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return seen == s

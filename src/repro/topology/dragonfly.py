@@ -1,0 +1,252 @@
+"""Dragonfly network graphs with configurable global-link arrangements.
+
+Section 5 of the paper describes how the isoperimetric method extends to
+Dragonfly networks (Kim et al. 2008) as implemented in the Cray XC series:
+
+* each *group* is a Cartesian product of cliques ``K_a × K_h`` (Aries:
+  ``K_16 × K_6``), where the ``K_h`` ("green"/backplane) links have a
+  normalized capacity of 3 relative to the ``K_a`` links;
+* groups are joined by *global* ("blue") links of normalized capacity 4;
+* the inter-group arrangement is not publicly documented, so the paper
+  points to the three candidate schemes studied by Hastings et al. 2015 —
+  **absolute**, **relative**, and **circulant** — all of which are
+  implemented here.
+
+Vertices are routers labelled ``(g, x, y)`` with group ``g``, row
+coordinate ``x ∈ [a]`` and column coordinate ``y ∈ [h]``.  Global port
+``k`` of group ``g`` is hosted by router ``k mod (a·h)`` of the group
+(round-robin), which spreads global connectivity uniformly — the paper
+notes each physical endpoint is really a *pair* of adjacent Aries routers;
+round-robin port placement preserves the capacity structure that matters
+for cut analysis while keeping the graph simple.
+
+Because link capacities are non-uniform, isoperimetric questions on a
+Dragonfly require the weighted machinery of
+:mod:`repro.isoperimetry.weighted`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from .._validation import check_positive_float, check_positive_int
+from .base import Topology, Vertex
+
+__all__ = ["Dragonfly", "ARRANGEMENTS"]
+
+#: Supported global-link arrangement schemes (Hastings et al. 2015).
+ARRANGEMENTS = ("absolute", "relative", "circulant")
+
+
+class Dragonfly(Topology):
+    """A Dragonfly network of ``K_a × K_h`` groups with weighted links.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of groups ``G >= 1``.
+    a:
+        Row clique size (16 for Aries).
+    h:
+        Column clique size (6 for Aries).
+    arrangement:
+        Global-link arrangement: ``"absolute"``, ``"relative"`` or
+        ``"circulant"``.
+    global_links_per_group:
+        Number of outgoing global ports per group.  Defaults to ``G - 1``
+        (single link to every other group).  Must be a multiple of
+        ``G - 1`` so every pair of groups receives the same number of
+        links (uniform arrangements, as studied by Hastings et al.).
+    row_capacity, col_capacity, global_capacity:
+        Link capacities; defaults follow the paper's normalization
+        (1, 3, 4).
+
+    Examples
+    --------
+    >>> d = Dragonfly(num_groups=3, a=4, h=3)
+    >>> d.num_vertices
+    36
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        a: int = 16,
+        h: int = 6,
+        arrangement: str = "absolute",
+        global_links_per_group: int | None = None,
+        row_capacity: float = 1.0,
+        col_capacity: float = 3.0,
+        global_capacity: float = 4.0,
+    ):
+        self._g = check_positive_int(num_groups, "num_groups")
+        self._a = check_positive_int(a, "a")
+        self._h = check_positive_int(h, "h")
+        if arrangement not in ARRANGEMENTS:
+            raise ValueError(
+                f"arrangement must be one of {ARRANGEMENTS}, got "
+                f"{arrangement!r}"
+            )
+        self._arrangement = arrangement
+        self._wr = check_positive_float(row_capacity, "row_capacity")
+        self._wc = check_positive_float(col_capacity, "col_capacity")
+        self._wg = check_positive_float(global_capacity, "global_capacity")
+        routers_per_group = self._a * self._h
+        if self._g == 1:
+            self._ports = 0
+        else:
+            if global_links_per_group is None:
+                global_links_per_group = self._g - 1
+            check_positive_int(global_links_per_group, "global_links_per_group")
+            if global_links_per_group % (self._g - 1) != 0:
+                raise ValueError(
+                    "global_links_per_group must be a multiple of "
+                    f"num_groups - 1 = {self._g - 1}, got "
+                    f"{global_links_per_group}"
+                )
+            self._ports = global_links_per_group
+        self._routers_per_group = routers_per_group
+        # Precompute the global adjacency with summed capacities:
+        # maps router label -> {router label: capacity}.
+        self._global: dict[tuple[int, int, int], dict[tuple[int, int, int], float]] = {}
+        self._build_global_links()
+
+    # ------------------------------------------------------------------ #
+    # Construction of global links                                         #
+    # ------------------------------------------------------------------ #
+
+    def _port_target_group(self, g: int, k: int) -> int:
+        """Target group of global port *k* of group *g* under the scheme."""
+        G = self._g
+        base = k % (G - 1)
+        if self._arrangement == "absolute":
+            # Port index enumerates absolute group ids, skipping self.
+            return base if base < g else base + 1
+        if self._arrangement == "relative":
+            # Port index enumerates offsets from the own group.
+            return (g + base + 1) % G
+        # circulant: ports alternate +offset / -offset.
+        off = base // 2 + 1
+        if base % 2 == 0:
+            return (g + off) % G
+        return (g - off) % G
+
+    def _port_router(self, k: int) -> tuple[int, int]:
+        """Router coordinates hosting port *k* within its group."""
+        r = k % self._routers_per_group
+        return (r % self._a, r // self._a)
+
+    def _build_global_links(self) -> None:
+        if self._g == 1:
+            return
+        # Collect directed endpoints (g, port) -> target group, then pair
+        # opposite directions: the j-th link from group g to group g' pairs
+        # with the j-th link from g' to g.
+        per_pair: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for g in range(self._g):
+            for k in range(self._ports):
+                tgt = self._port_target_group(g, k)
+                if tgt == g:
+                    raise AssertionError("arrangement produced a self-link")
+                key = (min(g, tgt), max(g, tgt))
+                per_pair.setdefault(key, []).append((g, k))
+        for (g1, g2), endpoints in per_pair.items():
+            mine = [(g, k) for g, k in endpoints if g == g1]
+            theirs = [(g, k) for g, k in endpoints if g == g2]
+            if len(mine) != len(theirs):
+                raise AssertionError(
+                    f"asymmetric global arrangement between groups {g1},{g2}"
+                )
+            for (ga, ka), (gb, kb) in zip(mine, theirs):
+                xa, ya = self._port_router(ka)
+                xb, yb = self._port_router(kb)
+                u = (ga, xa, ya)
+                v = (gb, xb, yb)
+                self._global.setdefault(u, {})
+                self._global.setdefault(v, {})
+                self._global[u][v] = self._global[u].get(v, 0.0) + self._wg
+                self._global[v][u] = self._global[v].get(u, 0.0) + self._wg
+
+    # ------------------------------------------------------------------ #
+    # Topology interface                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_groups(self) -> int:
+        return self._g
+
+    @property
+    def group_dims(self) -> tuple[int, int]:
+        """Clique sizes ``(a, h)`` of each group."""
+        return (self._a, self._h)
+
+    @property
+    def arrangement(self) -> str:
+        """Global-link arrangement scheme."""
+        return self._arrangement
+
+    @property
+    def num_vertices(self) -> int:
+        return self._g * self._routers_per_group
+
+    @property
+    def name(self) -> str:
+        return (
+            f"Dragonfly(G={self._g},K{self._a}xK{self._h},"
+            f"{self._arrangement})"
+        )
+
+    def contains(self, v: Vertex) -> bool:
+        return (
+            isinstance(v, tuple)
+            and len(v) == 3
+            and all(isinstance(c, int) for c in v)
+            and 0 <= v[0] < self._g
+            and 0 <= v[1] < self._a
+            and 0 <= v[2] < self._h
+        )
+
+    def vertices(self) -> Iterator[tuple[int, int, int]]:
+        return itertools.product(
+            range(self._g), range(self._a), range(self._h)
+        )
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[tuple[int, int, int], float]]:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        g, x, y = v  # type: ignore[misc]
+        for x2 in range(self._a):
+            if x2 != x:
+                yield (g, x2, y), self._wr
+        for y2 in range(self._h):
+            if y2 != y:
+                yield (g, x, y2), self._wc
+        for u, w in self._global.get((g, x, y), {}).items():
+            yield u, w
+
+    def group_vertices(self, g: int) -> list[tuple[int, int, int]]:
+        """All routers of group *g*."""
+        if not 0 <= g < self._g:
+            raise ValueError(f"group index {g} out of range")
+        return [
+            (g, x, y)
+            for x in range(self._a)
+            for y in range(self._h)
+        ]
+
+    def global_cut_between_groups(self) -> float:
+        """Total global-link capacity leaving any single group.
+
+        Uniform arrangements give every group the same outgoing capacity;
+        this is the denominator of group-granularity cut analyses.
+        """
+        if self._g == 1:
+            return 0.0
+        return self._ports * self._wg
+
+    def __repr__(self) -> str:
+        return (
+            f"Dragonfly(num_groups={self._g}, a={self._a}, h={self._h}, "
+            f"arrangement={self._arrangement!r})"
+        )

@@ -1,0 +1,154 @@
+"""Three-tier k-ary fat-tree topology.
+
+Section 5 of the paper notes that applying the isoperimetric method to
+fat-trees is "more challenging": when the allocation policy lets distinct
+jobs share network resources, the capacity actually available to a job can
+be smaller than isoperimetric analysis indicates, and when sharing is
+forbidden the policy is usually too constrained to improve.  We still
+provide the topology so users can compute cuts and expansion of candidate
+allocations, and so the contention simulator can route over it.
+
+This is the standard k-ary fat-tree (Al-Fares et al. layout, also the
+structure of many InfiniBand CLOS fabrics):
+
+* ``(k/2)^2`` core switches;
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches;
+* ``k/2`` hosts per edge switch (``k^3/4`` hosts total);
+* core switch ``(i, j)`` (arranged as a ``(k/2) × (k/2)`` grid) connects
+  to aggregation switch ``i`` of every pod;
+* aggregation switch ``i`` of a pod connects to all edge switches of the
+  pod.
+
+Vertex labels are tuples: ``("core", i, j)``, ``("agg", p, i)``,
+``("edge", p, i)`` and ``("host", p, i, h)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .._validation import check_positive_int
+from .base import Topology, Vertex
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    """A k-ary three-tier fat-tree with unit-capacity links.
+
+    Parameters
+    ----------
+    k:
+        Arity; must be a positive even integer.
+
+    Examples
+    --------
+    >>> ft = FatTree(4)
+    >>> ft.num_hosts
+    16
+    >>> ft.num_vertices
+    36
+    """
+
+    def __init__(self, k: int):
+        self._k = check_positive_int(k, "k")
+        if self._k % 2 != 0:
+            raise ValueError(f"k must be even, got {k}")
+        self._half = self._k // 2
+
+    @property
+    def k(self) -> int:
+        """Fat-tree arity."""
+        return self._k
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of compute hosts ``k^3 / 4``."""
+        return self._k * self._half * self._half
+
+    @property
+    def num_switches(self) -> int:
+        """Number of switches across all three tiers."""
+        return self._half * self._half + self._k * self._k
+
+    @property
+    def num_vertices(self) -> int:
+        return self.num_hosts + self.num_switches
+
+    @property
+    def name(self) -> str:
+        return f"FatTree(k={self._k})"
+
+    def contains(self, v: Vertex) -> bool:
+        if not isinstance(v, tuple) or not v:
+            return False
+        kind = v[0]
+        h = self._half
+        if kind == "core":
+            return len(v) == 3 and all(isinstance(c, int) for c in v[1:]) and (
+                0 <= v[1] < h and 0 <= v[2] < h
+            )
+        if kind in ("agg", "edge"):
+            return len(v) == 3 and all(isinstance(c, int) for c in v[1:]) and (
+                0 <= v[1] < self._k and 0 <= v[2] < h
+            )
+        if kind == "host":
+            return len(v) == 4 and all(isinstance(c, int) for c in v[1:]) and (
+                0 <= v[1] < self._k and 0 <= v[2] < h and 0 <= v[3] < h
+            )
+        return False
+
+    def vertices(self) -> Iterator[tuple]:
+        h = self._half
+        for i in range(h):
+            for j in range(h):
+                yield ("core", i, j)
+        for p in range(self._k):
+            for i in range(h):
+                yield ("agg", p, i)
+            for i in range(h):
+                yield ("edge", p, i)
+            for i in range(h):
+                for hh in range(h):
+                    yield ("host", p, i, hh)
+
+    def hosts(self) -> Iterator[tuple]:
+        """Iterate over host vertices only."""
+        h = self._half
+        for p in range(self._k):
+            for i in range(h):
+                for hh in range(h):
+                    yield ("host", p, i, hh)
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[tuple, float]]:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        h = self._half
+        kind = v[0]  # type: ignore[index]
+        if kind == "core":
+            _, i, _j = v  # type: ignore[misc]
+            for p in range(self._k):
+                yield ("agg", p, i), 1.0
+        elif kind == "agg":
+            _, p, i = v  # type: ignore[misc]
+            for j in range(h):
+                yield ("core", i, j), 1.0
+            for e in range(h):
+                yield ("edge", p, e), 1.0
+        elif kind == "edge":
+            _, p, e = v  # type: ignore[misc]
+            for i in range(h):
+                yield ("agg", p, i), 1.0
+            for hh in range(h):
+                yield ("host", p, e, hh), 1.0
+        else:  # host
+            _, p, e, _hh = v  # type: ignore[misc]
+            yield ("edge", p, e), 1.0
+
+    def host_bisection_width(self) -> int:
+        """Full-bisection cut between two host halves (rearrangeably
+        non-blocking: ``num_hosts / 2`` at the core level)."""
+        return self.num_hosts // 2
+
+    def __repr__(self) -> str:
+        return f"FatTree({self._k})"

@@ -1,0 +1,140 @@
+"""Hypercube network graphs.
+
+The ``d``-dimensional hypercube ``Q_d`` has vertex set ``{0, 1}^d`` with
+edges between vertices at Hamming distance 1.  Hypercube-based machines
+(e.g. NASA's Pleiades, discussed in Section 5 of the paper) admit a fully
+solved edge-isoperimetric problem (Harper 1964), so the paper's method
+applies to them directly; :mod:`repro.isoperimetry.harper` implements the
+solution on top of this topology.
+
+Vertices are labelled by integers ``0 .. 2^d - 1`` interpreted as bit
+vectors, which makes Harper's binary-order constructions O(1) per vertex.
+Use :meth:`Hypercube.to_coordinates` to translate to the tuple labels used
+by :class:`repro.topology.torus.Torus` (``Q_d`` is the torus ``(2,)*d``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .._validation import check_nonnegative_int
+from .base import Topology, Vertex
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """The ``d``-dimensional hypercube ``Q_d`` with integer vertex labels.
+
+    Parameters
+    ----------
+    d:
+        Number of dimensions (``d >= 0``).  ``Q_0`` is a single vertex.
+
+    Examples
+    --------
+    >>> q = Hypercube(3)
+    >>> q.num_vertices
+    8
+    >>> sorted(v for v, _ in q.neighbors(0))
+    [1, 2, 4]
+    """
+
+    def __init__(self, d: int):
+        self._d = check_nonnegative_int(d, "d")
+        if self._d > 30:
+            raise ValueError(
+                f"refusing to build a hypercube with 2^{self._d} vertices"
+            )
+        self._n = 1 << self._d
+
+    @property
+    def d(self) -> int:
+        """Number of dimensions."""
+        return self._d
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return f"Q{self._d}"
+
+    def contains(self, v: Vertex) -> bool:
+        return isinstance(v, int) and not isinstance(v, bool) and 0 <= v < self._n
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[int, float]]:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        for k in range(self._d):
+            yield v ^ (1 << k), 1.0  # type: ignore[operator]
+
+    def degree(self, v: Vertex) -> int:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return self._d
+
+    @property
+    def num_edges(self) -> int:
+        return self._d * self._n // 2
+
+    def is_regular(self) -> bool:
+        return True
+
+    def regular_degree(self) -> int:
+        return self._d
+
+    def hop_distance(self, u: Vertex, v: Vertex) -> int:
+        """Hamming distance between the bit labels of *u* and *v*."""
+        if not self.contains(u):
+            raise ValueError(f"{u!r} is not a vertex of {self.name}")
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return int.bit_count(u ^ v)  # type: ignore[operator, arg-type]
+
+    @property
+    def diameter(self) -> int:
+        return self._d
+
+    def antipode(self, v: Vertex) -> int:
+        """The complementary vertex, at maximal Hamming distance *d*."""
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return v ^ (self._n - 1)  # type: ignore[operator]
+
+    def bisection_width(self) -> int:
+        """Bisection width of ``Q_d``: ``2^(d-1)`` (cut one dimension)."""
+        if self._d == 0:
+            return 0
+        return self._n // 2
+
+    def to_coordinates(self, v: int) -> tuple[int, ...]:
+        """Translate integer label *v* to a ``{0,1}^d`` coordinate tuple.
+
+        Bit ``k`` of *v* becomes coordinate ``k``, matching the dimension
+        numbering of :meth:`neighbors`.
+        """
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return tuple((v >> k) & 1 for k in range(self._d))
+
+    def from_coordinates(self, coords: tuple[int, ...]) -> int:
+        """Inverse of :meth:`to_coordinates`."""
+        if len(coords) != self._d or any(c not in (0, 1) for c in coords):
+            raise ValueError(
+                f"{coords!r} is not a valid {self._d}-bit coordinate tuple"
+            )
+        return sum(c << k for k, c in enumerate(coords))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Hypercube) and self._d == other._d
+
+    def __hash__(self) -> int:
+        return hash(("Hypercube", self._d))
+
+    def __repr__(self) -> str:
+        return f"Hypercube({self._d})"

@@ -1,0 +1,123 @@
+"""D-dimensional mesh (grid) network graphs — tori without wrap-around.
+
+Meshes appear in the paper's discussion of lower-dimensional torus
+machines and of the 2-D grid edge-isoperimetric results of Ahlswede and
+Bezrukov, implemented in :mod:`repro.isoperimetry.mesh2d`.  A mesh with
+dimensions ``(a_1, ..., a_D)`` has vertices ``[a_1] × ... × [a_D]`` and
+edges between vertices differing by exactly 1 in one coordinate (no
+modular wrap).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+
+from .._validation import check_dims
+from .base import Topology, Vertex
+
+__all__ = ["Mesh"]
+
+
+class Mesh(Topology):
+    """A D-dimensional mesh grid with open (non-wrapping) boundaries.
+
+    Examples
+    --------
+    >>> m = Mesh((3, 2))
+    >>> m.num_vertices, m.num_edges
+    (6, 7)
+    >>> m.degree((0, 0)), m.degree((1, 0))
+    (2, 3)
+    """
+
+    def __init__(self, dims: Sequence[int]):
+        self._dims = check_dims(dims, "dims")
+        self._n = math.prod(self._dims)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Dimension lengths in construction order."""
+        return self._dims
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions ``D``."""
+        return len(self._dims)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return "Mesh" + "x".join(str(a) for a in self._dims)
+
+    def contains(self, v: Vertex) -> bool:
+        return (
+            isinstance(v, tuple)
+            and len(v) == len(self._dims)
+            and all(
+                isinstance(c, int) and 0 <= c < a for c, a in zip(v, self._dims)
+            )
+        )
+
+    def vertices(self) -> Iterator[tuple[int, ...]]:
+        return itertools.product(*(range(a) for a in self._dims))
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[tuple[int, ...], float]]:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        coords = tuple(v)  # type: ignore[arg-type]
+        for k, a in enumerate(self._dims):
+            c = coords[k]
+            if c + 1 < a:
+                yield coords[:k] + (c + 1,) + coords[k + 1 :], 1.0
+            if c - 1 >= 0:
+                yield coords[:k] + (c - 1,) + coords[k + 1 :], 1.0
+
+    @property
+    def num_edges(self) -> int:
+        total = 0
+        for k, a in enumerate(self._dims):
+            total += (a - 1) * (self._n // a)
+        return total
+
+    def hop_distance(self, u: Vertex, v: Vertex) -> int:
+        """Manhattan distance between *u* and *v*."""
+        if not self.contains(u):
+            raise ValueError(f"{u!r} is not a vertex of {self.name}")
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return sum(abs(x - y) for x, y in zip(u, v))  # type: ignore[arg-type]
+
+    @property
+    def diameter(self) -> int:
+        return sum(a - 1 for a in self._dims)
+
+    def bisection_width(self) -> int:
+        """Bisection width: one cut plane perpendicular to the longest
+        even-splittable dimension (1 edge per line — no wrap)."""
+        best: int | None = None
+        for k, a in enumerate(self._dims):
+            if a % 2 != 0:
+                continue
+            cut = self._n // a
+            if best is None or cut < best:
+                best = cut
+        if best is None:
+            raise ValueError(
+                f"{self.name} has no even dimension; no perpendicular "
+                "bisection exists"
+            )
+        return best
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Mesh) and self._dims == other._dims
+
+    def __hash__(self) -> int:
+        return hash(("Mesh", self._dims))
+
+    def __repr__(self) -> str:
+        return f"Mesh({self._dims})"

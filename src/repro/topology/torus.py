@@ -1,0 +1,361 @@
+"""D-dimensional torus network graphs.
+
+The torus is the central topology of the paper: IBM Blue Gene/Q machines are
+5-D tori, and their partitions are sub-tori.  Following Section 2 of the
+paper, a *D-torus* with dimensions ``(a_1, ..., a_D)`` has vertex set
+``[a_1] × ... × [a_D]``; two vertices are adjacent iff they differ by
+``±1 (mod a_k)`` in exactly one coordinate ``k``.
+
+Dimension-length conventions
+----------------------------
+
+* ``a_k == 1`` — the dimension is degenerate and contributes no edges.
+* ``a_k == 2`` — the "cycle" of length 2 collapses to a *single* edge
+  between the two vertices (``+1`` and ``-1 (mod 2)`` reach the same
+  neighbor).  With this convention ``Torus((2,)*d)`` is exactly the
+  ``d``-dimensional hypercube, matching Harper's theorem as used in
+  Lemma 3.2 of the paper, and matching the Blue Gene/Q E-dimension of
+  size 2 which provides one link.
+* ``a_k >= 3`` — a proper cycle; a contiguous interval that does not cover
+  the whole dimension has 2 boundary edges per line.
+
+All links have unit capacity (uniform-capacity networks, as in Blue
+Gene/Q); weighted tori for Dragonfly-like analyses live in
+:mod:`repro.topology.dragonfly` and :mod:`repro.isoperimetry.weighted`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+
+from .._validation import check_dims
+from .base import Topology, Vertex
+
+__all__ = ["Torus", "torus_num_edges", "degenerate_free_dims"]
+
+
+def degenerate_free_dims(dims: Sequence[int]) -> tuple[int, ...]:
+    """Return *dims* with length-1 (edge-free) dimensions removed.
+
+    A torus with dimensions ``(4, 1, 1)`` is graph-isomorphic to the ring
+    ``(4,)``; analyses that depend only on the graph may canonicalize with
+    this helper.
+    """
+    return tuple(a for a in dims if a > 1)
+
+
+def torus_num_edges(dims: Sequence[int]) -> int:
+    """Number of edges of the torus with the given dimensions.
+
+    Each dimension of length ``a >= 3`` contributes ``|V|`` edges (one per
+    vertex in the + direction); a dimension of length 2 contributes
+    ``|V| / 2`` single edges; length 1 contributes none.
+    """
+    dims = check_dims(dims)
+    n = math.prod(dims)
+    total = 0
+    for a in dims:
+        if a >= 3:
+            total += n
+        elif a == 2:
+            total += n // 2
+    return total
+
+
+class Torus(Topology):
+    """A D-dimensional torus with arbitrary (possibly unequal) dimensions.
+
+    Parameters
+    ----------
+    dims:
+        Dimension lengths ``(a_1, ..., a_D)``, each a positive integer.
+        The order is preserved as given (coordinates are meaningful for
+        routing); use :meth:`sorted_dims` for the paper's canonical
+        descending representation.
+    dim_weights:
+        Optional per-dimension link capacities (default 1.0 everywhere).
+        Used to model physical networks whose dimensions have unequal
+        bandwidth — e.g. Blue Gene/Q's E dimension of length 2, whose
+        E+ and E− ports reach the *same* partner node and therefore
+        provide double capacity between the pair.
+
+    Examples
+    --------
+    >>> t = Torus((4, 4, 2))
+    >>> t.num_vertices
+    32
+    >>> t.degree((0, 0, 0))
+    5
+    >>> t.hop_distance((0, 0, 0), (2, 3, 1))
+    4
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        dim_weights: Sequence[float] | None = None,
+    ):
+        self._dims = check_dims(dims, "dims")
+        self._n = math.prod(self._dims)
+        if dim_weights is None:
+            self._weights: tuple[float, ...] = (1.0,) * len(self._dims)
+        else:
+            ws = tuple(float(w) for w in dim_weights)
+            if len(ws) != len(self._dims):
+                raise ValueError(
+                    f"dim_weights has {len(ws)} entries but dims has "
+                    f"{len(self._dims)}"
+                )
+            if any(w <= 0 for w in ws):
+                raise ValueError("all dim_weights must be positive")
+            self._weights = ws
+
+    # ------------------------------------------------------------------ #
+    # Basic structure                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Dimension lengths in construction order."""
+        return self._dims
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions ``D``."""
+        return len(self._dims)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return "Torus" + "x".join(str(a) for a in self._dims)
+
+    def sorted_dims(self) -> tuple[int, ...]:
+        """Dimensions sorted descending — the paper's canonical form."""
+        return tuple(sorted(self._dims, reverse=True))
+
+    def is_cubic(self) -> bool:
+        """Whether all dimensions are equal (Bollobás–Leader setting)."""
+        return len(set(self._dims)) == 1
+
+    def contains(self, v: Vertex) -> bool:
+        return (
+            isinstance(v, tuple)
+            and len(v) == len(self._dims)
+            and all(
+                isinstance(c, int) and 0 <= c < a for c, a in zip(v, self._dims)
+            )
+        )
+
+    def vertices(self) -> Iterator[tuple[int, ...]]:
+        return itertools.product(*(range(a) for a in self._dims))
+
+    @property
+    def dim_weights(self) -> tuple[float, ...]:
+        """Per-dimension link capacities."""
+        return self._weights
+
+    def is_uniform(self) -> bool:
+        """Whether all dimension weights are 1.0 (plain unit-capacity)."""
+        return all(w == 1.0 for w in self._weights)
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[tuple[int, ...], float]]:
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        coords = tuple(v)  # type: ignore[arg-type]
+        for k, a in enumerate(self._dims):
+            if a == 1:
+                continue
+            w = self._weights[k]
+            if a == 2:
+                other = coords[:k] + (1 - coords[k],) + coords[k + 1 :]
+                yield other, w
+                continue
+            up = coords[:k] + ((coords[k] + 1) % a,) + coords[k + 1 :]
+            down = coords[:k] + ((coords[k] - 1) % a,) + coords[k + 1 :]
+            yield up, w
+            yield down, w
+
+    def degree(self, v: Vertex) -> int:
+        # All vertices have equal degree; compute from dims in O(D).
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return sum(2 if a >= 3 else 1 for a in self._dims if a > 1)
+
+    @property
+    def num_edges(self) -> int:
+        return torus_num_edges(self._dims)
+
+    def is_regular(self) -> bool:
+        return True
+
+    def regular_degree(self) -> int:
+        return sum(2 if a >= 3 else 1 for a in self._dims if a > 1)
+
+    # ------------------------------------------------------------------ #
+    # Distances                                                            #
+    # ------------------------------------------------------------------ #
+
+    def ring_distance(self, k: int, x: int, y: int) -> int:
+        """Hop distance between coordinates *x* and *y* along dimension *k*."""
+        a = self._dims[k]
+        d = abs(x - y) % a
+        return min(d, a - d)
+
+    def hop_distance(self, u: Vertex, v: Vertex) -> int:
+        """Shortest-path (hop) distance between vertices *u* and *v*.
+
+        On a torus the shortest path decomposes per dimension into the
+        shorter way around each ring.
+        """
+        if not self.contains(u):
+            raise ValueError(f"{u!r} is not a vertex of {self.name}")
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return sum(
+            self.ring_distance(k, x, y)
+            for k, (x, y) in enumerate(zip(u, v))  # type: ignore[arg-type]
+        )
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop distance between any two vertices."""
+        return sum(a // 2 for a in self._dims)
+
+    def antipode(self, v: Vertex) -> tuple[int, ...]:
+        """The vertex at maximal hop distance from *v*.
+
+        Offsets every coordinate by ``a_k // 2``; this realizes the
+        furthest-node pairing of the paper's bisection pairing experiment
+        (the scheme of Chen et al. for Blue Gene/Q).  The map is an
+        involution whenever all dimensions are even.
+        """
+        if not self.contains(v):
+            raise ValueError(f"{v!r} is not a vertex of {self.name}")
+        return tuple(
+            (c + a // 2) % a for c, a in zip(v, self._dims)  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cuts                                                                 #
+    # ------------------------------------------------------------------ #
+
+    def cross_section(self, k: int) -> int:
+        """Number of axis-*k* lines, i.e. ``|V| / a_k``."""
+        if not 0 <= k < self.ndim:
+            raise ValueError(f"dimension index {k} out of range for {self.name}")
+        return self._n // self._dims[k]
+
+    def perpendicular_cut(self, k: int) -> int:
+        """Cut size of a perpendicular bisection of dimension *k*.
+
+        Splitting the length-``a_k`` ring into two contiguous halves cuts
+        2 edges per line for ``a_k >= 3`` and 1 for ``a_k == 2``.  Requires
+        ``a_k`` even so the split is an exact bisection.
+        """
+        a = self._dims[k]
+        if a % 2 != 0:
+            raise ValueError(
+                f"dimension {k} of {self.name} has odd length {a}; a "
+                "perpendicular cut there is not a bisection"
+            )
+        per_line = 2 if a >= 3 else 1
+        return per_line * self.cross_section(k)
+
+    def best_perpendicular_bisection(self) -> tuple[int, int]:
+        """Minimum perpendicular bisection ``(dimension_index, cut_size)``.
+
+        Scans all even-length dimensions.  For tori whose longest dimension
+        is even (every Blue Gene/Q partition at node granularity), this is
+        the graph's bisection width: the perpendicular cut of the longest
+        dimension matches the Theorem 3.1 lower bound with ``r = D - 1``.
+
+        Raises :class:`ValueError` when no dimension is even (no
+        perpendicular bisection exists; use the isoperimetric machinery
+        directly in that case).
+        """
+        best: tuple[int, int] | None = None
+        for k, a in enumerate(self._dims):
+            if a % 2 != 0 or a == 1:
+                continue
+            cut = self.perpendicular_cut(k)
+            if best is None or cut < best[1]:
+                best = (k, cut)
+        if best is None:
+            raise ValueError(
+                f"{self.name} has no even dimension; no perpendicular "
+                "bisection exists"
+            )
+        return best
+
+    def bisection_width(self) -> int:
+        """Bisection width (number of unit-capacity links) of the torus.
+
+        Computed as the best perpendicular bisection; for tori with an even
+        longest dimension this equals ``2·N/L`` (``L`` the longest
+        dimension) when ``L >= 3``, the Blue Gene/Q formula of Chen et al.
+        """
+        return self.best_perpendicular_bisection()[1]
+
+    def halfspace(self, k: int) -> set[tuple[int, ...]]:
+        """The vertex set ``{v : v_k < a_k / 2}`` of a perpendicular bisection."""
+        a = self._dims[k]
+        if a % 2 != 0:
+            raise ValueError(
+                f"dimension {k} of {self.name} has odd length {a}"
+            )
+        half = a // 2
+        return {v for v in self.vertices() if v[k] < half}
+
+    # ------------------------------------------------------------------ #
+    # Sub-tori                                                             #
+    # ------------------------------------------------------------------ #
+
+    def subtorus(self, dims: Sequence[int]) -> "Torus":
+        """A sub-torus with the given dimensions.
+
+        Models a Blue Gene/Q partition: the machine guarantees wrap-around
+        links inside a partition even when the partition does not cover a
+        dimension of the host network, so a partition *is* a smaller torus.
+        Each requested dimension must fit inside some distinct host
+        dimension (multiset containment after sorting).
+        """
+        sub = check_dims(dims, "dims")
+        host = sorted(self._dims, reverse=True)
+        want = sorted(sub, reverse=True)
+        if len(want) > len(host):
+            raise ValueError(
+                f"sub-torus has {len(want)} dimensions but {self.name} has "
+                f"only {len(host)}"
+            )
+        # Greedy matching of sorted sequences suffices for containment.
+        hi = 0
+        for w in want:
+            while hi < len(host) and host[hi] < w:
+                hi += 1
+            if hi >= len(host):
+                raise ValueError(
+                    f"sub-torus dimensions {tuple(sub)} do not fit inside "
+                    f"{self.name}"
+                )
+            hi += 1
+        return Torus(sub)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Torus)
+            and self._dims == other._dims
+            and self._weights == other._weights
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Torus", self._dims, self._weights))
+
+    def __repr__(self) -> str:
+        if self.is_uniform():
+            return f"Torus({self._dims})"
+        return f"Torus({self._dims}, dim_weights={self._weights})"

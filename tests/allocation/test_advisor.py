@@ -1,0 +1,108 @@
+"""Unit tests for the contention-aware scheduling advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.advisor import (
+    AdvisorDecision,
+    JobRequest,
+    SchedulingAdvisor,
+)
+from repro.allocation.geometry import PartitionGeometry
+from repro.allocation.policy import juqueen_policy
+
+
+@pytest.fixture
+def advisor() -> SchedulingAdvisor:
+    return SchedulingAdvisor(juqueen_policy())
+
+
+@pytest.fixture
+def contention_job() -> JobRequest:
+    return JobRequest(
+        num_midplanes=8, optimal_runtime=3600.0, contention_fraction=0.5
+    )
+
+
+class TestJobRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(0, 100.0, 0.5)
+        with pytest.raises(ValueError):
+            JobRequest(8, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            JobRequest(8, 100.0, 1.5)
+
+    def test_runtime_on_optimal_geometry(self, contention_job):
+        best = PartitionGeometry((2, 2, 2, 1))
+        assert contention_job.runtime_on(best, 1024) == pytest.approx(3600.0)
+
+    def test_runtime_on_suboptimal_inflates_comm_only(self, contention_job):
+        worst = PartitionGeometry((4, 2, 1, 1))  # bw 512 vs best 1024
+        t = contention_job.runtime_on(worst, 1024)
+        # compute 1800 + comm 1800 * 2 = 5400.
+        assert t == pytest.approx(5400.0)
+
+    def test_pure_compute_job_indifferent(self):
+        job = JobRequest(8, 1000.0, 0.0)
+        worst = PartitionGeometry((4, 2, 1, 1))
+        assert job.runtime_on(worst, 1024) == pytest.approx(1000.0)
+
+
+class TestDecide:
+    def test_allocate_when_optimal_available(self, advisor, contention_job):
+        best = PartitionGeometry((2, 2, 2, 1))
+        d = advisor.decide(contention_job, best, expected_wait=100.0)
+        assert d.action == "allocate"
+
+    def test_wait_when_short_queue_and_big_gain(self, advisor, contention_job):
+        worst = PartitionGeometry((4, 2, 1, 1))
+        d = advisor.decide(contention_job, worst, expected_wait=100.0)
+        assert d.action == "wait"
+        assert d.wait_time == pytest.approx(3700.0)
+        assert d.available_time == pytest.approx(5400.0)
+        assert d.regret == pytest.approx(1700.0)
+
+    def test_allocate_when_queue_too_long(self, advisor, contention_job):
+        worst = PartitionGeometry((4, 2, 1, 1))
+        d = advisor.decide(contention_job, worst, expected_wait=5000.0)
+        assert d.action == "allocate"
+
+    def test_size_mismatch_rejected(self, advisor, contention_job):
+        with pytest.raises(ValueError):
+            advisor.decide(
+                contention_job, PartitionGeometry((2, 2, 1, 1)), 100.0
+            )
+
+    def test_negative_wait_rejected(self, advisor, contention_job):
+        with pytest.raises(ValueError):
+            advisor.decide(
+                contention_job, PartitionGeometry((4, 2, 1, 1)), -1.0
+            )
+
+    def test_compute_bound_job_always_allocates(self, advisor):
+        job = JobRequest(8, 1000.0, 0.0)
+        worst = PartitionGeometry((4, 2, 1, 1))
+        d = advisor.decide(job, worst, expected_wait=1.0)
+        assert d.action == "allocate"
+
+
+class TestBreakeven:
+    def test_zero_for_optimal(self, advisor, contention_job):
+        best = PartitionGeometry((2, 2, 2, 1))
+        assert advisor.breakeven_wait(contention_job, best) == 0.0
+
+    def test_equals_comm_inflation(self, advisor, contention_job):
+        worst = PartitionGeometry((4, 2, 1, 1))
+        assert advisor.breakeven_wait(contention_job, worst) == pytest.approx(
+            1800.0
+        )
+
+    def test_decision_consistent_with_breakeven(self, advisor, contention_job):
+        worst = PartitionGeometry((4, 2, 1, 1))
+        breakeven = advisor.breakeven_wait(contention_job, worst)
+        below = advisor.decide(contention_job, worst, breakeven * 0.9)
+        above = advisor.decide(contention_job, worst, breakeven * 1.1)
+        assert below.action == "wait"
+        assert above.action == "allocate"

@@ -1,0 +1,96 @@
+"""Unit tests for geometry enumeration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.allocation.enumeration import (
+    achievable_midplane_counts,
+    enumerate_geometries,
+    factorizations_into_dims,
+)
+from repro.machines.catalog import JUQUEEN, MIRA
+
+
+class TestFactorizations:
+    def test_eight_into_three(self):
+        assert sorted(factorizations_into_dims(8, 3)) == [
+            (2, 2, 2), (4, 2, 1), (8, 1, 1),
+        ]
+
+    def test_descending_order_invariant(self):
+        for f in factorizations_into_dims(24, 4):
+            assert list(f) == sorted(f, reverse=True)
+
+    def test_product_invariant(self):
+        for n in (1, 2, 12, 36, 60):
+            for f in factorizations_into_dims(n, 4):
+                assert math.prod(f) == n
+
+    def test_max_len_filter(self):
+        fs = list(factorizations_into_dims(8, 3, max_len=4))
+        assert (8, 1, 1) not in fs
+        assert (4, 2, 1) in fs
+
+    def test_one(self):
+        assert list(factorizations_into_dims(1, 4)) == [(1, 1, 1, 1)]
+
+    def test_prime(self):
+        assert list(factorizations_into_dims(7, 4)) == [(7, 1, 1, 1)]
+
+    def test_no_duplicates(self):
+        fs = list(factorizations_into_dims(64, 4))
+        assert len(fs) == len(set(fs))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(factorizations_into_dims(0, 4))
+
+
+class TestEnumerateGeometries:
+    def test_juqueen_size_4(self):
+        geos = enumerate_geometries(JUQUEEN, 4)
+        assert [g.dims for g in geos] == [(2, 2, 1, 1), (4, 1, 1, 1)]
+
+    def test_sorted_best_first(self):
+        geos = enumerate_geometries(JUQUEEN, 8)
+        bws = [g.normalized_bisection_bandwidth for g in geos]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_all_fit(self):
+        for size in (6, 12, 24, 56):
+            for g in enumerate_geometries(JUQUEEN, size):
+                assert g.fits_in(JUQUEEN)
+
+    def test_impossible_size_empty(self):
+        # 11 is prime and exceeds every JUQUEEN dimension except 7... and 11 > 7.
+        assert enumerate_geometries(JUQUEEN, 11) == []
+
+    def test_mira_9_midplanes(self):
+        # 9 = 3x3 needs two dims >= 3: Mira has (4, 4, 3, 2) -> fits.
+        geos = enumerate_geometries(MIRA, 9)
+        assert [g.dims for g in geos] == [(3, 3, 1, 1)]
+
+
+class TestAchievableCounts:
+    def test_juqueen_counts(self):
+        counts = achievable_midplane_counts(JUQUEEN)
+        assert counts == [
+            1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 40,
+            48, 56,
+        ]
+
+    def test_spiking_sizes_are_rings_only(self):
+        """Sizes 5, 7 force ring geometries on JUQUEEN — Figure 2's
+        'spiking' drops."""
+        for size in (5, 7):
+            geos = enumerate_geometries(JUQUEEN, size)
+            assert len(geos) == 1
+            assert geos[0].is_ring()
+
+    def test_mira_includes_96(self):
+        counts = achievable_midplane_counts(MIRA)
+        assert 96 in counts
+        assert 96 == max(counts)

@@ -1,0 +1,107 @@
+"""Unit tests for PartitionGeometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.machines.catalog import JUQUEEN, MIRA
+
+
+class TestCanonicalization:
+    def test_sorted_and_padded(self):
+        assert PartitionGeometry((1, 2, 2)).dims == (2, 2, 1, 1)
+        assert PartitionGeometry((3,)).dims == (3, 1, 1, 1)
+
+    def test_rotations_identified(self):
+        assert PartitionGeometry((2, 1, 2, 1)) == PartitionGeometry(
+            (1, 1, 2, 2)
+        )
+
+    def test_too_many_dims(self):
+        with pytest.raises(ValueError):
+            PartitionGeometry((2, 2, 2, 2, 2))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            PartitionGeometry((0, 2))
+
+    def test_hashable(self):
+        s = {PartitionGeometry((2, 2, 1, 1)), PartitionGeometry((1, 1, 2, 2))}
+        assert len(s) == 1
+
+
+class TestQuantities:
+    def test_counts(self):
+        g = PartitionGeometry((3, 2, 2, 2))
+        assert g.num_midplanes == 24
+        assert g.num_nodes == 12288
+        assert g.node_dims == (12, 8, 8, 8, 2)
+
+    def test_bandwidth_table1_rows(self):
+        assert PartitionGeometry((4, 1, 1, 1)).normalized_bisection_bandwidth == 256
+        assert PartitionGeometry((2, 2, 1, 1)).normalized_bisection_bandwidth == 512
+        assert PartitionGeometry((3, 2, 2, 2)).normalized_bisection_bandwidth == 2048
+
+    def test_bandwidth_gb(self):
+        g = PartitionGeometry((2, 2, 1, 1))
+        assert g.bisection_bandwidth_gb_per_s() == 1024.0
+
+    def test_bandwidth_per_node(self):
+        g = PartitionGeometry((2, 2, 1, 1))
+        assert g.bandwidth_per_node == pytest.approx(512 / 2048)
+
+    def test_longest_dim(self):
+        assert PartitionGeometry((1, 4, 2)).longest_dim == 4
+
+    def test_network_is_partition_torus(self):
+        g = PartitionGeometry((2, 1, 1, 1))
+        assert g.network().num_vertices == 1024
+        assert g.midplane_network().num_vertices == 2
+
+
+class TestShapePredicates:
+    def test_ring(self):
+        assert PartitionGeometry((4, 1, 1, 1)).is_ring()
+        assert not PartitionGeometry((2, 2, 1, 1)).is_ring()
+
+    def test_cube(self):
+        assert PartitionGeometry((2, 2, 2, 2)).is_cube()
+        assert not PartitionGeometry((2, 2, 2, 1)).is_cube()
+
+    def test_aspect_ratio(self):
+        assert PartitionGeometry((4, 1, 1, 1)).aspect_ratio() == 4.0
+        assert PartitionGeometry((2, 2, 2, 2)).aspect_ratio() == 1.0
+
+
+class TestRelations:
+    def test_fits_in(self):
+        assert PartitionGeometry((7, 2, 2, 2)).fits_in(JUQUEEN)
+        assert not PartitionGeometry((7, 2, 2, 2)).fits_in(MIRA)
+        assert PartitionGeometry((4, 4, 3, 2)).fits_in(MIRA)
+
+    def test_ordering_by_size_then_bandwidth(self):
+        worse = PartitionGeometry((4, 1, 1, 1))
+        better = PartitionGeometry((2, 2, 1, 1))
+        bigger = PartitionGeometry((4, 2, 1, 1))
+        assert worse < better < bigger
+
+    def test_label(self):
+        assert PartitionGeometry((1, 2, 2)).label() == "2 x 2 x 1 x 1"
+
+    def test_corollary_3_4_monotonicity(self):
+        """Smaller longest dimension at equal size => more bandwidth."""
+        from repro.allocation.enumeration import factorizations_into_dims
+
+        for p in (4, 8, 16, 24, 48):
+            geos = [
+                PartitionGeometry(d)
+                for d in factorizations_into_dims(p, 4)
+            ]
+            geos.sort(key=lambda g: g.longest_dim)
+            for a, b in zip(geos, geos[1:]):
+                if a.longest_dim < b.longest_dim:
+                    assert (
+                        a.normalized_bisection_bandwidth
+                        > b.normalized_bisection_bandwidth
+                    )

@@ -1,0 +1,126 @@
+"""Unit tests for the partition geometry optimizer (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.allocation.optimizer import (
+    best_geometry_for_machine,
+    best_worst_table,
+    compare_policy_to_optimal,
+    corollary_3_4_improves,
+    improvable_sizes,
+    worst_geometry_for_machine,
+)
+from repro.allocation.policy import juqueen_policy, mira_policy
+from repro.machines.catalog import JUQUEEN, MIRA
+
+
+class TestBestWorst:
+    def test_mira_best_24(self):
+        assert best_geometry_for_machine(MIRA, 24).dims == (3, 2, 2, 2)
+
+    def test_mira_worst_24(self):
+        worst = worst_geometry_for_machine(MIRA, 24)
+        assert worst.normalized_bisection_bandwidth == 1536
+
+    def test_impossible_size(self):
+        with pytest.raises(ValueError):
+            best_geometry_for_machine(JUQUEEN, 11)
+
+    def test_best_has_max_bandwidth(self):
+        from repro.allocation.enumeration import enumerate_geometries
+
+        for size in (4, 8, 12, 24):
+            best = best_geometry_for_machine(JUQUEEN, size)
+            for g in enumerate_geometries(JUQUEEN, size):
+                assert (
+                    best.normalized_bisection_bandwidth
+                    >= g.normalized_bisection_bandwidth
+                )
+
+
+class TestTable1Reproduction:
+    def test_improvable_sizes_match_table1(self):
+        rows = improvable_sizes(mira_policy())
+        assert [r.num_midplanes for r in rows] == [4, 8, 16, 24]
+        expected = {
+            4: ((4, 1, 1, 1), 256, (2, 2, 1, 1), 512),
+            8: ((4, 2, 1, 1), 512, (2, 2, 2, 1), 1024),
+            16: ((4, 4, 1, 1), 1024, (2, 2, 2, 2), 2048),
+            24: ((4, 3, 2, 1), 1536, (3, 2, 2, 2), 2048),
+        }
+        for r in rows:
+            cur, cbw, prop, pbw = expected[r.num_midplanes]
+            assert r.current.dims == cur
+            assert r.current_bw == cbw
+            assert r.proposed.dims == prop
+            assert r.proposed_bw == pbw
+
+    def test_improvement_factors(self):
+        rows = {r.num_midplanes: r for r in improvable_sizes(mira_policy())}
+        assert rows[4].improvement == 2.0
+        assert rows[24].improvement == pytest.approx(4 / 3)
+
+    def test_non_improvable_sizes_excluded(self):
+        sizes = {r.num_midplanes for r in improvable_sizes(mira_policy())}
+        for fixed in (1, 2, 32, 48, 64, 96):
+            assert fixed not in sizes
+
+    def test_full_comparison_covers_all_sizes(self):
+        rows = compare_policy_to_optimal(mira_policy())
+        assert [r.num_midplanes for r in rows] == [
+            1, 2, 4, 8, 16, 24, 32, 48, 64, 96,
+        ]
+
+    def test_node_counts(self):
+        rows = {r.num_midplanes: r for r in improvable_sizes(mira_policy())}
+        assert rows[4].num_nodes == 2048
+        assert rows[24].num_nodes == 12288
+
+
+class TestTable2Reproduction:
+    def test_juqueen_improvable_rows(self):
+        rows = [r for r in best_worst_table(JUQUEEN) if r.is_improved]
+        assert [r.num_midplanes for r in rows] == [4, 6, 8, 12, 16, 24]
+        for r in rows:
+            assert r.improvement == 2.0
+
+    def test_free_policy_current_is_worst(self):
+        rows = {
+            r.num_midplanes: r
+            for r in compare_policy_to_optimal(juqueen_policy())
+        }
+        assert rows[6].current.dims == (6, 1, 1, 1)
+        assert rows[6].proposed.dims == (3, 2, 1, 1)
+
+
+class TestCorollary34:
+    def test_improves_iff_smaller_longest_dim(self):
+        a = PartitionGeometry((4, 1, 1, 1))
+        b = PartitionGeometry((2, 2, 1, 1))
+        assert corollary_3_4_improves(a, b)
+        assert not corollary_3_4_improves(b, a)
+        assert not corollary_3_4_improves(a, a)
+
+    def test_requires_equal_sizes(self):
+        with pytest.raises(ValueError):
+            corollary_3_4_improves(
+                PartitionGeometry((4, 1, 1, 1)),
+                PartitionGeometry((2, 1, 1, 1)),
+            )
+
+    def test_corollary_agrees_with_bandwidth(self):
+        """Corollary 3.4's prediction matches the computed bandwidths."""
+        from repro.allocation.enumeration import enumerate_geometries
+
+        for size in (8, 16, 24, 48):
+            geos = enumerate_geometries(MIRA, size)
+            for a in geos:
+                for b in geos:
+                    if corollary_3_4_improves(a, b):
+                        assert (
+                            b.normalized_bisection_bandwidth
+                            > a.normalized_bisection_bandwidth
+                        )

@@ -1,0 +1,85 @@
+"""Unit tests for allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.policy import (
+    FreeCuboidPolicy,
+    PredefinedListPolicy,
+    juqueen_policy,
+    mira_policy,
+    sequoia_policy,
+)
+from repro.machines.catalog import JUQUEEN, MIRA
+
+
+class TestPredefinedList:
+    def test_mira_supported_sizes(self):
+        pol = mira_policy()
+        assert pol.supported_sizes() == [1, 2, 4, 8, 16, 24, 32, 48, 64, 96]
+
+    def test_single_geometry_per_size(self):
+        pol = mira_policy()
+        geos = pol.permissible_geometries(8)
+        assert len(geos) == 1
+        assert geos[0].dims == (4, 2, 1, 1)
+
+    def test_unsupported_size_empty(self):
+        pol = mira_policy()
+        assert pol.permissible_geometries(3) == []
+        assert not pol.supports(3)
+
+    def test_best_equals_worst(self):
+        pol = mira_policy()
+        assert pol.best_geometry(16) == pol.worst_geometry(16)
+        assert pol.bandwidth_spread(16) == 1.0
+
+    def test_unsupported_size_raises_on_best(self):
+        with pytest.raises(ValueError):
+            mira_policy().best_geometry(5)
+
+    def test_table_validation_size_mismatch(self):
+        with pytest.raises(ValueError):
+            PredefinedListPolicy(MIRA, {4: (2, 1, 1, 1)})
+
+    def test_table_validation_fit(self):
+        with pytest.raises(ValueError):
+            PredefinedListPolicy(MIRA, {5: (5, 1, 1, 1)})
+
+    def test_geometry_for(self):
+        pol = mira_policy()
+        assert pol.geometry_for(96).dims == (4, 4, 3, 2)
+        with pytest.raises(KeyError):
+            pol.geometry_for(5)
+
+
+class TestFreeCuboid:
+    def test_juqueen_spread_is_2_for_improvable_sizes(self):
+        pol = juqueen_policy()
+        for size in (4, 6, 8, 12, 16, 24):
+            assert pol.bandwidth_spread(size) == 2.0
+
+    def test_spread_is_1_for_forced_sizes(self):
+        pol = juqueen_policy()
+        for size in (1, 2, 3, 5, 7):
+            assert pol.bandwidth_spread(size) == 1.0
+
+    def test_best_and_worst_differ(self):
+        pol = juqueen_policy()
+        assert pol.best_geometry(8).dims == (2, 2, 2, 1)
+        assert pol.worst_geometry(8).dims == (4, 2, 1, 1)
+
+    def test_machine_accessor(self):
+        assert juqueen_policy().machine is JUQUEEN
+
+    def test_sequoia_supports_27(self):
+        # 3^3 fits Sequoia's (4, 4, 4, 3)... needs three dims >= 3.
+        pol = sequoia_policy()
+        assert pol.supports(27)
+        assert pol.best_geometry(27).dims == (3, 3, 3, 1)
+
+    def test_supported_sizes_match_enumeration(self):
+        pol = juqueen_policy()
+        for size in pol.supported_sizes():
+            assert pol.permissible_geometries(size)

@@ -1,0 +1,81 @@
+"""Unit tests for size-only request variability simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.advisor import JobRequest
+from repro.allocation.policy import juqueen_policy, mira_policy
+from repro.allocation.variability import (
+    SELECTION_RULES,
+    simulate_job_stream,
+)
+
+
+@pytest.fixture
+def job():
+    return JobRequest(8, 3600.0, 0.5)
+
+
+class TestSelectionRules:
+    def test_best_is_constant_optimal(self, job):
+        rep = simulate_job_stream(juqueen_policy(), job, 5, "best")
+        assert rep.spread == 1.0
+        assert all(t == pytest.approx(3600.0) for t in rep.runtimes)
+
+    def test_worst_is_constant_inflated(self, job):
+        rep = simulate_job_stream(juqueen_policy(), job, 5, "worst")
+        # 50% compute + 50% comm x2 = 1.5x.
+        assert all(t == pytest.approx(5400.0) for t in rep.runtimes)
+
+    def test_random_seeded_deterministic(self, job):
+        a = simulate_job_stream(juqueen_policy(), job, 20, "random", seed=3)
+        b = simulate_job_stream(juqueen_policy(), job, 20, "random", seed=3)
+        assert a.runtimes == b.runtimes
+
+    def test_random_varies_across_seeds(self, job):
+        a = simulate_job_stream(juqueen_policy(), job, 20, "random", seed=1)
+        b = simulate_job_stream(juqueen_policy(), job, 20, "random", seed=2)
+        assert a.runtimes != b.runtimes
+
+    def test_random_eventually_sees_both_geometries(self, job):
+        rep = simulate_job_stream(
+            juqueen_policy(), job, 50, "random", seed=0
+        )
+        assert rep.distinct_geometries == 2
+        assert rep.spread == pytest.approx(1.5)
+
+    def test_first_fit_deterministic(self, job):
+        a = simulate_job_stream(juqueen_policy(), job, 5, "first-fit")
+        assert a.spread == 1.0
+
+    def test_unknown_rule(self, job):
+        with pytest.raises(ValueError):
+            simulate_job_stream(juqueen_policy(), job, 5, "chaotic")
+
+
+class TestEdgeCases:
+    def test_predefined_policy_has_no_variability(self, job):
+        """Mira's list policy always serves the same geometry."""
+        rep = simulate_job_stream(mira_policy(), job, 10, "random")
+        assert rep.spread == 1.0
+        assert rep.distinct_geometries == 1
+
+    def test_unsupported_size(self):
+        job = JobRequest(11, 100.0, 0.5)
+        with pytest.raises(ValueError):
+            simulate_job_stream(juqueen_policy(), job, 5, "random")
+
+    def test_compute_bound_job_immune(self):
+        """A zero-contention job shows no variance even under roulette."""
+        job = JobRequest(8, 100.0, 0.0)
+        rep = simulate_job_stream(
+            juqueen_policy(), job, 30, "random", seed=0
+        )
+        assert rep.spread == 1.0
+
+    def test_report_stats(self, job):
+        rep = simulate_job_stream(juqueen_policy(), job, 30, "random")
+        assert rep.mean > 0
+        assert rep.stdev >= 0
+        assert len(rep.runtimes) == 30

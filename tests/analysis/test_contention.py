@@ -1,0 +1,67 @@
+"""Unit tests for kernel contention-bound analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.analysis.contention import (
+    caps_contention,
+    geometry_sensitivity,
+    nbody_contention,
+    summa_contention,
+)
+
+
+@pytest.fixture
+def worse():
+    return PartitionGeometry((4, 1, 1, 1))
+
+
+@pytest.fixture
+def better():
+    return PartitionGeometry((2, 2, 1, 1))
+
+
+class TestBounds:
+    def test_caps_bound_positive(self, worse):
+        b = caps_contention(worse, num_ranks=2401, matrix_dim=9408)
+        assert b.bound_seconds > 0
+        assert b.kernel == "caps-strassen"
+
+    def test_bound_inverse_in_bandwidth(self, worse, better):
+        a = caps_contention(worse, 2401, 9408)
+        b = caps_contention(better, 2401, 9408)
+        assert a.bound_seconds == pytest.approx(2 * b.bound_seconds)
+
+    def test_summa_bound(self, worse):
+        b = summa_contention(worse, num_ranks=2401, matrix_dim=9408)
+        assert b.kernel == "summa-classical"
+        assert b.bound_seconds > 0
+
+    def test_nbody_bound(self, worse):
+        b = nbody_contention(worse, num_ranks=2048, num_bodies=10**6)
+        assert b.kernel == "nbody-direct"
+        assert b.bound_seconds > 0
+
+
+class TestSensitivity:
+    def test_sensitivity_is_bandwidth_ratio(self, worse, better):
+        a = caps_contention(worse, 2401, 9408)
+        b = caps_contention(better, 2401, 9408)
+        assert geometry_sensitivity(a, b) == pytest.approx(2.0)
+
+    def test_cross_kernel_comparison_rejected(self, worse):
+        a = caps_contention(worse, 2401, 9408)
+        b = summa_contention(worse, 2401, 9408)
+        with pytest.raises(ValueError):
+            geometry_sensitivity(a, b)
+
+    def test_nbody_has_higher_absolute_floor_than_caps(self, worse):
+        """The paper's future-work claim: direct N-body's contention
+        floor exceeds fast matmul's at matched memory footprint."""
+        ranks = 2401
+        n = 9408
+        caps = caps_contention(worse, ranks, n)
+        nbody = nbody_contention(worse, ranks, num_bodies=n * n // ranks * ranks)
+        assert nbody.bound_seconds > caps.bound_seconds

@@ -1,0 +1,86 @@
+"""Tests for regenerated figure series (combinatorial figures exact;
+experiment figures exercised at reduced scale — full scale runs in the
+benchmark harnesses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    FIGURE_3_MIDPLANES,
+    FIGURE_4_MIDPLANES,
+    figure1,
+    figure2,
+    figure7,
+)
+from repro.analysis import paperdata
+
+
+class TestFigure1:
+    def test_series_cover_mira_sizes(self):
+        fig = figure1()
+        assert sorted(fig["current"]) == [1, 2, 4, 8, 16, 24, 32, 48, 64, 96]
+
+    def test_values_match_table6(self):
+        fig = figure1()
+        for row in paperdata.TABLE_6_MIRA_FULL:
+            mp = row["midplanes"]
+            assert fig["current"][mp] == row["current_bw"]
+            expected = row["proposed_bw"] or row["current_bw"]
+            assert fig["proposed"][mp] == expected
+
+    def test_proposed_dominates(self):
+        fig = figure1()
+        for mp, bw in fig["current"].items():
+            assert fig["proposed"][mp] >= bw
+
+
+class TestFigure2:
+    def test_series_cover_juqueen_sizes(self):
+        fig = figure2()
+        assert min(fig["best"]) == 1
+        assert max(fig["best"]) == 56
+
+    def test_values_match_table7(self):
+        fig = figure2()
+        for row in paperdata.TABLE_7_JUQUEEN_FULL:
+            mp = row["midplanes"]
+            assert fig["worst"][mp] == row["worst_bw"]
+            expected = row["best_bw"] or row["worst_bw"]
+            assert fig["best"][mp] == expected
+
+    def test_spiking_drops_at_forced_ring_sizes(self):
+        """Figure 2's caption: sizes that force rings drop to 256."""
+        fig = figure2()
+        assert fig["best"][5] == 256
+        assert fig["best"][7] == 256
+        assert fig["best"][4] == 512  # neighbors are higher
+        assert fig["best"][8] == 1024
+
+
+class TestFigure7:
+    def test_matches_table5(self):
+        fig = figure7()
+        for size, entry in paperdata.TABLE_5_MACHINE_DESIGN.items():
+            for machine, want in entry.items():
+                got = fig[machine].get(size)
+                if want is None:
+                    assert got is None
+                else:
+                    assert got == want[1]
+
+    def test_hypotheticals_dominate(self):
+        fig = figure7()
+        for size, bw in fig["JUQUEEN"].items():
+            for other in ("JUQUEEN-48", "JUQUEEN-54"):
+                o = fig[other].get(size)
+                if bw is not None and o is not None:
+                    assert o >= bw
+
+
+class TestExperimentFigureAxes:
+    def test_figure3_axis(self):
+        assert FIGURE_3_MIDPLANES == (4, 8, 16, 24)
+
+    def test_figure4_axis(self):
+        assert FIGURE_4_MIDPLANES == (4, 6, 8, 12, 16)

@@ -1,0 +1,43 @@
+"""Scaled-down smoke tests for the experiment figures (3-6).
+
+The full-scale versions run in the benchmark harnesses; here we verify
+the figure functions produce correctly-shaped data quickly by using
+reduced parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure3, figure4
+from repro.experiments.pairing import PairingParameters
+
+FAST = PairingParameters(rounds=1, chunks_per_round=1)
+
+
+@pytest.mark.parametrize("fig,keys", [
+    (figure3, ("current", "proposed")),
+    (figure4, ("worst", "proposed")),
+])
+def test_pairing_figures_structure(fig, keys):
+    data = fig(FAST)
+    assert set(data) == set(keys)
+    worse, better = (data[k] for k in keys)
+    assert set(worse) == set(better)
+    for mp in worse:
+        assert worse[mp] >= better[mp] > 0
+
+
+def test_figure3_ratios_fast(fig=figure3):
+    data = fig(FAST)
+    for mp in (4, 8, 16):
+        assert data["current"][mp] / data["proposed"][mp] == pytest.approx(
+            2.0, rel=0.05
+        )
+
+
+def test_figure4_six_midplane_caption_fact():
+    data = figure4(FAST)
+    assert data["proposed"][6] / data["proposed"][4] == pytest.approx(
+        1.5, rel=0.02
+    )

@@ -1,0 +1,116 @@
+"""Internal-consistency checks of the transcribed paper data.
+
+These tests validate the ground-truth constants *against themselves* and
+against the Blue Gene/Q bandwidth formula — catching transcription
+mistakes independently of the regeneration code.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import paperdata
+from repro.machines.bgq import normalized_bisection_bandwidth
+
+
+def _check_row_bw(dims, bw):
+    assert normalized_bisection_bandwidth(dims) == bw, dims
+
+
+class TestBandwidthFormulaConsistency:
+    def test_table1(self):
+        for row in paperdata.TABLE_1_MIRA_IMPROVED:
+            _check_row_bw(row["current"], row["current_bw"])
+            _check_row_bw(row["proposed"], row["proposed_bw"])
+
+    def test_table2(self):
+        for row in paperdata.TABLE_2_JUQUEEN_IMPROVED:
+            _check_row_bw(row["worst"], row["worst_bw"])
+            _check_row_bw(row["best"], row["best_bw"])
+
+    def test_table5(self):
+        for entry in paperdata.TABLE_5_MACHINE_DESIGN.values():
+            for val in entry.values():
+                if val is not None:
+                    _check_row_bw(val[0], val[1])
+
+    def test_table6(self):
+        for row in paperdata.TABLE_6_MIRA_FULL:
+            _check_row_bw(row["current"], row["current_bw"])
+            if row["proposed"] is not None:
+                _check_row_bw(row["proposed"], row["proposed_bw"])
+
+    def test_table7(self):
+        for row in paperdata.TABLE_7_JUQUEEN_FULL:
+            _check_row_bw(row["worst"], row["worst_bw"])
+            if row["best"] is not None:
+                _check_row_bw(row["best"], row["best_bw"])
+
+
+class TestStructuralConsistency:
+    def test_node_counts_512_per_midplane(self):
+        for table in (
+            paperdata.TABLE_1_MIRA_IMPROVED,
+            paperdata.TABLE_2_JUQUEEN_IMPROVED,
+            paperdata.TABLE_6_MIRA_FULL,
+            paperdata.TABLE_7_JUQUEEN_FULL,
+        ):
+            for row in table:
+                assert row["nodes"] == 512 * row["midplanes"]
+
+    def test_geometry_sizes_match_midplane_counts(self):
+        for row in paperdata.TABLE_6_MIRA_FULL:
+            assert math.prod(row["current"]) == row["midplanes"]
+            if row["proposed"] is not None:
+                assert math.prod(row["proposed"]) == row["midplanes"]
+
+    def test_table5_sizes_match(self):
+        for size, entry in paperdata.TABLE_5_MACHINE_DESIGN.items():
+            for val in entry.values():
+                if val is not None:
+                    assert math.prod(val[0]) == size
+
+    def test_improved_tables_subset_of_full(self):
+        full6 = {r["midplanes"]: r for r in paperdata.TABLE_6_MIRA_FULL}
+        for row in paperdata.TABLE_1_MIRA_IMPROVED:
+            assert full6[row["midplanes"]]["proposed"] == row["proposed"]
+        full7 = {r["midplanes"]: r for r in paperdata.TABLE_7_JUQUEEN_FULL}
+        for row in paperdata.TABLE_2_JUQUEEN_IMPROVED:
+            assert full7[row["midplanes"]]["best"] == row["best"]
+
+    def test_table3_rank_counts_factor(self):
+        from repro.kernels.caps import split_rank_count
+
+        for row in paperdata.TABLE_3_MATMUL_PARAMS:
+            f, k = split_rank_count(row["ranks"])
+            assert k >= 4  # at least four 7-way BFS steps
+
+    def test_table4_ranks_on_nodes(self):
+        for row in paperdata.TABLE_4_STRONG_SCALING:
+            # Ranks fit under the core cap.
+            per_node = -(-row["ranks"] // row["nodes"])
+            assert per_node <= row["max_cores"]
+
+
+class TestMeasuredValueSanity:
+    def test_figure5_proposed_faster(self):
+        for v in paperdata.FIGURE_5_COMM_TIMES.values():
+            assert v["proposed"] < v["current"]
+
+    def test_figure5_ratios_in_stated_range(self):
+        lo, hi = paperdata.MATMUL_COMM_RATIO_RANGE
+        for mp, v in paperdata.FIGURE_5_COMM_TIMES.items():
+            ratio = v["current"] / v["proposed"]
+            assert lo - 0.06 <= ratio <= hi + 0.07, (mp, ratio)
+
+    def test_figure6_monotone_decreasing(self):
+        for series in paperdata.FIGURE_6_STRONG_SCALING_TIMES.values():
+            times = [series[k] for k in sorted(series)]
+            assert times == sorted(times, reverse=True)
+
+    def test_pairing_predictions(self):
+        assert paperdata.PAIRING_PREDICTED_RATIOS[4] == 2.0
+        assert paperdata.PAIRING_PREDICTED_RATIOS[24] == 1.5
+        assert paperdata.PAIRING_MEASURED_RATIO_FLOOR == 1.92

@@ -1,0 +1,72 @@
+"""Unit tests for ASCII report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_geometry, render_series, render_table
+
+
+class TestFormatGeometry:
+    def test_tuple(self):
+        assert format_geometry((4, 2, 1, 1)) == "4 x 2 x 1 x 1"
+
+    def test_none(self):
+        assert format_geometry(None) == "-"
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        out = render_table(
+            [{"a": 1, "b": (2, 1)}, {"a": 22, "b": None}],
+            ["a", "b"],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2 x 1" in out
+        assert "-" in lines[-1]
+
+    def test_floats_compact(self):
+        out = render_table([{"x": 0.123456}], ["x"])
+        assert "0.1235" in out
+
+    def test_column_alignment(self):
+        out = render_table(
+            [{"a": "x"}, {"a": "longer"}], ["a"], headers=["A"]
+        )
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_header_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table([], ["a", "b"], headers=["only"])
+
+    def test_empty_rows(self):
+        out = render_table([], ["a"])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_multiple_series(self):
+        out = render_series(
+            {"up": {1: 1.0, 2: 2.0}, "down": {1: 2.0, 2: 1.0}},
+            title="S",
+        )
+        assert "up" in out and "down" in out
+        assert out.splitlines()[0] == "S"
+
+    def test_missing_points_dash(self):
+        out = render_series({"a": {1: 1.0}, "b": {2: 2.0}})
+        assert "-" in out
+
+    def test_custom_format(self):
+        out = render_series({"a": {1: 0.5}}, y_format="{:.1f}")
+        assert "0.5" in out
+
+    def test_x_values_sorted(self):
+        out = render_series({"a": {3: 1.0, 1: 2.0, 2: 3.0}})
+        body = out.splitlines()[2:]
+        xs = [int(line.split()[0]) for line in body]
+        assert xs == [1, 2, 3]

@@ -1,0 +1,78 @@
+"""Cross-check every regenerated table against the paper's ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paperdata, tables
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        assert tables.table1() == paperdata.TABLE_1_MIRA_IMPROVED
+
+
+class TestTable2:
+    def test_matches_paper_exactly(self):
+        assert tables.table2() == paperdata.TABLE_2_JUQUEEN_IMPROVED
+
+
+class TestTable3:
+    def test_parameters_carried_through(self):
+        rows = tables.table3()
+        assert [r["midplanes"] for r in rows] == [4, 8, 16, 24]
+        for got, want in zip(rows, paperdata.TABLE_3_MATMUL_PARAMS):
+            for key in ("nodes", "ranks", "max_cores", "matrix_dim"):
+                assert got[key] == want[key]
+
+    def test_avg_cores_recomputed(self):
+        rows = {r["midplanes"]: r for r in tables.table3()}
+        assert rows[4]["avg_cores"] == pytest.approx(15.24, abs=0.01)
+        assert rows[24]["avg_cores"] == pytest.approx(9.57, abs=0.01)
+
+    def test_computation_model_close_to_paper(self):
+        rows = {r["midplanes"]: r for r in tables.table3()}
+        for mp, measured in paperdata.COMPUTATION_TIMES_SECONDS.items():
+            model = rows[mp]["computation_time_model"]
+            assert model == pytest.approx(measured, rel=0.5), mp
+
+
+class TestTable4:
+    def test_bandwidths_match_paper(self):
+        rows = tables.table4()
+        for got, want in zip(rows, paperdata.TABLE_4_STRONG_SCALING):
+            assert got["current_bw"] == want["current_bw"]
+            assert got["proposed_bw"] == want["proposed_bw"]
+
+    def test_avg_cores(self):
+        for row in tables.table4():
+            assert row["avg_cores"] == pytest.approx(2.34, abs=0.01)
+
+
+class TestTable5:
+    def test_matches_paper_cell_by_cell(self):
+        got = tables.table5()
+        for size, entry in paperdata.TABLE_5_MACHINE_DESIGN.items():
+            assert size in got, size
+            for machine, want in entry.items():
+                have = got[size].get(machine)
+                if want is None:
+                    assert have is None, (size, machine)
+                else:
+                    assert have is not None, (size, machine)
+                    assert tuple(have[0]) == tuple(want[0]), (size, machine)
+                    assert have[1] == want[1], (size, machine)
+
+    def test_no_extra_sizes_beyond_union(self):
+        got = tables.table5()
+        assert set(paperdata.TABLE_5_MACHINE_DESIGN) <= set(got)
+
+
+class TestTable6:
+    def test_matches_paper_exactly(self):
+        assert tables.table6() == paperdata.TABLE_6_MIRA_FULL
+
+
+class TestTable7:
+    def test_matches_paper_exactly(self):
+        assert tables.table7() == paperdata.TABLE_7_JUQUEEN_FULL

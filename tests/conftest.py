@@ -1,0 +1,39 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.topology import CliqueProduct, Hypercube, Mesh, Torus
+
+
+@pytest.fixture
+def small_torus() -> Torus:
+    """A small non-cubic torus usable with the brute-force oracle."""
+    return Torus((4, 3, 2))
+
+
+@pytest.fixture
+def q3() -> Hypercube:
+    return Hypercube(3)
+
+
+@pytest.fixture
+def grid44() -> Mesh:
+    return Mesh((4, 4))
+
+
+@pytest.fixture
+def k32() -> CliqueProduct:
+    return CliqueProduct((3, 2))
+
+
+@pytest.fixture
+def mira_4mp_current() -> PartitionGeometry:
+    return PartitionGeometry((4, 1, 1, 1))
+
+
+@pytest.fixture
+def mira_4mp_proposed() -> PartitionGeometry:
+    return PartitionGeometry((2, 2, 1, 1))

@@ -1,0 +1,78 @@
+"""Unit tests for the machine-design search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.designsearch import (
+    DesignCandidate,
+    design_search,
+    score_machine,
+)
+from repro.machines.catalog import JUQUEEN, JUQUEEN_48, JUQUEEN_54
+
+
+@pytest.fixture(scope="module")
+def search():
+    return design_search(56, JUQUEEN)
+
+
+class TestScoring:
+    def test_score_machine_matches_optimizer(self):
+        scores = score_machine(JUQUEEN, [4, 8, 16])
+        assert scores == {4: 512, 8: 1024, 16: 2048}
+
+    def test_unallocatable_size_scores_zero(self):
+        scores = score_machine(JUQUEEN, [11])
+        assert scores[11] == 0
+
+
+class TestSearch:
+    def test_rediscovers_juqueen_48_as_top_design(self, search):
+        """The paper's hand-picked JUQUEEN-48 is the best dominating
+        candidate: it matches JUQUEEN at every common size and strictly
+        beats it at 48 midplanes — with 8 fewer midplanes."""
+        top = search[0]
+        assert top.machine.midplane_dims == JUQUEEN_48.midplane_dims
+        assert top.dominated_baseline
+        assert top.wins >= 1
+
+    def test_juqueen_54_among_dominating_candidates(self, search):
+        dominating = {
+            c.machine.midplane_dims
+            for c in search
+            if c.dominated_baseline
+        }
+        assert JUQUEEN_54.midplane_dims in dominating
+
+    def test_baseline_excluded(self, search):
+        assert all(
+            c.machine.midplane_dims != JUQUEEN.midplane_dims
+            for c in search
+        )
+
+    def test_dominating_candidates_sort_first(self, search):
+        flags = [c.dominated_baseline for c in search]
+        # Once False appears, no later True.
+        if False in flags:
+            first_false = flags.index(False)
+            assert not any(flags[first_false:])
+
+    def test_elongated_machines_do_not_dominate(self, search):
+        by_dims = {c.machine.midplane_dims: c for c in search}
+        # A 56-midplane ring machine can't even match JUQUEEN.
+        ring = by_dims.get((56, 1, 1, 1))
+        assert ring is not None
+        assert not ring.dominated_baseline
+
+    def test_total_bandwidth_property(self, search):
+        c = search[0]
+        assert c.total_bandwidth == sum(c.bandwidths.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_search(4, JUQUEEN, min_midplanes=8)
+
+    def test_custom_sizes(self):
+        cands = design_search(8, JUQUEEN, sizes=[4, 8])
+        assert all(set(c.bandwidths) == {4, 8} for c in cands)

@@ -1,0 +1,93 @@
+"""Unit tests for the machine-design study (Table 5 / Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.machinedesign import (
+    compare_machines,
+    is_constructible_within,
+    peak_speedup_nearest_size,
+    peak_speedup_over_baseline,
+)
+from repro.machines.catalog import JUQUEEN, JUQUEEN_48, JUQUEEN_54, MIRA
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return compare_machines([JUQUEEN, JUQUEEN_48, JUQUEEN_54])
+
+
+class TestComparison:
+    def test_sizes_are_union(self, rows):
+        sizes = [r.num_midplanes for r in rows]
+        assert 5 in sizes     # JUQUEEN-only
+        assert 9 in sizes     # hypothetical-only
+        assert 27 in sizes    # JUQUEEN-54-only
+        assert sizes == sorted(sizes)
+
+    def test_hypotheticals_never_worse_at_common_sizes(self, rows):
+        """Table 5's claim: J-48 / J-54 match or beat JUQUEEN wherever
+        both can allocate."""
+        for row in rows:
+            j = row.bandwidths["JUQUEEN"]
+            for other in ("JUQUEEN-48", "JUQUEEN-54"):
+                o = row.bandwidths[other]
+                if j is not None and o is not None:
+                    assert o >= j, (row.num_midplanes, other)
+
+    def test_strict_improvements_at_largest_sizes(self, rows):
+        by_size = {r.num_midplanes: r for r in rows}
+        assert by_size[48].bandwidths["JUQUEEN-48"] == 3072
+        assert by_size[48].bandwidths["JUQUEEN"] == 2048
+        assert by_size[24].bandwidths["JUQUEEN-54"] == 2048
+        assert by_size[24].bandwidths["JUQUEEN"] == 2048
+
+    def test_paper_peak_speedups(self, rows):
+        """Up to x1.5 for JUQUEEN-48 (same-size, 48 midplanes) and x2+
+        for JUQUEEN-54 (nearest-size: 54 vs JUQUEEN's 56)."""
+        assert peak_speedup_over_baseline(
+            rows, "JUQUEEN", "JUQUEEN-48"
+        ) == pytest.approx(1.5)
+        # At every common size JUQUEEN-54 merely matches JUQUEEN...
+        assert peak_speedup_over_baseline(
+            rows, "JUQUEEN", "JUQUEEN-54"
+        ) == pytest.approx(1.0)
+        # ...its advantage shows at sizes JUQUEEN cannot form.
+        assert peak_speedup_nearest_size(
+            rows, "JUQUEEN", "JUQUEEN-54"
+        ) >= 2.0
+        assert peak_speedup_nearest_size(
+            rows, "JUQUEEN", "JUQUEEN-48"
+        ) >= 1.5
+
+    def test_missing_sizes_are_none(self, rows):
+        by_size = {r.num_midplanes: r for r in rows}
+        assert by_size[5].bandwidths["JUQUEEN-48"] is None
+        assert by_size[27].bandwidths["JUQUEEN"] is None
+
+    def test_geometries_reported(self, rows):
+        by_size = {r.num_midplanes: r for r in rows}
+        assert by_size[54].geometries["JUQUEEN-54"] == (3, 3, 3, 2)
+
+    def test_custom_sizes(self):
+        rows = compare_machines([JUQUEEN], sizes=[4, 8])
+        assert [r.num_midplanes for r in rows] == [4, 8]
+
+    def test_empty_machine_list(self):
+        with pytest.raises(ValueError):
+            compare_machines([])
+
+    def test_no_common_sizes_raises(self, rows):
+        with pytest.raises(ValueError):
+            peak_speedup_over_baseline(rows, "JUQUEEN", "nonexistent")
+
+
+class TestConstructibility:
+    def test_hypotheticals_fit_mira(self):
+        """The paper's feasibility argument."""
+        assert is_constructible_within(JUQUEEN_48, MIRA)
+        assert is_constructible_within(JUQUEEN_54, MIRA)
+
+    def test_juqueen_does_not_fit_mira(self):
+        assert not is_constructible_within(JUQUEEN, MIRA)

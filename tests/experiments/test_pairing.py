@@ -1,0 +1,85 @@
+"""Unit tests for Experiment A (bisection pairing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.experiments.pairing import (
+    PairingParameters,
+    PairingResult,
+    run_pairing,
+)
+
+# Small geometries keep the fluid simulation fast in unit tests; the
+# benchmark harnesses run the full paper sizes.
+FAST = PairingParameters()
+
+
+class TestParameters:
+    def test_paper_defaults(self):
+        p = PairingParameters()
+        assert p.rounds == 26
+        assert p.chunks_per_round == 16
+        assert p.chunk_gb == 0.1342
+        assert p.link_bandwidth == 2.0
+
+    def test_volume_per_pair(self):
+        p = PairingParameters()
+        assert p.volume_per_pair_gb == pytest.approx(26 * 16 * 0.1342)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairingParameters(rounds=0)
+        with pytest.raises(ValueError):
+            PairingParameters(chunk_gb=-1.0)
+
+
+class TestSingleMidplane:
+    def test_one_midplane_run(self):
+        res = run_pairing(PartitionGeometry((1, 1, 1, 1)))
+        assert res.num_flows == 512
+        assert res.time_seconds > 0
+
+    def test_symmetric_rates(self):
+        res = run_pairing(PartitionGeometry((1, 1, 1, 1)))
+        assert res.min_rate == pytest.approx(res.max_rate)
+
+
+class TestGeometryComparison:
+    def test_4mp_ratio_is_two(self, mira_4mp_current, mira_4mp_proposed):
+        """The paper's headline: x2 between 4x1x1x1 and 2x2x1x1."""
+        worse = run_pairing(mira_4mp_current)
+        better = run_pairing(mira_4mp_proposed)
+        assert worse.time_seconds / better.time_seconds == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_equal_bandwidth_per_node_equal_time(self):
+        """Mira's current 4- and 8-midplane partitions have the same
+        per-node bisection bandwidth (256/2048 = 512/4096), producing
+        the flat region of Figure 3."""
+        t4 = run_pairing(PartitionGeometry((4, 1, 1, 1))).time_seconds
+        t8 = run_pairing(PartitionGeometry((4, 2, 1, 1))).time_seconds
+        assert t4 == pytest.approx(t8)
+
+    def test_absolute_time_matches_link_counting(self, mira_4mp_proposed):
+        """(2,2,1,1): 8-ring antipodal flows, parity-split -> 2 flows
+        per + link -> 1.0 GB/s each -> volume / 1.0."""
+        res = run_pairing(mira_4mp_proposed)
+        expected = PairingParameters().volume_per_pair_gb / 1.0
+        assert res.time_seconds == pytest.approx(expected)
+
+    def test_custom_rounds_scale_linearly(self, mira_4mp_proposed):
+        t26 = run_pairing(mira_4mp_proposed).time_seconds
+        t13 = run_pairing(
+            mira_4mp_proposed, PairingParameters(rounds=13)
+        ).time_seconds
+        assert t26 == pytest.approx(2 * t13)
+
+    def test_result_fields(self, mira_4mp_proposed):
+        res = run_pairing(mira_4mp_proposed)
+        assert isinstance(res, PairingResult)
+        assert res.num_midplanes == 4
+        assert res.num_flows == 2048
+        assert res.geometry is mira_4mp_proposed

@@ -1,0 +1,74 @@
+"""Unit tests for Experiment C (strong scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.strongscaling import (
+    STRONG_SCALING_MATRIX_DIM,
+    STRONG_SCALING_TABLE4,
+    run_strong_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_strong_scaling()
+
+
+class TestTable4Constants:
+    def test_matrix_dim(self):
+        assert STRONG_SCALING_MATRIX_DIM == 9408
+
+    def test_rows(self):
+        assert [(r[0], r[1], r[2]) for r in STRONG_SCALING_TABLE4] == [
+            (2, 2401, 4), (4, 4802, 4), (8, 9604, 4),
+        ]
+
+    def test_two_midplane_row_has_unique_geometry(self):
+        row = STRONG_SCALING_TABLE4[0]
+        assert row[3] == row[4] == (2, 1, 1, 1)
+
+
+class TestCurves:
+    def test_common_starting_point(self, result):
+        assert result.current[0].communication_time == pytest.approx(
+            result.proposed[0].communication_time
+        )
+
+    def test_both_curves_decrease(self, result):
+        for curve in (result.current, result.proposed):
+            times = [p.communication_time for p in curve]
+            assert times == sorted(times, reverse=True)
+
+    def test_proposed_scales_better(self, result):
+        """The paper's point: proposed-geometry scaling beats current."""
+        assert result.speedup("proposed") > result.speedup("current")
+
+    def test_proposed_not_slower_at_any_size(self, result):
+        for cur, prop in zip(result.current, result.proposed):
+            assert (
+                prop.communication_time <= cur.communication_time + 1e-12
+            )
+
+    def test_spill_penalty_only_at_2mp(self, result):
+        assert result.current[0].spill_penalty > 1.0
+        assert all(p.spill_penalty == 1.0 for p in result.current[1:])
+        assert all(p.spill_penalty == 1.0 for p in result.proposed[1:])
+
+    def test_cache_model_toggle(self):
+        with_cache = run_strong_scaling()
+        without = run_strong_scaling(apply_cache_model=False)
+        assert (
+            with_cache.current[0].communication_time
+            > without.current[0].communication_time
+        )
+        # Larger sizes are unaffected.
+        assert with_cache.current[2].communication_time == pytest.approx(
+            without.current[2].communication_time
+        )
+
+    def test_computation_scales_with_ranks(self, result):
+        comps = [p.computation_time for p in result.current]
+        assert comps[0] == pytest.approx(2 * comps[1], rel=1e-6)
+        assert comps[1] == pytest.approx(2 * comps[2], rel=1e-6)

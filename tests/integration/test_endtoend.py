@@ -1,0 +1,143 @@
+"""Integration tests: whole-pipeline flows across packages."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro
+from repro.allocation import (
+    PartitionGeometry,
+    SchedulingAdvisor,
+    best_geometry_for_machine,
+    juqueen_policy,
+)
+from repro.allocation.advisor import JobRequest
+from repro.experiments.pairing import PairingParameters, run_pairing
+from repro.isoperimetry import (
+    best_cuboid,
+    reduced_torus_bound,
+    torus_isoperimetric_bound,
+)
+from repro.machines import JUQUEEN, MIRA
+
+
+class TestTheoryToAllocationPipeline:
+    """Theorem 3.1 -> cuboid optimizer -> geometry ranking agree."""
+
+    @pytest.mark.parametrize("size", [4, 8, 16, 24])
+    def test_bandwidth_consistent_with_isoperimetry(self, size):
+        best = best_geometry_for_machine(MIRA, size)
+        node_dims = best.node_dims
+        half = best.num_nodes // 2
+        # Exact cuboid bisection of the partition torus equals the
+        # reported bandwidth.
+        _, per = best_cuboid(node_dims, half)
+        assert per == best.normalized_bisection_bandwidth
+
+    def test_reduced_bound_matches_machine_bisection(self):
+        for dims in [(4, 1, 1, 1), (2, 2, 1, 1), (3, 2, 2, 2)]:
+            geo = PartitionGeometry(dims)
+            bound = reduced_torus_bound(
+                geo.node_dims, geo.num_nodes // 2
+            ).value
+            assert bound == pytest.approx(
+                geo.normalized_bisection_bandwidth
+            )
+
+    def test_theorem_bound_never_exceeds_bisection(self):
+        geo = PartitionGeometry((2, 2, 1, 1))
+        bound = reduced_torus_bound(geo.node_dims, geo.num_nodes // 2)
+        assert bound.value <= geo.normalized_bisection_bandwidth + 1e-9
+
+
+class TestAllocationToSimulationPipeline:
+    """Geometry ranking predicts simulated contention outcomes."""
+
+    def test_bandwidth_ratio_predicts_pairing_ratio(self):
+        params = PairingParameters(rounds=2)
+        for size in (4, 8):
+            worse = juqueen_policy().worst_geometry(size)
+            better = juqueen_policy().best_geometry(size)
+            bw_ratio = (
+                better.normalized_bisection_bandwidth
+                / worse.normalized_bisection_bandwidth
+            )
+            t_worse = run_pairing(worse, params).time_seconds
+            t_better = run_pairing(better, params).time_seconds
+            assert t_worse / t_better == pytest.approx(bw_ratio, rel=0.01)
+
+    def test_advisor_consistent_with_simulation(self):
+        """The advisor's runtime model ranks geometries in the same
+        order the simulator does."""
+        advisor = SchedulingAdvisor(juqueen_policy())
+        job = JobRequest(
+            num_midplanes=4, optimal_runtime=100.0, contention_fraction=1.0
+        )
+        worse = PartitionGeometry((4, 1, 1, 1))
+        better = PartitionGeometry((2, 2, 1, 1))
+        best_bw = better.normalized_bisection_bandwidth
+        model_ratio = job.runtime_on(worse, best_bw) / job.runtime_on(
+            better, best_bw
+        )
+        params = PairingParameters(rounds=2)
+        sim_ratio = (
+            run_pairing(worse, params).time_seconds
+            / run_pairing(better, params).time_seconds
+        )
+        assert model_ratio == pytest.approx(sim_ratio, rel=0.01)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet(self):
+        geo = repro.PartitionGeometry((4, 1, 1, 1))
+        assert geo.normalized_bisection_bandwidth == 256
+        best = repro.best_geometry_for_machine(repro.MIRA, 4)
+        assert best.dims == (2, 2, 1, 1)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.allocation
+        import repro.analysis
+        import repro.experiments
+        import repro.isoperimetry
+        import repro.kernels
+        import repro.machines
+        import repro.netsim
+        import repro.topology
+
+        for mod in (
+            repro.topology, repro.isoperimetry, repro.machines,
+            repro.allocation, repro.netsim, repro.kernels,
+            repro.experiments, repro.analysis,
+        ):
+            for name in mod.__all__:
+                assert hasattr(mod, name), (mod.__name__, name)
+
+
+class TestPaperHeadlines:
+    """The abstract's quantitative claims, end to end."""
+
+    def test_up_to_2x_for_contention_bound_workloads(self):
+        """'These can yield up to a x2 speedup for contention-bound
+        workloads' — realized by the pairing simulation."""
+        params = PairingParameters(rounds=2)
+        worse = run_pairing(PartitionGeometry((4, 1, 1, 1)), params)
+        better = run_pairing(PartitionGeometry((2, 2, 1, 1)), params)
+        assert worse.time_seconds / better.time_seconds == pytest.approx(
+            2.0
+        )
+
+    def test_juqueen_inconsistent_performance_risk(self):
+        """Size-only requests on JUQUEEN can land on geometries 2x apart."""
+        pol = juqueen_policy()
+        risky = [s for s in pol.supported_sizes()
+                 if pol.bandwidth_spread(s) > 1.0]
+        assert risky == [4, 6, 8, 12, 16, 24]

@@ -1,0 +1,85 @@
+"""Unit tests for Harper's hypercube edge-isoperimetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isoperimetry.exact import ExactSolver
+from repro.isoperimetry.harper import (
+    harper_boundary_of_initial_segment,
+    harper_min_boundary,
+    harper_set,
+    hypercube_partition_bandwidth,
+    subcube_boundary,
+)
+from repro.topology.hypercube import Hypercube
+
+
+class TestHarperBoundary:
+    def test_subcube_sizes(self):
+        # t = 2^m: boundary 2^m (d - m).
+        assert harper_min_boundary(4, 1) == 4
+        assert harper_min_boundary(4, 2) == 6
+        assert harper_min_boundary(4, 4) == 8
+        assert harper_min_boundary(4, 8) == 8
+        assert harper_min_boundary(4, 16) == 0
+
+    def test_matches_subcube_formula(self):
+        for d in range(1, 8):
+            for m in range(d + 1):
+                assert harper_min_boundary(d, 1 << m) == subcube_boundary(
+                    d, m
+                )
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_matches_brute_force(self, d):
+        q = Hypercube(d)
+        solver = ExactSolver(q)
+        for t in range(1, 2 ** (d - 1) + 1):
+            assert solver.min_perimeter(t)[0] == harper_min_boundary(d, t), t
+
+    def test_segment_boundary_is_counted_correctly(self):
+        q = Hypercube(4)
+        for t in range(1, 17):
+            seg = set(harper_set(4, t))
+            assert q.cut_weight(seg) == harper_boundary_of_initial_segment(
+                4, t
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            harper_min_boundary(3, 9)
+        with pytest.raises(ValueError):
+            harper_min_boundary(3, 0)
+        with pytest.raises(ValueError):
+            subcube_boundary(3, 4)
+
+
+class TestHarperSet:
+    def test_initial_segment(self):
+        assert harper_set(3, 4) == [0, 1, 2, 3]
+
+    def test_segment_of_power_of_two_is_subcube(self):
+        # {0..7} in Q_4 is the subcube fixing the top bit to 0.
+        seg = harper_set(4, 8)
+        assert all(v < 8 for v in seg)
+
+
+class TestPartitionBandwidth:
+    def test_subcube_partition(self):
+        assert hypercube_partition_bandwidth(10, 6) == 32
+
+    def test_zero_dim_partition(self):
+        assert hypercube_partition_bandwidth(10, 0) == 0
+
+    def test_partition_cannot_exceed_machine(self):
+        with pytest.raises(ValueError):
+            hypercube_partition_bandwidth(4, 5)
+
+    def test_equal_size_subcubes_equal_bandwidth(self):
+        """Unlike tori, hypercube subcube allocations of equal size are
+        isomorphic — no geometry spread to exploit."""
+        assert (
+            hypercube_partition_bandwidth(12, 8)
+            == Hypercube(8).bisection_width()
+        )

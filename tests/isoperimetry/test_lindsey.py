@@ -1,0 +1,96 @@
+"""Unit tests for Lindsey's clique-product edge-isoperimetry (HyperX)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.isoperimetry.exact import ExactSolver
+from repro.isoperimetry.lindsey import (
+    hyperx_bisection,
+    lindsey_boundary_of_initial_segment,
+    lindsey_min_boundary,
+    lindsey_order,
+    lindsey_set,
+)
+from repro.topology.clique_product import CliqueProduct
+
+
+class TestOrder:
+    def test_order_fills_largest_clique_first(self):
+        order = list(lindsey_order((3, 2)))
+        # First 3 entries differ only in the K3 coordinate.
+        assert order[:3] == [(0, 0), (1, 0), (2, 0)]
+
+    def test_order_is_a_permutation(self):
+        order = list(lindsey_order((3, 2, 2)))
+        assert len(order) == 12
+        assert len(set(order)) == 12
+
+    def test_set_prefix(self):
+        s = lindsey_set((3, 2), 4)
+        assert len(s) == 4
+        assert s[:3] == [(0, 0), (1, 0), (2, 0)]
+
+
+class TestBoundary:
+    def test_full_row(self):
+        assert lindsey_min_boundary((3, 2), 3) == 3
+
+    def test_half_of_k4_k2(self):
+        assert lindsey_min_boundary((4, 2), 4) == 4
+
+    def test_segment_boundary_matches_graph_count(self):
+        dims = (4, 3, 2)
+        g = CliqueProduct(tuple(sorted(dims, reverse=True)))
+        total = math.prod(dims)
+        for t in range(1, total + 1):
+            seg = set(lindsey_set(dims, t))
+            assert g.cut_weight(seg) == lindsey_boundary_of_initial_segment(
+                dims, t
+            ), t
+
+    @pytest.mark.parametrize("dims", [(3, 2), (4, 2), (2, 2, 2), (4, 3)])
+    def test_matches_brute_force(self, dims):
+        """Lindsey's theorem: initial segments are isoperimetric."""
+        g = CliqueProduct(tuple(sorted(dims, reverse=True)))
+        solver = ExactSolver(g)
+        total = math.prod(dims)
+        for t in range(1, total // 2 + 1):
+            assert (
+                solver.min_perimeter(t)[0]
+                == lindsey_min_boundary(dims, t)
+            ), (dims, t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lindsey_min_boundary((3, 2), 0)
+        with pytest.raises(ValueError):
+            lindsey_min_boundary((3, 2), 7)
+
+
+class TestHyperXBisection:
+    def test_uniform(self):
+        assert hyperx_bisection((4, 2)) == 4
+
+    def test_matches_even_clique_cut(self):
+        # K4 x K4: half of one K4: 2*2 * 4 lines = 16.
+        assert hyperx_bisection((4, 4)) == 16
+
+    def test_weighted(self):
+        # Dragonfly group K16 x K6 with capacities (1, 3):
+        # split K16: 8*8*6*1 = 384; split K6: 3*3*16*3 = 432.
+        assert hyperx_bisection((16, 6), weights=(1.0, 3.0)) == 384.0
+
+    def test_odd_clique(self):
+        # K5: floor/ceil split: 2*3 = 6 edges.
+        assert hyperx_bisection((5,)) == 6
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hyperx_bisection((4, 2), weights=(1.0,))
+
+    def test_no_nontrivial_dim(self):
+        with pytest.raises(ValueError):
+            hyperx_bisection((1, 1))

@@ -1,0 +1,86 @@
+"""Unit tests for the 2-D grid isoperimetry (Ahlswede–Bezrukov)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isoperimetry.exact import ExactSolver
+from repro.isoperimetry.mesh2d import (
+    corner_candidates,
+    mesh2d_min_boundary,
+    mesh2d_optimal_set,
+    quasi_square_set,
+)
+from repro.topology.mesh import Mesh
+
+
+class TestQuasiSquare:
+    def test_exact_square(self):
+        cells = quasi_square_set(4, 4, 4)
+        assert len(cells) == 4
+
+    def test_partial_column(self):
+        cells = quasi_square_set(4, 4, 5)
+        assert len(cells) == 5
+
+    def test_all_sizes_have_right_cardinality(self):
+        for m, n in [(4, 4), (2, 8), (8, 2), (3, 5), (1, 7)]:
+            for t in range(1, m * n + 1):
+                assert len(quasi_square_set(m, n, t)) == t, (m, n, t)
+
+    def test_cells_inside_grid(self):
+        for m, n in [(2, 8), (8, 2), (5, 3)]:
+            for t in range(1, m * n + 1):
+                for (x, y) in quasi_square_set(m, n, t):
+                    assert 0 <= x < m and 0 <= y < n, (m, n, t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quasi_square_set(4, 4, 0)
+        with pytest.raises(ValueError):
+            quasi_square_set(4, 4, 17)
+
+
+class TestMinBoundary:
+    def test_corner_square(self):
+        assert mesh2d_min_boundary(4, 4, 4) == 4
+
+    def test_two_columns(self):
+        assert mesh2d_min_boundary(4, 4, 8) == 4
+
+    def test_single_cell(self):
+        assert mesh2d_min_boundary(4, 4, 1) == 2  # a corner cell
+
+    def test_full_grid(self):
+        assert mesh2d_min_boundary(3, 3, 9) == 0
+
+    @pytest.mark.parametrize("m,n", [(4, 4), (3, 5), (2, 6), (4, 3)])
+    def test_matches_brute_force(self, m, n):
+        """Corner-candidate minimization equals the true optimum."""
+        grid = Mesh((m, n))
+        solver = ExactSolver(grid)
+        for t in range(1, m * n // 2 + 1):
+            assert (
+                solver.min_perimeter(t)[0] == mesh2d_min_boundary(m, n, t)
+            ), (m, n, t)
+
+    def test_witness_achieves_boundary(self):
+        grid = Mesh((4, 5))
+        for t in range(1, 11):
+            cells = mesh2d_optimal_set(4, 5, t)
+            assert grid.cut_weight(cells) == mesh2d_min_boundary(4, 5, t)
+
+
+class TestCandidates:
+    def test_candidates_have_exact_size(self):
+        for shape in corner_candidates(4, 5, 7):
+            assert len(shape) == 7
+
+    def test_candidates_fit(self):
+        for shape in corner_candidates(3, 4, 5):
+            for (x, y) in shape:
+                assert 0 <= x < 3 and 0 <= y < 4
+
+    def test_at_least_one_candidate(self):
+        for t in range(1, 12):
+            assert list(corner_candidates(3, 4, t))

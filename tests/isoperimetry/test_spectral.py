@@ -1,0 +1,97 @@
+"""Unit tests for spectral (Cheeger) expansion estimates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.isoperimetry.spectral import (
+    algebraic_connectivity,
+    cheeger_bounds,
+    fiedler_cut,
+    laplacian_matrix,
+    spectral_expansion_estimate,
+)
+from repro.topology.clique_product import CliqueProduct
+from repro.topology.torus import Torus
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self):
+        L, _ = laplacian_matrix(Torus((4, 3)))
+        assert np.allclose(L.sum(axis=1), 0.0)
+
+    def test_diagonal_is_degree(self):
+        t = Torus((4, 3))
+        L, verts = laplacian_matrix(t)
+        for i, v in enumerate(verts):
+            assert L[i, i] == t.degree(v)
+
+    def test_normalized_diagonal_is_one(self):
+        L, _ = laplacian_matrix(Torus((4, 3)), normalized=True)
+        assert np.allclose(np.diag(L), 1.0)
+
+    def test_symmetric(self):
+        L, _ = laplacian_matrix(CliqueProduct((3, 2), weights=(1, 3)))
+        assert np.allclose(L, L.T)
+
+
+class TestAlgebraicConnectivity:
+    def test_ring_formula(self):
+        # lambda_2 of C_n is 2 - 2 cos(2 pi / n).
+        n = 8
+        lam = algebraic_connectivity(Torus((n,)))
+        assert lam == pytest.approx(2 - 2 * math.cos(2 * math.pi / n))
+
+    def test_positive_for_connected(self):
+        assert algebraic_connectivity(Torus((4, 4))) > 0
+
+    def test_torus_product_additivity(self):
+        # lambda_2 of a Cartesian product is the min of the factors'.
+        lam_prod = algebraic_connectivity(Torus((8, 4)))
+        lam_8 = algebraic_connectivity(Torus((8,)))
+        assert lam_prod == pytest.approx(lam_8)
+
+
+class TestCheeger:
+    def test_bounds_sandwich_true_conductance(self):
+        t = Torus((4, 4))
+        lower, upper = cheeger_bounds(t)
+        # True conductance of the 4x4 torus bisection: 8 / 32 = 0.25.
+        true = 0.25
+        assert lower <= true + 1e-9
+        assert true <= upper + 1e-9
+
+    def test_fiedler_cut_within_cheeger(self):
+        t = Torus((6, 4))
+        lower, upper = cheeger_bounds(t)
+        _, achieved = fiedler_cut(t)
+        assert lower - 1e-9 <= achieved <= upper + 1e-9
+
+    def test_fiedler_cut_is_real_cut(self):
+        t = Torus((6, 4))
+        witness, cond = fiedler_cut(t)
+        cut = t.cut_weight(witness)
+        vol = sum(t.weighted_degree(v) for v in witness)
+        total = 2 * t.total_capacity
+        assert cond == pytest.approx(cut / min(vol, total - vol))
+
+    def test_fiedler_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            fiedler_cut(Torus((1,)))
+
+    def test_estimate_structure(self):
+        est = spectral_expansion_estimate(Torus((4, 4)))
+        assert est["lower"] <= est["upper"] + 1e-9
+        assert est["upper"] <= est["cheeger_upper"] + 1e-9
+        assert isinstance(est["witness"], set)
+
+    def test_sweep_finds_good_torus_cut(self):
+        """On the 8x4 torus the Fiedler sweep should find (close to) the
+        perpendicular bisection quality."""
+        t = Torus((8, 4))
+        _, achieved = fiedler_cut(t)
+        # Optimal conductance: cut 8 / vol 64 = 0.125.
+        assert achieved <= 0.2

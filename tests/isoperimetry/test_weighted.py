@@ -1,0 +1,101 @@
+"""Unit tests for weighted isoperimetric analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isoperimetry.cuboids import best_cuboid, cuboid_perimeter
+from repro.isoperimetry.weighted import (
+    best_weighted_cuboid,
+    dragonfly_group_cut,
+    weighted_cuboid_perimeter,
+    weighted_torus_bisection,
+)
+
+
+class TestWeightedPerimeter:
+    def test_unit_weights_match_unweighted(self):
+        for dims, sides in [((4, 4), (2, 2)), ((4, 3, 2), (2, 3, 1))]:
+            assert weighted_cuboid_perimeter(dims, sides) == cuboid_perimeter(
+                dims, sides
+            )
+
+    def test_weights_scale_per_dimension(self):
+        # (4, 4) with weights (1, 10): a 2x2 square cuts 4 edges per dim.
+        assert weighted_cuboid_perimeter((4, 4), (2, 2), (1.0, 10.0)) == 44.0
+
+    def test_covered_dim_contributes_nothing(self):
+        assert weighted_cuboid_perimeter((4, 4), (4, 2), (100.0, 1.0)) == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_cuboid_perimeter((4, 4), (2, 2), (1.0,))
+        with pytest.raises(ValueError):
+            weighted_cuboid_perimeter((4, 4), (2, 2), (1.0, -1.0))
+
+
+class TestBestWeightedCuboid:
+    def test_unit_weights_match_unweighted_optimum(self):
+        shape, cut = best_weighted_cuboid((6, 4), 12)
+        _, expected = best_cuboid((6, 4), 12)
+        assert cut == expected
+
+    def test_weights_flip_the_optimal_orientation(self):
+        # Unweighted: cover the 6-dim? For t=4 in (4, 4) with weight 10 on
+        # dim 0: prefer cutting dim 1 (cheap) -> shape (4, 1) covers dim 0.
+        shape, cut = best_weighted_cuboid((4, 4), 4, weights=(10.0, 1.0))
+        assert shape == (4, 1)
+        assert cut == 8.0
+
+    def test_impossible_volume(self):
+        with pytest.raises(ValueError):
+            best_weighted_cuboid((4, 4), 7)
+
+    def test_positional_dims_not_sorted(self):
+        # dims given unsorted stay positional so weights line up.
+        shape, _ = best_weighted_cuboid((2, 6), 6, weights=(1.0, 1.0))
+        assert len(shape) == 2
+        assert shape[0] <= 2 and shape[1] <= 6
+
+
+class TestWeightedBisection:
+    def test_uniform_matches_2n_over_l(self):
+        assert weighted_torus_bisection((8, 4)) == 8.0
+
+    def test_weights_can_move_the_cut(self):
+        """The paper's Titan remark: with wide links on the long
+        dimension, cutting the short one becomes optimal."""
+        uniform = weighted_torus_bisection((8, 4))
+        weighted = weighted_torus_bisection((8, 4), weights=(5.0, 1.0))
+        # Uniform: cut the 8-dim (2*4*1 = 8). Weighted: the 8-dim cut
+        # costs 40; the 4-dim cut costs 2*8*1 = 16.
+        assert uniform == 8.0
+        assert weighted == 16.0
+
+    def test_no_even_dim(self):
+        with pytest.raises(ValueError):
+            weighted_torus_bisection((5, 3))
+
+
+class TestDragonflyGroupCut:
+    def test_aries_half_rows(self):
+        # 8 of 16 rows, all 6 columns: 8*8*6 row edges, no column cut.
+        assert dragonfly_group_cut(rows_taken=8) == 384.0
+
+    def test_column_split_is_expensive(self):
+        # All 16 rows, 3 of 6 columns: 3*3*16*3 = 432 weighted.
+        cut = dragonfly_group_cut(rows_taken=16, cols_taken=3)
+        assert cut == 432.0
+
+    def test_paper_capacity_ordering(self):
+        """Splitting the K6 backplane costs more capacity than splitting
+        the K16 rows — the reason the weighted formulation is needed."""
+        rows = dragonfly_group_cut(rows_taken=8)
+        cols = dragonfly_group_cut(rows_taken=16, cols_taken=3)
+        assert cols > rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dragonfly_group_cut(rows_taken=17)
+        with pytest.raises(ValueError):
+            dragonfly_group_cut(rows_taken=8, cols_taken=7)

@@ -1,0 +1,172 @@
+"""Unit tests for the CAPS communication model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.kernels.caps import (
+    CapsConfig,
+    caps_computation_time,
+    caps_steps,
+    caps_total_words_per_rank,
+    split_rank_count,
+    step_rank_pairs,
+)
+
+
+class TestSplitRankCount:
+    def test_paper_rank_counts(self):
+        assert split_rank_count(31213) == (13, 4)
+        assert split_rank_count(117649) == (1, 6)
+        assert split_rank_count(2401) == (1, 4)
+        assert split_rank_count(4802) == (2, 4)
+        assert split_rank_count(9604) == (4, 4)
+
+    def test_no_seven_factor(self):
+        assert split_rank_count(100) == (100, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_rank_count(0)
+
+
+class TestConfig:
+    def test_f_and_k(self):
+        c = CapsConfig(n=32928, num_ranks=31213)
+        assert c.f == 13
+        assert c.k == 4
+
+    def test_paper_constraints(self):
+        # f = 13 > 6: the reference implementation's constraint fails.
+        assert not CapsConfig(
+            n=32928, num_ranks=31213
+        ).satisfies_paper_constraints()
+        # 2401 ranks, n = 9408: f=1, k=4, needs multiple of 49.
+        assert CapsConfig(
+            n=9408, num_ranks=2401
+        ).satisfies_paper_constraints()
+
+    def test_digit_order_validation(self):
+        with pytest.raises(ValueError):
+            CapsConfig(n=64, num_ranks=49, digit_order="middle")
+
+    def test_basic_validation(self):
+        with pytest.raises(ValueError):
+            CapsConfig(n=0, num_ranks=49)
+        with pytest.raises(ValueError):
+            CapsConfig(n=64, num_ranks=49, comm_factor=0.0)
+
+
+class TestSteps:
+    def test_step_count(self):
+        assert len(caps_steps(CapsConfig(n=64, num_ranks=49))) == 2
+        assert len(caps_steps(CapsConfig(n=64, num_ranks=2 * 49))) == 3
+
+    def test_f_step_first_when_f_gt_1(self):
+        steps = caps_steps(CapsConfig(n=64, num_ranks=3 * 49))
+        assert steps[0].group_size == 3
+        assert all(s.group_size == 7 for s in steps[1:])
+
+    def test_volumes_grow_with_depth(self):
+        steps = caps_steps(CapsConfig(n=1024, num_ranks=2401))
+        vols = [s.words_per_rank for s in steps]
+        assert vols == sorted(vols)
+        assert vols[1] == pytest.approx(vols[0] * 7 / 4)
+
+    def test_deep_major_strides_grow(self):
+        steps = caps_steps(
+            CapsConfig(n=64, num_ranks=343, digit_order="deep-major")
+        )
+        strides = [s.stride for s in steps]
+        assert strides == [1, 7, 49]
+
+    def test_top_major_strides_shrink(self):
+        steps = caps_steps(
+            CapsConfig(n=64, num_ranks=343, digit_order="top-major")
+        )
+        strides = [s.stride for s in steps]
+        assert strides == [49, 7, 1]
+
+    def test_total_words_telescopes(self):
+        c = CapsConfig(n=1024, num_ranks=2401)
+        total = caps_total_words_per_rank(c)
+        share = 1024 * 1024 / 2401
+        expected = c.comm_factor * share * sum(
+            (7 / 4) ** i for i in range(4)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_f_step_does_not_change_share(self):
+        with_f = caps_steps(CapsConfig(n=1024, num_ranks=2 * 49))
+        assert with_f[0].words_per_rank == pytest.approx(
+            with_f[1].words_per_rank
+        )
+
+    def test_bytes_per_rank(self):
+        step = caps_steps(CapsConfig(n=64, num_ranks=49))[0]
+        assert step.bytes_per_rank == step.words_per_rank * 8
+
+
+class TestRankPairs:
+    @pytest.mark.parametrize("order", ["deep-major", "top-major"])
+    def test_every_rank_has_g_minus_1_partners(self, order):
+        c = CapsConfig(n=64, num_ranks=49, digit_order=order)
+        for step in caps_steps(c):
+            pairs = list(step_rank_pairs(c, step))
+            assert len(pairs) == 49 * (step.group_size - 1)
+            senders = [s for s, _ in pairs]
+            assert all(0 <= r < 49 for r, _ in pairs)
+            assert all(0 <= r < 49 for _, r in pairs)
+
+    def test_pairs_symmetric(self):
+        c = CapsConfig(n=64, num_ranks=49)
+        for step in caps_steps(c):
+            pairs = set(step_rank_pairs(c, step))
+            assert all((b, a) in pairs for a, b in pairs)
+
+    def test_no_self_pairs(self):
+        c = CapsConfig(n=64, num_ranks=3 * 49)
+        for step in caps_steps(c):
+            assert all(a != b for a, b in step_rank_pairs(c, step))
+
+    def test_partners_differ_in_one_digit(self):
+        """Partners share position within subgroup: they differ by a
+        multiple of the stride, staying inside one block."""
+        c = CapsConfig(n=64, num_ranks=343)
+        for step in caps_steps(c):
+            block = step.group_size * step.stride
+            for a, b in step_rank_pairs(c, step):
+                assert (a - b) % step.stride == 0
+                assert a // block == b // block
+
+
+class TestComputationTime:
+    def test_matches_paper_calibration(self):
+        """The calibrated flop rate reproduces the paper's measured
+        computation times within 30%."""
+        cases = {
+            (32928, 31213): 0.554,
+            (21952, 117649): 0.0604,
+        }
+        for (n, ranks), measured in cases.items():
+            t = caps_computation_time(CapsConfig(n=n, num_ranks=ranks))
+            assert t == pytest.approx(measured, rel=0.45), (n, ranks, t)
+
+    def test_geometry_independent(self):
+        """Computation depends only on (n, ranks) — never on geometry."""
+        a = caps_computation_time(CapsConfig(n=9408, num_ranks=2401))
+        b = caps_computation_time(CapsConfig(n=9408, num_ranks=2401))
+        assert a == b
+
+    def test_scales_inversely_with_ranks_at_fixed_k(self):
+        t1 = caps_computation_time(CapsConfig(n=9408, num_ranks=2401))
+        t2 = caps_computation_time(CapsConfig(n=9408, num_ranks=4802))
+        assert t2 == pytest.approx(t1 / 2)
+
+    def test_flop_rate_validation(self):
+        with pytest.raises(ValueError):
+            caps_computation_time(
+                CapsConfig(n=64, num_ranks=49), flop_rate=0.0
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for classical kernel communication models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.kernels.classical import (
+    c25d_words_per_rank,
+    nbody_ring_words_per_rank,
+    ring_rank_pairs,
+    summa_rank_pairs,
+    summa_words_per_rank,
+)
+
+
+class TestSumma:
+    def test_volume_formula(self):
+        assert summa_words_per_rank(1000, 100) == pytest.approx(
+            2 * 1000 * 1000 / 10
+        )
+
+    def test_requires_square_rank_count(self):
+        with pytest.raises(ValueError):
+            summa_words_per_rank(100, 10)
+
+    def test_pairs_cover_rows_and_columns(self):
+        pairs = list(summa_rank_pairs(9))
+        # Each of 9 ranks talks to 2 row peers + 2 column peers.
+        assert len(pairs) == 9 * 4
+        assert all(a != b for a, b in pairs)
+
+    def test_pairs_symmetric(self):
+        pairs = set(summa_rank_pairs(16))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_pair_structure(self):
+        p = 3
+        pairs = set(summa_rank_pairs(9))
+        for a, b in pairs:
+            same_row = a // p == b // p
+            same_col = a % p == b % p
+            assert same_row or same_col
+
+
+class Test25D:
+    def test_c1_matches_summa_asymptotics(self):
+        n, P = 1024, 64
+        assert c25d_words_per_rank(n, P, c=1) == pytest.approx(
+            2 * n * n / math.sqrt(P)
+        )
+
+    def test_replication_reduces_volume(self):
+        n, P = 1024, 64
+        v1 = c25d_words_per_rank(n, P, c=1)
+        v4 = c25d_words_per_rank(n, P, c=4)
+        assert v4 == pytest.approx(v1 / 2)
+
+    def test_replication_limit(self):
+        with pytest.raises(ValueError):
+            c25d_words_per_rank(1024, 64, c=64)
+
+
+class TestNBody:
+    def test_ring_volume(self):
+        assert nbody_ring_words_per_rank(1000, 10) == pytest.approx(900.0)
+
+    def test_single_rank(self):
+        assert nbody_ring_words_per_rank(100, 1) == pytest.approx(100.0)
+
+    def test_ring_pairs(self):
+        pairs = list(ring_rank_pairs(4))
+        assert pairs == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_needs_two(self):
+        with pytest.raises(ValueError):
+            list(ring_rank_pairs(1))
+
+    def test_contention_ratio_ordering(self):
+        """N-body moves ~sqrt(P) x more data per rank than SUMMA at the
+        same memory footprint — the paper's future-work point that
+        N-body is more bisection-sensitive."""
+        P = 64
+        n = 1024              # matrix memory ~ n^2/P per rank
+        bodies = n * n        # same total memory scale
+        matmul = summa_words_per_rank(n, P)
+        nbody = nbody_ring_words_per_rank(bodies, P)
+        assert nbody > matmul

@@ -1,0 +1,60 @@
+"""Unit tests for the calibrated cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.costmodel import (
+    L2_BYTES_PER_NODE,
+    aggregate_l2,
+    caps_memory_footprint,
+    l2_spill_penalty,
+)
+
+
+class TestFootprint:
+    def test_paper_value_18_55_gb(self):
+        """Section 4.3: 3 * (7/4)^4 * 8 * 9408^2 bytes = 18.55 GB."""
+        gb = caps_memory_footprint(9408, 4) / 2**30
+        assert gb == pytest.approx(18.55, abs=0.01)
+
+    def test_no_bfs_steps(self):
+        assert caps_memory_footprint(100, 0) == 3 * 8 * 100 * 100
+
+    def test_grows_with_depth(self):
+        assert caps_memory_footprint(100, 3) > caps_memory_footprint(100, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            caps_memory_footprint(0, 4)
+
+
+class TestAggregateL2:
+    def test_paper_values(self):
+        """32, 64, 128 GB of combined L2 for 2/4/8 midplanes."""
+        assert aggregate_l2(1024) == 32 * 2**30
+        assert aggregate_l2(2048) == 64 * 2**30
+        assert aggregate_l2(4096) == 128 * 2**30
+
+    def test_constant(self):
+        assert L2_BYTES_PER_NODE == 32 * 2**20
+
+
+class TestSpillPenalty:
+    def test_two_midplanes_spill(self):
+        """18.55 GB x2 buffers > 32 GB aggregate L2 on 2 midplanes."""
+        assert l2_spill_penalty(9408, 4, 1024) > 1.0
+
+    def test_four_midplanes_fit(self):
+        assert l2_spill_penalty(9408, 4, 2048) == 1.0
+
+    def test_buffer_factor_matters(self):
+        # Without the x2 buffer space, 18.55 GB fits in 32 GB.
+        assert l2_spill_penalty(9408, 4, 1024, buffer_factor=1.0) == 1.0
+
+    def test_custom_slowdown(self):
+        assert l2_spill_penalty(9408, 4, 1024, slowdown=2.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            l2_spill_penalty(9408, 4, 1024, buffer_factor=0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the distributed-FFT communication model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.kernels.fft import (
+    fft_flops,
+    fft_flops_per_word,
+    fft_transpose_block_words,
+    fft_transpose_words_per_rank,
+)
+
+
+class TestFlops:
+    def test_formula(self):
+        assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+
+    def test_single_point(self):
+        assert fft_flops(1) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fft_flops(0)
+
+
+class TestTransposeVolumes:
+    def test_words_per_rank(self):
+        # n=1024, P=16: local 64, (P-1)/P of it leaves.
+        assert fft_transpose_words_per_rank(1024, 16) == pytest.approx(
+            64 * 15 / 16
+        )
+
+    def test_block_words(self):
+        assert fft_transpose_block_words(1024, 16) == pytest.approx(4.0)
+
+    def test_block_times_peers_equals_total(self):
+        n, p = 2**20, 64
+        total = fft_transpose_block_words(n, p) * (p - 1)
+        assert total == pytest.approx(fft_transpose_words_per_rank(n, p))
+
+    def test_single_rank_no_communication(self):
+        assert fft_transpose_words_per_rank(1024, 1) == 0.0
+
+
+class TestRatio:
+    def test_flops_per_word_is_logarithmic(self):
+        """FFT moves O(1/log n) of matmul's compute per word — the
+        paper's reason to expect stronger bisection sensitivity."""
+        r1 = fft_flops_per_word(2**20, 64)
+        r2 = fft_flops_per_word(2**24, 64)
+        # Ratio grows only like log n.
+        assert r2 / r1 == pytest.approx(24 / 20, rel=0.05)
+
+    def test_far_below_matmul(self):
+        """FFT's flops-per-word is O(log n) while matmul's grows like
+        n/sqrt(P); at production sizes the gap is an order of
+        magnitude."""
+        from repro.kernels.classical import summa_words_per_rank
+
+        n_fft, p = 2**24, 64
+        fft_ratio = fft_flops_per_word(n_fft, p)
+        n_mm = 16384
+        mm_flops_per_rank = 2 * n_mm**3 / p
+        mm_ratio = mm_flops_per_rank / summa_words_per_rank(n_mm, p)
+        assert fft_ratio < mm_ratio / 10

@@ -1,0 +1,123 @@
+"""Unit tests for the Strassen–Winograd implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.strassen import (
+    classical_flop_count,
+    matrix_dim_constraint,
+    required_rank_count,
+    strassen_flop_count,
+    strassen_winograd,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 33, 64])
+    def test_matches_numpy_square(self, n):
+        rng = np.random.default_rng(n)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        assert np.allclose(strassen_winograd(A, B, cutoff=4), A @ B)
+
+    @pytest.mark.parametrize("shape", [(8, 12, 16), (10, 6, 14), (5, 9, 3)])
+    def test_matches_numpy_rectangular(self, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        assert np.allclose(strassen_winograd(A, B, cutoff=2), A @ B)
+
+    def test_identity(self):
+        A = np.eye(16)
+        B = np.arange(256, dtype=float).reshape(16, 16)
+        assert np.allclose(strassen_winograd(A, B, cutoff=4), B)
+
+    def test_integer_inputs_promoted(self):
+        A = np.arange(16).reshape(4, 4)
+        B = np.arange(16).reshape(4, 4)
+        out = strassen_winograd(A, B, cutoff=2)
+        assert np.allclose(out, A @ B)
+        assert out.dtype == np.float64
+
+    def test_complex_inputs(self):
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        assert np.allclose(strassen_winograd(A, B, cutoff=2), A @ B)
+
+    def test_large_cutoff_equals_blas(self):
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        assert np.allclose(strassen_winograd(A, B, cutoff=64), A @ B)
+
+    def test_numerical_stability_reasonable(self):
+        """Strassen loses some accuracy vs BLAS but must stay close."""
+        rng = np.random.default_rng(3)
+        n = 128
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        err = np.abs(strassen_winograd(A, B, cutoff=8) - A @ B).max()
+        assert err < 1e-9 * n
+
+
+class TestValidation:
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            strassen_winograd(np.zeros((4, 4)), np.zeros((5, 4)))
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError):
+            strassen_winograd(np.zeros(4), np.zeros((4, 4)))
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            strassen_winograd(np.zeros((4, 4)), np.zeros((4, 4)), cutoff=1)
+        with pytest.raises(ValueError):
+            strassen_winograd(np.zeros((4, 4)), np.zeros((4, 4)), cutoff=0)
+
+
+class TestFlopCounts:
+    def test_classical(self):
+        assert classical_flop_count(2) == 12
+        assert classical_flop_count(1) == 1
+
+    def test_strassen_zero_levels_is_classical(self):
+        assert strassen_flop_count(64, 0) == classical_flop_count(64)
+
+    def test_strassen_beats_classical_at_depth(self):
+        n = 1024
+        assert strassen_flop_count(n, 5) < classical_flop_count(n)
+
+    def test_recursion_formula(self):
+        # One level: 7 * classical(n/2) + 15 * (n/2)^2.
+        n = 64
+        expected = 7 * classical_flop_count(32) + 15 * 32 * 32
+        assert strassen_flop_count(n, 1) == expected
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            strassen_flop_count(10, 2)
+
+
+class TestCapsConstraints:
+    def test_rank_counts(self):
+        assert required_rank_count(6, 4) == 6 * 2401
+        assert required_rank_count(1, 6) == 117649
+
+    def test_dim_constraint(self):
+        # f * 2^r * 7^ceil(k/2).
+        assert matrix_dim_constraint(6, 4) == 6 * 49
+        assert matrix_dim_constraint(1, 5, r=2) == 4 * 343
+
+    def test_paper_parameters_satisfy_constraint(self):
+        # n = 32928 with f=6*? ... 32928 = 2^5 * 3 * 343: divisible by
+        # the f=6, k=4 requirement 6 * 7^2 = 294.
+        assert 32928 % matrix_dim_constraint(6, 4) == 0
+        # n = 21952 = 2^6 * 343 for 7^6 ranks: 7^3 = 343 divides it.
+        assert 21952 % matrix_dim_constraint(1, 6) == 0
+        # n = 9408 = 2^5 * 294 for 7^4 ranks.
+        assert 9408 % matrix_dim_constraint(1, 4) == 0

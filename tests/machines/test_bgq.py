@@ -1,0 +1,141 @@
+"""Unit tests for the Blue Gene/Q machine model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines.bgq import (
+    LINK_BANDWIDTH_GB_PER_S,
+    MIDPLANE_NODE_DIMS,
+    NODES_PER_MIDPLANE,
+    BlueGeneQMachine,
+    bgq_bisection_formula,
+    midplane_to_node_dims,
+    normalized_bisection_bandwidth,
+)
+
+
+class TestConstants:
+    def test_midplane_is_512_nodes(self):
+        import math
+
+        assert math.prod(MIDPLANE_NODE_DIMS) == NODES_PER_MIDPLANE == 512
+
+    def test_link_bandwidth_from_paper(self):
+        assert LINK_BANDWIDTH_GB_PER_S == 2.0
+
+
+class TestNodeDims:
+    def test_mira(self):
+        assert midplane_to_node_dims((4, 4, 3, 2)) == (16, 16, 12, 8, 2)
+
+    def test_juqueen(self):
+        assert midplane_to_node_dims((7, 2, 2, 2)) == (28, 8, 8, 8, 2)
+
+    def test_single_midplane(self):
+        assert midplane_to_node_dims((1, 1, 1, 1)) == (4, 4, 4, 4, 2)
+
+    def test_requires_four_dims(self):
+        with pytest.raises(ValueError):
+            midplane_to_node_dims((4, 4, 3))
+
+
+class TestBisectionFormula:
+    def test_matches_2n_over_l(self):
+        assert bgq_bisection_formula(49152, 16) == 6144
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bgq_bisection_formula(0, 16)
+        with pytest.raises(ValueError):
+            bgq_bisection_formula(512, 3)
+        with pytest.raises(ValueError):
+            bgq_bisection_formula(512, 5)
+        with pytest.raises(ValueError):
+            bgq_bisection_formula(1000, 16)
+
+    @pytest.mark.parametrize(
+        "dims,bw",
+        [
+            ((1, 1, 1, 1), 256),
+            ((2, 1, 1, 1), 256),
+            ((2, 2, 1, 1), 512),
+            ((4, 1, 1, 1), 256),
+            ((4, 2, 1, 1), 512),
+            ((2, 2, 2, 1), 1024),
+            ((4, 4, 1, 1), 1024),
+            ((2, 2, 2, 2), 2048),
+            ((4, 3, 2, 1), 1536),
+            ((3, 2, 2, 2), 2048),
+            ((4, 4, 2, 1), 2048),
+            ((4, 4, 3, 1), 3072),
+            ((4, 4, 2, 2), 4096),
+            ((4, 4, 3, 2), 6144),
+            ((3, 3, 1, 1), 768),
+            ((3, 3, 3, 1), 2304),
+            ((3, 3, 2, 2), 3072),
+            ((3, 3, 3, 2), 4608),
+            ((4, 3, 2, 2), 3072),
+            ((7, 2, 2, 2), 2048),
+        ],
+    )
+    def test_normalized_bandwidth_against_paper_tables(self, dims, bw):
+        """Every bandwidth value appearing in the paper's tables."""
+        assert normalized_bisection_bandwidth(dims) == bw
+
+    def test_equivalent_256_p_over_a1(self):
+        import math
+
+        for dims in [(4, 3, 2, 1), (2, 2, 2, 2), (7, 2, 2, 2)]:
+            p = math.prod(dims)
+            assert normalized_bisection_bandwidth(dims) == 256 * p // max(dims)
+
+
+class TestMachine:
+    def test_mira_facts(self):
+        m = BlueGeneQMachine("Mira", (4, 4, 3, 2))
+        assert m.num_midplanes == 96
+        assert m.num_nodes == 49152
+        assert m.num_racks == 48
+        assert m.node_dims == (16, 16, 12, 8, 2)
+        assert m.bisection_bandwidth() == 6144
+
+    def test_bandwidth_in_gb(self):
+        m = BlueGeneQMachine("Mira", (4, 4, 3, 2))
+        assert m.bisection_bandwidth(LINK_BANDWIDTH_GB_PER_S) == 12288.0
+
+    def test_dims_canonicalized(self):
+        m = BlueGeneQMachine("X", (2, 3, 4, 4))
+        assert m.midplane_dims == (4, 4, 3, 2)
+
+    def test_fits(self):
+        m = BlueGeneQMachine("JUQUEEN", (7, 2, 2, 2))
+        assert m.fits((7, 2, 2, 2))
+        assert m.fits((5, 1, 1, 1))
+        assert m.fits((2, 2, 2, 2))
+        assert not m.fits((3, 3, 1, 1))
+        assert not m.fits((8, 1, 1, 1))
+
+    def test_fits_short_dims_padded(self):
+        m = BlueGeneQMachine("X", (4, 4, 3, 2))
+        assert m.fits((4, 4))
+        assert not m.fits((4, 4, 4))
+
+    def test_network_sizes(self):
+        m = BlueGeneQMachine("X", (2, 1, 1, 1))
+        assert m.network().num_vertices == 1024
+        assert m.midplane_network().num_vertices == 2
+
+    def test_requires_name_and_four_dims(self):
+        with pytest.raises(ValueError):
+            BlueGeneQMachine("", (4, 4, 3, 2))
+        with pytest.raises(ValueError):
+            BlueGeneQMachine("X", (4, 4, 3))
+
+    def test_equality(self):
+        assert BlueGeneQMachine("A", (2, 2, 1, 1)) == BlueGeneQMachine(
+            "A", (1, 2, 2, 1)
+        )
+        assert BlueGeneQMachine("A", (2, 2, 1, 1)) != BlueGeneQMachine(
+            "B", (2, 2, 1, 1)
+        )

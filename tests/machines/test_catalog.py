@@ -1,0 +1,80 @@
+"""Unit tests for the machine catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines.catalog import (
+    JUQUEEN,
+    JUQUEEN_48,
+    JUQUEEN_54,
+    MACHINES,
+    MIRA,
+    MIRA_PREDEFINED_PARTITIONS,
+    SEQUOIA,
+    get_machine,
+)
+
+
+class TestCatalogFacts:
+    def test_mira(self):
+        assert MIRA.midplane_dims == (4, 4, 3, 2)
+        assert MIRA.num_nodes == 49152
+
+    def test_juqueen(self):
+        assert JUQUEEN.midplane_dims == (7, 2, 2, 2)
+        assert JUQUEEN.num_nodes == 28672
+
+    def test_sequoia(self):
+        assert SEQUOIA.midplane_dims == (4, 4, 4, 3)
+        assert SEQUOIA.num_nodes == 98304
+        assert SEQUOIA.node_dims == (16, 16, 16, 12, 2)
+
+    def test_hypothetical_machines(self):
+        assert JUQUEEN_48.num_midplanes == 48
+        assert JUQUEEN_54.num_midplanes == 54
+
+    def test_hypotheticals_fit_inside_mira(self):
+        """The paper's feasibility argument: both are Mira subgraphs."""
+        assert MIRA.fits(JUQUEEN_48.midplane_dims)
+        assert MIRA.fits(JUQUEEN_54.midplane_dims)
+
+    def test_hypotheticals_beat_juqueen_globally(self):
+        assert JUQUEEN_54.bisection_bandwidth() == 4608
+        assert JUQUEEN_48.bisection_bandwidth() == 3072
+        assert JUQUEEN.bisection_bandwidth() == 2048
+
+
+class TestPredefinedPartitions:
+    def test_sizes_match_keys(self):
+        import math
+
+        for size, dims in MIRA_PREDEFINED_PARTITIONS.items():
+            assert math.prod(dims) == size
+
+    def test_all_fit_mira(self):
+        for dims in MIRA_PREDEFINED_PARTITIONS.values():
+            assert MIRA.fits(dims)
+
+    def test_expected_sizes(self):
+        assert sorted(MIRA_PREDEFINED_PARTITIONS) == [
+            1, 2, 4, 8, 16, 24, 32, 48, 64, 96,
+        ]
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_machine("MIRA") is MIRA
+        assert get_machine("juqueen-54") is JUQUEEN_54
+
+    def test_whitespace_tolerant(self):
+        assert get_machine("  sequoia ") is SEQUOIA
+
+    def test_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="mira"):
+            get_machine("summit")
+
+    def test_catalog_complete(self):
+        assert set(MACHINES) == {
+            "mira", "juqueen", "sequoia", "juqueen-48", "juqueen-54",
+        }

@@ -1,0 +1,117 @@
+"""Unit tests for rank-to-node embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.embedding import (
+    RankEmbedding,
+    block_embedding,
+    node_enumeration,
+)
+from repro.topology.torus import Torus
+
+
+class TestNodeEnumeration:
+    def test_abcdet_is_identity(self):
+        t = Torus((4, 2))
+        assert list(node_enumeration(t, "abcdet")) == list(range(8))
+
+    def test_tedcba_reverses_significance(self):
+        t = Torus((4, 2))
+        walk = node_enumeration(t, "tedcba")
+        verts = list(t.vertices())
+        walked = [verts[i] for i in walk]
+        # First dimension varies fastest.
+        assert walked[0] == (0, 0)
+        assert walked[1] == (1, 0)
+
+    def test_both_are_permutations(self):
+        t = Torus((4, 3, 2))
+        for order in ("abcdet", "tedcba"):
+            walk = node_enumeration(t, order)
+            assert sorted(walk) == list(range(24))
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            node_enumeration(Torus((4,)), "zyx")
+
+
+class TestBlockEmbedding:
+    def test_even_distribution(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 16)
+        assert emb.max_ranks_per_node() == 2
+        assert np.all(emb.ranks_per_node() == 2)
+
+    def test_uneven_distribution_spreads_extras(self):
+        t = Torus((4, 2))  # 8 nodes
+        emb = block_embedding(t, 10)
+        counts = emb.ranks_per_node()
+        assert counts.sum() == 10
+        assert counts.max() == 2
+        assert counts.min() == 1
+
+    def test_fewer_ranks_than_nodes(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 3)
+        assert emb.max_ranks_per_node() == 1
+
+    def test_core_limit_enforced(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError):
+            block_embedding(t, 17, max_ranks_per_node=2)
+
+    def test_contiguous_ranks_share_nodes(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 16)
+        assert emb.node_index_of(0) == emb.node_index_of(1)
+        assert emb.node_index_of(0) != emb.node_index_of(2)
+
+    def test_node_order_changes_placement(self):
+        t = Torus((4, 2))
+        a = block_embedding(t, 8, node_order="abcdet")
+        b = block_embedding(t, 8, node_order="tedcba")
+        assert a.node_of(1) != b.node_of(1)
+
+
+class TestRankEmbedding:
+    def test_node_of_roundtrip(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 8)
+        verts = list(t.vertices())
+        for r in range(8):
+            assert emb.node_of(r) == verts[emb.node_index_of(r)]
+
+    def test_node_indices_read_only(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 8)
+        with pytest.raises(ValueError):
+            emb.node_indices[0] = 3
+
+    def test_invalid_indices_rejected(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError):
+            RankEmbedding(t, [0, 8])
+        with pytest.raises(ValueError):
+            RankEmbedding(t, [])
+
+    def test_aggregate_traffic_drops_intranode(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 16)  # ranks 0,1 on node 0; 2,3 on node 1
+        traffic = emb.aggregate_traffic([(0, 1), (0, 2), (1, 3)])
+        assert (0, 0) not in traffic  # intra-node dropped
+        assert traffic[(0, 1)] == 2.0
+
+    def test_aggregate_traffic_with_volumes(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 16)
+        traffic = emb.aggregate_traffic([(0, 2), (1, 2)], volumes=[1.5, 2.5])
+        assert traffic[(0, 1)] == 4.0
+
+    def test_aggregate_volume_mismatch(self):
+        t = Torus((4, 2))
+        emb = block_embedding(t, 16)
+        with pytest.raises(ValueError):
+            emb.aggregate_traffic([(0, 2)], volumes=[1.0, 2.0])

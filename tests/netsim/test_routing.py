@@ -1,0 +1,130 @@
+"""Unit tests for dimension-ordered and BFS routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.routing import bfs_route, dimension_ordered_route, route
+from repro.topology.fattree import FatTree
+from repro.topology.torus import Torus
+
+
+class TestDimensionOrdered:
+    def test_straight_line(self):
+        t = Torus((8,))
+        path = dimension_ordered_route(t, (1,), (3,))
+        assert path == [(1,), (2,), (3,)]
+
+    def test_wraps_short_way(self):
+        t = Torus((8,))
+        path = dimension_ordered_route(t, (0,), (6,))
+        assert path == [(0,), (7,), (6,)]
+
+    def test_length_is_hop_distance(self):
+        t = Torus((6, 4, 2))
+        for src in [(0, 0, 0), (3, 2, 1)]:
+            for dst in [(5, 1, 0), (2, 3, 1), (0, 0, 0)]:
+                p = dimension_ordered_route(t, src, dst)
+                assert len(p) - 1 == t.hop_distance(src, dst)
+
+    def test_consecutive_vertices_adjacent(self):
+        t = Torus((6, 4, 2))
+        p = dimension_ordered_route(t, (0, 0, 0), (3, 2, 1))
+        for a, b in zip(p, p[1:]):
+            assert b in {v for v, _ in t.neighbors(a)}
+
+    def test_dims_corrected_in_order(self):
+        t = Torus((4, 4))
+        p = dimension_ordered_route(t, (0, 0), (2, 2))
+        # Dimension 0 first: x changes before y.
+        assert p[1][1] == 0
+
+    def test_custom_dim_order(self):
+        t = Torus((4, 4))
+        p = dimension_ordered_route(t, (0, 0), (2, 2), dim_order=(1, 0))
+        assert p[1][0] == 0
+
+    def test_invalid_dim_order(self):
+        t = Torus((4, 4))
+        with pytest.raises(ValueError):
+            dimension_ordered_route(t, (0, 0), (1, 1), dim_order=(0, 0))
+
+    def test_tie_positive(self):
+        t = Torus((8,))
+        p = dimension_ordered_route(t, (0,), (4,), tie="positive")
+        assert p[1] == (1,)
+        p = dimension_ordered_route(t, (1,), (5,), tie="positive")
+        assert p[1] == (2,)
+
+    def test_tie_parity_alternates(self):
+        t = Torus((8,))
+        up = dimension_ordered_route(t, (0,), (4,), tie="parity")
+        down = dimension_ordered_route(t, (1,), (5,), tie="parity")
+        assert up[1] == (1,)
+        assert down[1] == (0,)
+
+    def test_tie_parity_balances_ring_load(self):
+        """Antipodal traffic must use both directions equally."""
+        t = Torus((8,))
+        ups = 0
+        for x in range(8):
+            p = dimension_ordered_route(t, (x,), ((x + 4) % 8,))
+            if p[1] == ((x + 1) % 8,):
+                ups += 1
+        assert ups == 4
+
+    def test_invalid_tie(self):
+        with pytest.raises(ValueError):
+            dimension_ordered_route(Torus((4,)), (0,), (1,), tie="random")
+
+    def test_invalid_vertices(self):
+        t = Torus((4,))
+        with pytest.raises(ValueError):
+            dimension_ordered_route(t, (4,), (0,))
+        with pytest.raises(ValueError):
+            dimension_ordered_route(t, (0,), (4,))
+
+    def test_self_route(self):
+        t = Torus((4, 4))
+        assert dimension_ordered_route(t, (1, 1), (1, 1)) == [(1, 1)]
+
+
+class TestBfsRoute:
+    def test_shortest_in_fattree(self):
+        ft = FatTree(4)
+        src = ("host", 0, 0, 0)
+        dst = ("host", 0, 0, 1)  # same edge switch
+        path = bfs_route(ft, src, dst)
+        assert len(path) == 3
+
+    def test_cross_pod_length(self):
+        ft = FatTree(4)
+        src = ("host", 0, 0, 0)
+        dst = ("host", 1, 0, 0)
+        path = bfs_route(ft, src, dst)
+        # host-edge-agg-core-agg-edge-host.
+        assert len(path) == 7
+
+    def test_deterministic(self):
+        ft = FatTree(4)
+        a = bfs_route(ft, ("host", 0, 0, 0), ("host", 3, 1, 1))
+        b = bfs_route(ft, ("host", 0, 0, 0), ("host", 3, 1, 1))
+        assert a == b
+
+    def test_self_route(self):
+        ft = FatTree(4)
+        assert bfs_route(ft, ("core", 0, 0), ("core", 0, 0)) == [
+            ("core", 0, 0)
+        ]
+
+
+class TestDispatch:
+    def test_torus_uses_dor(self):
+        t = Torus((6,))
+        assert route(t, (0,), (2,)) == [(0,), (1,), (2,)]
+
+    def test_non_torus_uses_bfs(self):
+        ft = FatTree(2)
+        p = route(ft, ("host", 0, 0, 0), ("host", 1, 0, 0))
+        assert p[0] == ("host", 0, 0, 0)
+        assert p[-1] == ("host", 1, 0, 0)

@@ -1,0 +1,112 @@
+"""Unit tests for traffic-pattern generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.traffic import (
+    all_pairs_uniform,
+    bisection_pairing,
+    dimension_shift,
+    random_permutation,
+    tornado,
+)
+from repro.topology.torus import Torus
+
+
+class TestBisectionPairing:
+    def test_every_node_sends_once(self):
+        t = Torus((4, 4, 2))
+        pairs = bisection_pairing(t)
+        sources = [s for s, _ in pairs]
+        assert len(sources) == t.num_vertices
+        assert len(set(sources)) == t.num_vertices
+
+    def test_destinations_at_max_distance(self):
+        t = Torus((4, 4, 2))
+        for s, d in bisection_pairing(t):
+            assert t.hop_distance(s, d) == t.diameter
+
+    def test_involution_for_even_dims(self):
+        t = Torus((8, 4, 2))
+        pairs = dict(bisection_pairing(t))
+        for s, d in pairs.items():
+            assert pairs[d] == s
+
+    def test_no_self_pairs_with_nontrivial_dim(self):
+        t = Torus((4, 4))
+        assert all(s != d for s, d in bisection_pairing(t))
+
+
+class TestDimensionShift:
+    def test_shift_by_one(self):
+        t = Torus((4, 2))
+        pairs = dict(dimension_shift(t, 0))
+        assert pairs[(0, 0)] == (1, 0)
+        assert pairs[(3, 1)] == (0, 1)
+
+    def test_is_permutation(self):
+        t = Torus((4, 3))
+        pairs = dimension_shift(t, 1, offset=2)
+        dsts = [d for _, d in pairs]
+        assert len(set(dsts)) == t.num_vertices
+
+    def test_zero_offset_rejected(self):
+        t = Torus((4, 3))
+        with pytest.raises(ValueError):
+            dimension_shift(t, 0, offset=4)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            dimension_shift(Torus((4,)), 1)
+
+
+class TestRandomPermutation:
+    def test_deterministic_for_seed(self):
+        t = Torus((4, 4))
+        assert random_permutation(t, seed=7) == random_permutation(t, seed=7)
+
+    def test_different_seeds_differ(self):
+        t = Torus((4, 4))
+        assert random_permutation(t, seed=1) != random_permutation(t, seed=2)
+
+    def test_no_fixed_points(self):
+        t = Torus((4, 4))
+        for seed in range(5):
+            assert all(s != d for s, d in random_permutation(t, seed=seed))
+
+    def test_is_permutation(self):
+        t = Torus((4, 4))
+        pairs = random_permutation(t, seed=3)
+        assert len({d for _, d in pairs}) == t.num_vertices
+
+    def test_tiny_torus_rejected(self):
+        with pytest.raises(ValueError):
+            random_permutation(Torus((1,)))
+
+
+class TestAllPairs:
+    def test_count(self):
+        t = Torus((2, 2))
+        pairs = list(all_pairs_uniform(t))
+        assert len(pairs) == 4 * 3
+
+    def test_no_self_pairs(self):
+        t = Torus((2, 2))
+        assert all(s != d for s, d in all_pairs_uniform(t))
+
+
+class TestTornado:
+    def test_offset_is_half_minus_one(self):
+        t = Torus((8,))
+        pairs = dict(tornado(t))
+        assert pairs[(0,)] == (3,)
+
+    def test_small_ring(self):
+        t = Torus((4,))
+        pairs = dict(tornado(t))
+        assert pairs[(0,)] == (1,)
+
+    def test_requires_ring_of_three(self):
+        with pytest.raises(ValueError):
+            tornado(Torus((2, 4)), dim=0)

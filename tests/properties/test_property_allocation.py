@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the allocation engine."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.enumeration import factorizations_into_dims
+from repro.allocation.geometry import PartitionGeometry
+from repro.machines.bgq import BlueGeneQMachine, normalized_bisection_bandwidth
+
+machine_dims = st.lists(
+    st.integers(min_value=1, max_value=7), min_size=4, max_size=4
+).map(tuple)
+
+geometry_dims = st.lists(
+    st.integers(min_value=1, max_value=8), min_size=1, max_size=4
+).map(tuple)
+
+
+class TestGeometryProperties:
+    @given(geometry_dims)
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalization_idempotent(self, dims):
+        g = PartitionGeometry(dims)
+        assert PartitionGeometry(g.dims) == g
+
+    @given(geometry_dims)
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_invariance(self, dims):
+        g1 = PartitionGeometry(dims)
+        g2 = PartitionGeometry(tuple(reversed(dims)))
+        assert g1 == g2
+        assert (
+            g1.normalized_bisection_bandwidth
+            == g2.normalized_bisection_bandwidth
+        )
+
+    @given(geometry_dims)
+    @settings(max_examples=100, deadline=None)
+    def test_bandwidth_formula_256_p_over_a1(self, dims):
+        g = PartitionGeometry(dims)
+        assert g.normalized_bisection_bandwidth == (
+            256 * g.num_midplanes // g.longest_dim
+        )
+
+    @given(geometry_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_bandwidth_from_torus_cut(self, dims):
+        g = PartitionGeometry(dims)
+        assert (
+            g.network().bisection_width()
+            == g.normalized_bisection_bandwidth
+        )
+
+
+class TestFactorizationProperties:
+    @given(st.integers(min_value=1, max_value=96))
+    @settings(max_examples=60, deadline=None)
+    def test_all_products_correct_and_unique(self, n):
+        fs = list(factorizations_into_dims(n, 4))
+        assert len(fs) == len(set(fs))
+        for f in fs:
+            assert math.prod(f) == n
+            assert list(f) == sorted(f, reverse=True)
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_complete_against_brute_force(self, n):
+        """Every descending 4-tuple with product n is generated."""
+        brute = {
+            (a, b, c, d)
+            for a in range(1, n + 1)
+            for b in range(1, a + 1)
+            for c in range(1, b + 1)
+            for d in range(1, c + 1)
+            if a * b * c * d == n
+        }
+        assert set(factorizations_into_dims(n, 4)) == brute
+
+
+class TestMachineProperties:
+    @given(machine_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_machine_fits_itself_and_unit(self, dims):
+        m = BlueGeneQMachine("X", dims)
+        assert m.fits(dims)
+        assert m.fits((1, 1, 1, 1))
+
+    @given(machine_dims, geometry_dims)
+    @settings(max_examples=100, deadline=None)
+    def test_fits_is_sorted_componentwise(self, mdims, gdims):
+        m = BlueGeneQMachine("X", mdims)
+        g = PartitionGeometry(gdims)
+        expected = all(
+            a <= b for a, b in zip(g.dims, m.midplane_dims)
+        )
+        assert g.fits_in(m) == expected
+
+    @given(machine_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_machine_bisection_matches_geometry_formula(self, dims):
+        m = BlueGeneQMachine("X", dims)
+        assert m.bisection_bandwidth() == normalized_bisection_bandwidth(
+            dims
+        )

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for the isoperimetric core."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isoperimetry.bounds import torus_isoperimetric_bound
+from repro.isoperimetry.cuboids import (
+    best_cuboid,
+    cuboid_interior,
+    cuboid_perimeter,
+    cuboid_vertices,
+    enumerate_cuboid_shapes,
+    worst_cuboid,
+)
+from repro.isoperimetry.harper import harper_min_boundary
+from repro.isoperimetry.lindsey import lindsey_min_boundary
+from repro.topology.torus import Torus
+
+# Small torus dimension tuples (products kept modest for speed).
+small_dims = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=1, max_size=3
+).map(tuple).filter(lambda d: 2 <= math.prod(d) <= 64)
+
+proper_dims = st.lists(
+    st.integers(min_value=3, max_value=6), min_size=1, max_size=3
+).map(tuple).filter(lambda d: math.prod(d) <= 125)
+
+
+@st.composite
+def dims_and_shape(draw):
+    """A torus (sorted desc) plus a cuboid shape inside it."""
+    dims = tuple(
+        sorted(draw(small_dims), reverse=True)
+    )
+    shape = tuple(
+        draw(st.integers(min_value=1, max_value=a)) for a in dims
+    )
+    return dims, shape
+
+
+class TestCuboidCounting:
+    @given(dims_and_shape())
+    @settings(max_examples=80, deadline=None)
+    def test_perimeter_matches_graph_cut(self, ds):
+        dims, shape = ds
+        torus = Torus(dims)
+        verts = set(cuboid_vertices(shape))
+        assert torus.cut_weight(verts) == cuboid_perimeter(dims, shape)
+
+    @given(dims_and_shape())
+    @settings(max_examples=80, deadline=None)
+    def test_interior_matches_graph(self, ds):
+        dims, shape = ds
+        torus = Torus(dims)
+        verts = set(cuboid_vertices(shape))
+        assert torus.interior_weight(verts) == cuboid_interior(dims, shape)
+
+    @given(dims_and_shape())
+    @settings(max_examples=80, deadline=None)
+    def test_handshake_identity(self, ds):
+        """k |S| = 2 interior + perimeter (Equation 1)."""
+        dims, shape = ds
+        k = Torus(dims).regular_degree()
+        vol = math.prod(shape)
+        assert k * vol == 2 * cuboid_interior(dims, shape) + cuboid_perimeter(
+            dims, shape
+        )
+
+
+class TestBoundProperties:
+    @given(proper_dims, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bound_below_every_cuboid(self, dims, data):
+        total = math.prod(dims)
+        t = data.draw(st.integers(min_value=1, max_value=total // 2))
+        shapes = list(enumerate_cuboid_shapes(dims, t))
+        if not shapes:
+            return
+        _, per = best_cuboid(dims, t)
+        bound = torus_isoperimetric_bound(dims, t).value
+        assert bound <= per + 1e-9
+
+    @given(proper_dims, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_best_not_worse_than_worst(self, dims, data):
+        total = math.prod(dims)
+        t = data.draw(st.integers(min_value=1, max_value=total // 2))
+        if not list(enumerate_cuboid_shapes(dims, t)):
+            return
+        _, best = best_cuboid(dims, t)
+        _, worst = worst_cuboid(dims, t)
+        assert best <= worst
+
+    @given(proper_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_bound_positive_below_half(self, dims):
+        total = math.prod(dims)
+        t = max(1, total // 2)
+        assert torus_isoperimetric_bound(dims, t).value > 0
+
+
+class TestComplementSymmetry:
+    @given(small_dims, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_cut_of_complement_equal(self, dims, data):
+        torus = Torus(dims)
+        n = torus.num_vertices
+        verts = list(torus.vertices())
+        size = data.draw(st.integers(min_value=0, max_value=n))
+        idx = data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        subset = {verts[i] for i in idx}
+        complement = set(verts) - subset
+        assert torus.cut_weight(subset) == torus.cut_weight(complement)
+
+
+class TestClosedFormSolutions:
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_harper_monotone_up_to_half(self, d, data):
+        """Optimal boundary is nondecreasing in t up to |V|/2."""
+        half = 1 << (d - 1) if d >= 1 else 1
+        t = data.draw(st.integers(min_value=1, max_value=max(1, half - 1)))
+        assert harper_min_boundary(d, t + 1) >= harper_min_boundary(
+            d, t
+        ) - 2 * d  # local decrease bounded by degree
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_harper_complement_symmetry(self, d, data):
+        n = 1 << d
+        t = data.draw(st.integers(min_value=1, max_value=n - 1))
+        assert harper_min_boundary(d, t) == harper_min_boundary(d, n - t)
+
+    @given(
+        st.lists(
+            st.integers(min_value=2, max_value=5), min_size=1, max_size=3
+        ).map(tuple).filter(lambda d: math.prod(d) <= 60),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lindsey_complement_symmetry(self, dims, data):
+        total = math.prod(dims)
+        t = data.draw(st.integers(min_value=1, max_value=total - 1))
+        assert lindsey_min_boundary(dims, t) == lindsey_min_boundary(
+            dims, total - t
+        )

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the network simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fairness import max_min_fair_rates
+from repro.netsim.fluid import FluidSimulation
+from repro.netsim.network import LinkNetwork
+from repro.netsim.routing import dimension_ordered_route
+from repro.topology.torus import Torus
+
+dims_strategy = st.lists(
+    st.integers(min_value=2, max_value=5), min_size=1, max_size=3
+).map(tuple).filter(lambda d: math.prod(d) <= 40)
+
+
+@st.composite
+def network_and_flows(draw):
+    dims = draw(dims_strategy)
+    torus = Torus(dims)
+    net = LinkNetwork(torus, link_bandwidth=2.0)
+    verts = list(torus.vertices())
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    paths = []
+    volumes = []
+    for _ in range(n_flows):
+        i = draw(st.integers(min_value=0, max_value=len(verts) - 1))
+        j = draw(st.integers(min_value=0, max_value=len(verts) - 1))
+        if i == j:
+            j = (j + 1) % len(verts)
+        paths.append(
+            net.path_to_links(
+                dimension_ordered_route(torus, verts[i], verts[j])
+            )
+        )
+        volumes.append(draw(st.floats(min_value=0.1, max_value=10.0)))
+    return net, paths, volumes
+
+
+class TestFairnessProperties:
+    @given(network_and_flows())
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_feasibility(self, nf):
+        """Allocated rates never exceed any link capacity."""
+        net, paths, _ = nf
+        rates = max_min_fair_rates(paths, net.capacities)
+        load = np.zeros(net.num_links)
+        for p, r in zip(paths, rates):
+            if len(p):
+                load[p] += r
+        assert np.all(load <= net.capacities + 1e-6)
+
+    @given(network_and_flows())
+    @settings(max_examples=60, deadline=None)
+    def test_rates_positive(self, nf):
+        net, paths, _ = nf
+        rates = max_min_fair_rates(paths, net.capacities)
+        assert np.all(rates > 0)
+
+    @given(network_and_flows())
+    @settings(max_examples=60, deadline=None)
+    def test_each_flow_hits_a_saturated_link(self, nf):
+        """Max-min characterization: every flow crosses some link that is
+        fully utilized (else its rate could rise)."""
+        net, paths, _ = nf
+        rates = max_min_fair_rates(paths, net.capacities)
+        load = np.zeros(net.num_links)
+        for p, r in zip(paths, rates):
+            if len(p):
+                load[p] += r
+        saturated = load >= net.capacities - 1e-6
+        for p in paths:
+            if len(p):
+                assert saturated[p].any()
+
+
+class TestFluidProperties:
+    @given(network_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, nf):
+        """Makespan is at least the bottleneck-load bound and at most
+        the serialized time."""
+        net, paths, volumes = nf
+        makespan, results = FluidSimulation(net, paths, volumes).run()
+        lower = net.bottleneck_time(paths, volumes)
+        assert makespan >= lower - 1e-6
+        # Serial upper bound: each flow alone at its own bottleneck rate.
+        serial = 0.0
+        for p, v in zip(paths, volumes):
+            cap = net.capacities[p].min() if len(p) else np.inf
+            serial += v / cap
+        assert makespan <= serial + 1e-6
+
+    @given(network_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_completions_increasing_in_volume(self, nf):
+        """Doubling every volume doubles the makespan (fluid linearity)."""
+        net, paths, volumes = nf
+        m1, _ = FluidSimulation(net, paths, volumes).run()
+        m2, _ = FluidSimulation(
+            net, paths, [2 * v for v in volumes]
+        ).run()
+        assert m2 == __import__("pytest").approx(2 * m1, rel=1e-6)
+
+    @given(network_and_flows())
+    @settings(max_examples=40, deadline=None)
+    def test_all_flows_complete(self, nf):
+        net, paths, volumes = nf
+        makespan, results = FluidSimulation(net, paths, volumes).run()
+        assert len(results) == len(paths)
+        for r in results:
+            assert 0 < r.completion_time <= makespan + 1e-9
+
+
+class TestRoutingProperties:
+    @given(dims_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_route_is_valid_walk_of_minimal_length(self, dims, data):
+        torus = Torus(dims)
+        verts = list(torus.vertices())
+        pick = st.integers(min_value=0, max_value=len(verts) - 1)
+        src = verts[data.draw(pick)]
+        dst = verts[data.draw(pick)]
+        path = dimension_ordered_route(torus, src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) - 1 == torus.hop_distance(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert b in {v for v, _ in torus.neighbors(a)}

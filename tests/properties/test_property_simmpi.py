@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for the virtual-time MPI engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import (
+    Barrier,
+    Compute,
+    Recv,
+    Send,
+    SendRecv,
+    VirtualMpi,
+    allgather_ring,
+)
+from repro.topology import Torus
+
+
+def _world(n_ranks: int) -> VirtualMpi:
+    return VirtualMpi(
+        Torus((8, 2)), rank_to_node=list(range(n_ranks)),
+        link_bandwidth=2.0,
+    )
+
+
+class TestWellFormedProgramsTerminate:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),   # src
+                st.integers(min_value=0, max_value=7),   # dst
+                st.floats(min_value=0.1, max_value=4.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matched_send_recv_programs_finish(self, n_ranks, msgs):
+        """Any message list executed as (sequential) matched send/recv
+        pairs terminates with conserved volume accounting."""
+        msgs = [
+            (s % n_ranks, d % n_ranks, gb)
+            for s, d, gb in msgs
+            if s % n_ranks != d % n_ranks
+        ]
+
+        def prog(rank, size):
+            for idx, (s, d, gb) in enumerate(msgs):
+                if rank == s:
+                    yield Send(dst=d, gb=gb, tag=idx)
+                elif rank == d:
+                    yield Recv(src=s, tag=idx)
+                yield Barrier()
+
+        res = _world(n_ranks).run(prog)
+        assert res.time >= 0
+        assert res.total_gb_sent == pytest.approx(
+            sum(gb for _, _, gb in msgs)
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.1, max_value=4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_allgather_always_correct(self, n_ranks, gb):
+        results = {}
+
+        def prog(rank, size):
+            results[rank] = yield from allgather_ring(
+                rank, size, rank * 10, gb
+            )
+
+        res = _world(n_ranks).run(prog)
+        expected = [i * 10 for i in range(n_ranks)]
+        assert all(results[r] == expected for r in range(n_ranks))
+        # Each rank forwards size-1 blocks.
+        assert res.total_gb_sent == pytest.approx(
+            n_ranks * (n_ranks - 1) * gb
+        )
+
+
+class TestTimeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=2, max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_barrier_time_is_max_compute(self, seconds):
+        def prog(rank, size):
+            yield Compute(seconds=seconds[rank])
+            yield Barrier()
+
+        res = _world(len(seconds)).run(prog)
+        assert res.time == pytest.approx(max(seconds))
+
+    @given(st.floats(min_value=0.1, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_exchange_time_linear_in_volume(self, gb):
+        def prog(rank, size):
+            if rank < 2:
+                yield SendRecv(peer=1 - rank, gb=gb)
+
+        res = _world(4).run(prog)
+        assert res.time == pytest.approx(gb / 2.0)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_virtual_time_deterministic(self, n_ranks, gb):
+        def prog(rank, size):
+            # Deterministic simple pattern: neighbor exchange by parity.
+            peer = rank ^ 1
+            if peer < size:
+                yield SendRecv(peer=peer, gb=gb)
+
+        world = _world(n_ranks if n_ranks % 2 == 0 else n_ranks + 1)
+        a = world.run(prog).time
+        b = world.run(prog).time
+        assert a == b

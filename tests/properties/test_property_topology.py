@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for topology invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.clique_product import CliqueProduct
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+
+torus_dims = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=1, max_size=3
+).map(tuple).filter(lambda d: math.prod(d) <= 72)
+
+
+class TestTorusInvariants:
+    @given(torus_dims)
+    @settings(max_examples=50, deadline=None)
+    def test_structural_validation(self, dims):
+        Torus(dims).validate()
+
+    @given(torus_dims)
+    @settings(max_examples=50, deadline=None)
+    def test_handshake(self, dims):
+        t = Torus(dims)
+        assert sum(t.degree(v) for v in t.vertices()) == 2 * t.num_edges
+
+    @given(torus_dims, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_distance_metric_axioms(self, dims, data):
+        t = Torus(dims)
+        verts = list(t.vertices())
+        pick = st.integers(min_value=0, max_value=len(verts) - 1)
+        u = verts[data.draw(pick)]
+        v = verts[data.draw(pick)]
+        w = verts[data.draw(pick)]
+        duv = t.hop_distance(u, v)
+        assert duv == t.hop_distance(v, u)
+        assert (duv == 0) == (u == v)
+        assert duv <= t.hop_distance(u, w) + t.hop_distance(w, v)
+        assert duv <= t.diameter
+
+    @given(torus_dims)
+    @settings(max_examples=50, deadline=None)
+    def test_antipode_maximizes_distance(self, dims):
+        t = Torus(dims)
+        origin = tuple(0 for _ in dims)
+        anti = t.antipode(origin)
+        assert t.hop_distance(origin, anti) == t.diameter
+
+
+class TestCrossFamilyConsistency:
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_hypercube_equals_2_torus(self, d):
+        q = Hypercube(d)
+        t = Torus((2,) * d)
+        assert q.num_edges == t.num_edges
+        assert q.diameter == t.diameter
+        assert q.bisection_width() == t.bisection_width()
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_ring_equals_k_for_tiny(self, a):
+        """Rings of length 2 and 3 coincide with K2/K3; longer rings
+        have strictly fewer edges than the clique."""
+        ring = Torus((a,))
+        clique = CliqueProduct((a,))
+        if a <= 3:
+            assert ring.num_edges == clique.num_edges
+        else:
+            assert ring.num_edges < clique.num_edges
+
+    @given(torus_dims)
+    @settings(max_examples=30, deadline=None)
+    def test_mesh_has_no_more_edges_than_torus(self, dims):
+        assert Mesh(dims).num_edges <= Torus(dims).num_edges

@@ -1,0 +1,258 @@
+"""Unit tests for simmpi payloads and collective sub-programs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    Isend,
+    Recv,
+    Send,
+    SendRecv,
+    VirtualMpi,
+    allgather_ring,
+    alltoall_pairwise,
+    broadcast_ring,
+)
+from repro.topology import Torus
+
+
+@pytest.fixture
+def world8():
+    return VirtualMpi(Torus((8,)), link_bandwidth=2.0)
+
+
+@pytest.fixture
+def world4():
+    return VirtualMpi(Torus((4,)), link_bandwidth=2.0)
+
+
+class TestPayloads:
+    def test_send_recv_payload_delivery(self, world4):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield Send(dst=1, gb=1.0, payload={"x": 42})
+            elif rank == 1:
+                seen["data"] = yield Recv(src=0)
+
+        world4.run(prog)
+        assert seen["data"] == {"x": 42}
+
+    def test_numpy_payload_identity(self, world4):
+        block = np.arange(16).reshape(4, 4)
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield Send(dst=2, gb=0.5, payload=block)
+            elif rank == 2:
+                seen["b"] = yield Recv(src=0)
+
+        world4.run(prog)
+        assert seen["b"] is block  # passed by reference
+
+    def test_exchange_payloads_cross(self, world4):
+        seen = {}
+
+        def prog(rank, size):
+            if rank < 2:
+                got = yield SendRecv(
+                    peer=1 - rank, gb=1.0, payload=f"from-{rank}"
+                )
+                seen[rank] = got
+
+        world4.run(prog)
+        assert seen == {0: "from-1", 1: "from-0"}
+
+    def test_send_resumes_with_none(self, world4):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                seen["send"] = yield Send(dst=1, gb=1.0, payload="p")
+            elif rank == 1:
+                yield Recv(src=0)
+
+        world4.run(prog)
+        assert seen["send"] is None
+
+
+class TestIsend:
+    def test_sender_does_not_wait(self, world4):
+        def prog(rank, size):
+            if rank == 0:
+                yield Isend(dst=1, gb=4.0)
+            elif rank == 1:
+                yield Recv(src=0)
+
+        res = world4.run(prog)
+        assert res.ranks[0].finish_time == pytest.approx(0.0)
+        assert res.ranks[1].finish_time == pytest.approx(2.0)
+
+    def test_eager_before_recv_posted(self, world4):
+        seen = {}
+
+        def prog(rank, size):
+            if rank == 0:
+                yield Isend(dst=1, gb=2.0, payload="early")
+            elif rank == 1:
+                from repro.simmpi import Compute
+
+                yield Compute(seconds=5.0)
+                seen["v"] = yield Recv(src=0)
+
+        res = world4.run(prog)
+        assert seen["v"] == "early"
+        # Transfer starts only when the receiver posts: 5 + 1.
+        assert res.time == pytest.approx(6.0)
+
+    def test_isend_accounting(self, world4):
+        def prog(rank, size):
+            if rank == 0:
+                yield Isend(dst=1, gb=3.0)
+            elif rank == 1:
+                yield Recv(src=0)
+
+        res = world4.run(prog)
+        assert res.ranks[0].gb_sent == pytest.approx(3.0)
+        assert res.ranks[0].messages_sent == 1
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("size_ranks", [2, 5, 8])
+    def test_correct_result_all_sizes(self, size_ranks):
+        world = VirtualMpi(Torus((8,)), rank_to_node=list(range(size_ranks)))
+        results = {}
+
+        def prog(rank, size):
+            blocks = yield from allgather_ring(
+                rank, size, f"blk{rank}", 0.5
+            )
+            results[rank] = blocks
+
+        world.run(prog)
+        expected = [f"blk{i}" for i in range(size_ranks)]
+        assert all(results[r] == expected for r in range(size_ranks))
+
+    def test_time_matches_ring_pipeline(self, world8):
+        def prog(rank, size):
+            yield from allgather_ring(rank, size, rank, 1.0)
+
+        # 7 rounds; each round every +1 link carries one 1 GB block at
+        # 2 GB/s, but rendezvous staging makes rounds 0.5 s each... the
+        # engine overlaps the eager forwarding, so just bound it.
+        t = world8.run(prog).time
+        assert t == pytest.approx(7 * 0.5, rel=0.2)
+
+    def test_single_rank(self):
+        world = VirtualMpi(Torus((4,)), rank_to_node=[0])
+        results = {}
+
+        def prog(rank, size):
+            results[rank] = yield from allgather_ring(rank, size, "x", 1.0)
+
+        world.run(prog)
+        assert results[0] == ["x"]
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size_ranks", [2, 4, 6])
+    def test_correct_result(self, size_ranks):
+        world = VirtualMpi(
+            Torus((8,)), rank_to_node=list(range(size_ranks))
+        )
+        results = {}
+
+        def prog(rank, size):
+            out = [f"{rank}->{j}" for j in range(size)]
+            results[rank] = yield from alltoall_pairwise(rank, size, out, 0.2)
+
+        world.run(prog)
+        for r in range(size_ranks):
+            assert results[r] == [
+                f"{i}->{r}" for i in range(size_ranks)
+            ]
+
+    def test_wrong_block_count_rejected(self, world4):
+        def prog(rank, size):
+            yield from alltoall_pairwise(rank, size, [1, 2], 0.1)
+
+        with pytest.raises(ValueError):
+            world4.run(prog)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("root", [0, 2, 3])
+    def test_all_ranks_get_root_block(self, world4, root):
+        results = {}
+
+        def prog(rank, size):
+            data = "gold" if rank == root else None
+            results[rank] = yield from broadcast_ring(
+                rank, size, data, 0.5, root=root
+            )
+
+        world4.run(prog)
+        assert all(results[r] == "gold" for r in range(4))
+
+    def test_pipeline_time(self, world4):
+        def prog(rank, size):
+            yield from broadcast_ring(rank, size, "d", 2.0, root=0)
+
+        # 3 sequential 1-hop transfers of 2 GB at 2 GB/s.
+        assert world4.run(prog).time == pytest.approx(3.0)
+
+
+class TestDistributedComputation:
+    def test_mini_summa_is_numerically_exact(self):
+        """A 2x2 SUMMA with real NumPy blocks over the engine."""
+        grid, n = 2, 8
+        nb = n // grid
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        out = {}
+
+        def prog(rank, size):
+            i, j = divmod(rank, grid)
+            acc = np.zeros((nb, nb))
+            row = [i * grid + c for c in range(grid)]
+            col = [r * grid + j for r in range(grid)]
+            for k in range(grid):
+                a_blk = (
+                    A[i * nb:(i + 1) * nb, k * nb:(k + 1) * nb]
+                    if j == k else None
+                )
+                b_blk = (
+                    B[k * nb:(k + 1) * nb, j * nb:(j + 1) * nb]
+                    if i == k else None
+                )
+                if grid == 2:
+                    # Broadcast in a 2-ring is a single exchange step.
+                    a_panel = a_blk if a_blk is not None else None
+                    peer = row[1 - j]
+                    if a_blk is not None:
+                        yield Isend(dst=peer, gb=0.01, payload=a_blk,
+                                    tag=10 + k)
+                        a_panel = a_blk
+                    else:
+                        a_panel = yield Recv(src=peer, tag=10 + k)
+                    peer = col[1 - i]
+                    if b_blk is not None:
+                        yield Isend(dst=peer, gb=0.01, payload=b_blk,
+                                    tag=20 + k)
+                        b_panel = b_blk
+                    else:
+                        b_panel = yield Recv(src=peer, tag=20 + k)
+                acc = acc + a_panel @ b_panel
+            out[(i, j)] = acc
+
+        world = VirtualMpi(Torus((4,)), rank_to_node=[0, 1, 2, 3])
+        world.run(prog)
+        C = np.zeros((n, n))
+        for (i, j), blk in out.items():
+            C[i * nb:(i + 1) * nb, j * nb:(j + 1) * nb] = blk
+        assert np.allclose(C, A @ B)

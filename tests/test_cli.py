@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestMachines:
+    def test_lists_catalog(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Mira", "JUQUEEN", "Sequoia", "JUQUEEN-48"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_juqueen_improvable(self, capsys):
+        assert main(["analyze", "juqueen", "--improvable-only"]) == 0
+        out = capsys.readouterr().out
+        assert "6 x 1 x 1 x 1" in out
+        assert "x2.00" in out
+
+    def test_unknown_machine_exit_2(self, capsys):
+        assert main(["analyze", "summit"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGeometry:
+    def test_inspect(self, capsys):
+        assert main(["geometry", "3", "2", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2048" in out
+        assert "12288" in out
+
+    def test_invalid_geometry(self, capsys):
+        assert main(["geometry", "2", "2", "2", "2", "2"]) == 2
+
+
+class TestPairing:
+    def test_small_run(self, capsys):
+        assert main(["pairing", "1", "1", "1", "1", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "time" in out
+
+
+class TestTables:
+    @pytest.mark.parametrize("n", ["1", "2", "5"])
+    def test_tables_render(self, n, capsys):
+        assert main(["table", n]) == 0
+        assert f"Table {n}" in capsys.readouterr().out
+
+    def test_table_8_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "8"])
+
+
+class TestFigureCommand:
+    @pytest.mark.parametrize("n", ["1", "2", "7"])
+    def test_combinatorial_figures_render(self, n, capsys):
+        assert main(["figure", n]) == 0
+        assert f"Figure {n}" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_wait_recommendation(self, capsys):
+        code = main(
+            ["advise", "juqueen", "8", "4", "2", "1", "1",
+             "--wait", "60", "--runtime", "3600", "--fraction", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WAIT" in out
+
+    def test_allocate_recommendation(self, capsys):
+        code = main(
+            ["advise", "juqueen", "8", "2", "2", "2", "1",
+             "--wait", "60"]
+        )
+        assert code == 0
+        assert "ALLOCATE" in capsys.readouterr().out
+
+    def test_bad_size(self, capsys):
+        assert main(["advise", "juqueen", "11", "11", "1", "1", "1"]) == 2

@@ -1,0 +1,42 @@
+"""CLI tests for the variability subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDesignSearchCommand:
+    def test_runs_and_ranks_juqueen_48_first(self, capsys):
+        assert main(["design-search", "juqueen", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 x 3 x 2 x 2" in out.splitlines()[3]
+
+    def test_unknown_baseline(self, capsys):
+        assert main(["design-search", "summit"]) == 2
+
+
+class TestVariabilityCommand:
+    def test_runs_and_shows_rules(self, capsys):
+        assert main(["variability", "juqueen", "8", "--jobs", "20"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("best", "worst", "random", "first-fit"):
+            assert rule in out
+
+    def test_spread_visible_for_improvable_size(self, capsys):
+        assert main(
+            ["variability", "juqueen", "8", "--jobs", "50",
+             "--fraction", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2" in out  # the x2 spread appears
+
+    def test_bad_size_exit_2(self, capsys):
+        assert main(["variability", "juqueen", "11"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_fraction_exit_2(self, capsys):
+        assert main(
+            ["variability", "juqueen", "8", "--fraction", "2.0"]
+        ) == 2

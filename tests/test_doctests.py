@@ -1,0 +1,67 @@
+"""Run the doctest examples embedded in the public docstrings.
+
+The examples double as documentation and as executable specifications;
+this harness keeps them honest.  Heavy modules (full experiment runs)
+are exercised by their own tests and benchmarks instead.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.allocation.enumeration
+import repro.allocation.geometry
+import repro.allocation.variability
+import repro.isoperimetry.bounds
+import repro.isoperimetry.cuboids
+import repro.isoperimetry.harper
+import repro.isoperimetry.lindsey
+import repro.isoperimetry.mesh2d
+import repro.kernels.caps
+import repro.kernels.costmodel
+import repro.kernels.strassen
+import repro.machines.bgq
+import repro.netsim.network
+import repro.topology.clique_product
+import repro.topology.fattree
+import repro.topology.hypercube
+import repro.topology.mesh
+import repro.topology.slimfly
+import repro.topology.torus
+
+MODULES = [
+    repro.topology.torus,
+    repro.topology.hypercube,
+    repro.topology.mesh,
+    repro.topology.clique_product,
+    repro.topology.fattree,
+    repro.topology.slimfly,
+    repro.isoperimetry.bounds,
+    repro.isoperimetry.cuboids,
+    repro.isoperimetry.harper,
+    repro.isoperimetry.lindsey,
+    repro.isoperimetry.mesh2d,
+    repro.machines.bgq,
+    repro.allocation.geometry,
+    repro.allocation.enumeration,
+    repro.allocation.variability,
+    repro.netsim.network,
+    repro.kernels.strassen,
+    repro.kernels.caps,
+    repro.kernels.costmodel,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, (
+        f"{module.__name__}: {result.failed} doctest failures"
+    )
+    assert result.attempted > 0, (
+        f"{module.__name__} has no doctest examples"
+    )

@@ -1,0 +1,87 @@
+"""Unit tests for the generic Topology machinery in repro.topology.base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.base import cut_edges, is_connected_subset
+from repro.topology.torus import Torus
+
+
+class TestDerivedQuantities:
+    def test_edges_yield_each_once(self):
+        t = Torus((4, 3))
+        edges = list(t.edges())
+        assert len(edges) == t.num_edges
+        canon = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(canon) == len(edges)
+
+    def test_weighted_degree_equals_degree_unweighted(self):
+        t = Torus((4, 3))
+        for v in t.vertices():
+            assert t.weighted_degree(v) == t.degree(v)
+
+    def test_expansion_of_single_vertex(self):
+        t = Torus((4, 4))
+        assert t.expansion([(0, 0)]) == 1.0
+
+    def test_expansion_of_half(self):
+        t = Torus((4, 4))
+        half = t.halfspace(0)
+        # cut = 8, incident = 4 * 8 = 32.
+        assert t.expansion(half) == pytest.approx(8 / 32)
+
+    def test_expansion_empty_raises(self):
+        with pytest.raises(ValueError):
+            Torus((4, 4)).expansion([])
+
+    def test_cut_edges_listing(self):
+        t = Torus((4,))
+        edges = cut_edges(t, [(0,), (1,)])
+        pairs = {(u, v) for u, v, _ in edges}
+        assert pairs == {((0,), (3,)), ((1,), (2,))}
+
+    def test_interior_weight_counts_each_edge_once(self):
+        t = Torus((4,))
+        assert t.interior_weight([(0,), (1,), (2,)]) == 2.0
+
+
+class TestConnectivity:
+    def test_connected_subset(self):
+        t = Torus((4, 4))
+        assert is_connected_subset(t, [(0, 0), (0, 1), (1, 1)])
+
+    def test_disconnected_subset(self):
+        t = Torus((5, 5))
+        assert not is_connected_subset(t, [(0, 0), (2, 2)])
+
+    def test_empty_subset_connected(self):
+        assert is_connected_subset(Torus((3, 3)), [])
+
+
+class TestNetworkXExport:
+    def test_roundtrip_counts(self):
+        t = Torus((4, 3))
+        g = t.to_networkx()
+        assert g.number_of_nodes() == t.num_vertices
+        assert g.number_of_edges() == t.num_edges
+
+    def test_weights_exported(self):
+        t = Torus((4, 3))
+        g = t.to_networkx()
+        assert all(d["weight"] == 1.0 for _, _, d in g.edges(data=True))
+
+    def test_networkx_cut_agrees(self):
+        import networkx as nx
+
+        t = Torus((4, 4))
+        half = t.halfspace(0)
+        nx_cut = nx.cut_size(t.to_networkx(), half, weight="weight")
+        assert nx_cut == t.cut_weight(half)
+
+    def test_networkx_bisection_via_spectral(self):
+        # Sanity: algebraic connectivity of a torus is positive.
+        import networkx as nx
+
+        t = Torus((4, 4))
+        assert nx.is_connected(t.to_networkx())

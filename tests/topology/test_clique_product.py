@@ -1,0 +1,80 @@
+"""Unit tests for repro.topology.clique_product (HyperX)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.clique_product import CliqueProduct
+
+
+class TestBasics:
+    def test_counts(self):
+        h = CliqueProduct((3, 2))
+        assert h.num_vertices == 6
+        # 2 lines of K3 (3 edges each) + 3 lines of K2 (1 edge each).
+        assert h.num_edges == 9
+
+    def test_num_edges_matches_enumeration(self):
+        for dims in [(4,), (3, 2), (2, 2, 2), (4, 3)]:
+            h = CliqueProduct(dims)
+            assert h.num_edges == len(list(h.edges()))
+
+    def test_validate(self):
+        CliqueProduct((4, 3)).validate()
+        CliqueProduct((3, 2), weights=(1.0, 3.0)).validate()
+
+    def test_single_clique_is_complete_graph(self):
+        k5 = CliqueProduct((5,))
+        assert k5.num_edges == 10
+        assert k5.regular_degree() == 4
+
+    def test_degree(self):
+        assert CliqueProduct((4, 3)).degree((0, 0)) == 5
+
+    def test_degenerate_dim(self):
+        h = CliqueProduct((3, 1))
+        assert h.degree((0, 0)) == 2
+
+    def test_weights_applied(self):
+        h = CliqueProduct((2, 2), weights=(1.0, 3.0))
+        w = {v: wt for v, wt in h.neighbors((0, 0))}
+        assert w[(1, 0)] == 1.0
+        assert w[(0, 1)] == 3.0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CliqueProduct((2, 2), weights=(1.0,))
+
+    def test_weight_positive(self):
+        with pytest.raises(ValueError):
+            CliqueProduct((2, 2), weights=(1.0, 0.0))
+
+    def test_is_uniform(self):
+        assert CliqueProduct((2, 3)).is_uniform()
+        assert not CliqueProduct((2, 3), weights=(1, 2)).is_uniform()
+
+
+class TestMetrics:
+    def test_hop_distance_hamming(self):
+        h = CliqueProduct((4, 4))
+        assert h.hop_distance((0, 0), (3, 2)) == 2
+        assert h.hop_distance((0, 0), (0, 2)) == 1
+
+    def test_diameter(self):
+        assert CliqueProduct((4, 4, 4)).diameter == 3
+        assert CliqueProduct((4, 1)).diameter == 1
+
+    def test_bisection_even_clique(self):
+        # K4 x K2: cut K4 in half: 2*2 edges * 2 lines = 8;
+        # cut K2 in half: 1*1 * 4 lines = 4 -> min is 4.
+        assert CliqueProduct((4, 2)).bisection_width() == 4
+
+    def test_bisection_weighted(self):
+        # Weighted K2 links cost 3 each: 4 lines * 3 = 12 > 8.
+        h = CliqueProduct((4, 2), weights=(1.0, 3.0))
+        assert h.bisection_width() == 8.0
+
+    def test_cut_weight_of_half_clique(self):
+        h = CliqueProduct((4, 2))
+        half = {(x, y) for x in range(4) for y in (0,)}
+        assert h.cut_weight(half) == 4

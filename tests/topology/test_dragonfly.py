@@ -1,0 +1,91 @@
+"""Unit tests for repro.topology.dragonfly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.dragonfly import ARRANGEMENTS, Dragonfly
+
+
+class TestConstruction:
+    def test_counts(self):
+        d = Dragonfly(num_groups=3, a=4, h=3)
+        assert d.num_vertices == 36
+
+    def test_all_arrangements_validate(self):
+        for arr in ARRANGEMENTS:
+            for groups in (2, 3, 4, 5):
+                Dragonfly(
+                    num_groups=groups, a=3, h=2, arrangement=arr
+                ).validate()
+
+    def test_single_group_no_globals(self):
+        d = Dragonfly(num_groups=1, a=3, h=2)
+        d.validate()
+        assert d.global_cut_between_groups() == 0.0
+
+    def test_unknown_arrangement(self):
+        with pytest.raises(ValueError):
+            Dragonfly(num_groups=3, a=3, h=2, arrangement="zigzag")
+
+    def test_global_links_multiple_constraint(self):
+        with pytest.raises(ValueError):
+            Dragonfly(num_groups=4, a=3, h=2, global_links_per_group=5)
+
+    def test_extra_global_links(self):
+        d = Dragonfly(num_groups=3, a=3, h=2, global_links_per_group=4)
+        d.validate()
+        assert d.global_cut_between_groups() == 16.0
+
+
+class TestWeights:
+    def test_default_capacities(self):
+        d = Dragonfly(num_groups=2, a=4, h=3)
+        weights = {u: w for u, w in d.neighbors((0, 0, 0))}
+        row = [w for (g, x, y), w in weights.items() if g == 0 and y == 0]
+        col = [w for (g, x, y), w in weights.items() if g == 0 and x == 0 and y != 0]
+        assert set(row) == {1.0}
+        assert set(col) == {3.0}
+
+    def test_global_capacity(self):
+        d = Dragonfly(num_groups=2, a=2, h=2)
+        total = sum(
+            w
+            for v in d.group_vertices(0)
+            for (g, _, _), w in (
+                (u, w) for u, w in d.neighbors(v)
+            )
+            if g == 1
+        )
+        assert total == d.global_cut_between_groups() == 4.0
+
+
+class TestGroups:
+    def test_group_vertices(self):
+        d = Dragonfly(num_groups=3, a=2, h=2)
+        verts = d.group_vertices(1)
+        assert len(verts) == 4
+        assert all(v[0] == 1 for v in verts)
+        with pytest.raises(ValueError):
+            d.group_vertices(3)
+
+    def test_group_cut_matches_cut_weight(self):
+        for arr in ARRANGEMENTS:
+            d = Dragonfly(num_groups=4, a=3, h=2, arrangement=arr)
+            cut = d.cut_weight(d.group_vertices(0))
+            assert cut == d.global_cut_between_groups()
+
+    def test_every_pair_of_groups_connected(self):
+        for arr in ARRANGEMENTS:
+            d = Dragonfly(num_groups=4, a=3, h=2, arrangement=arr)
+            reached = set()
+            for v in d.group_vertices(0):
+                for (g, _, _), _ in d.neighbors(v):
+                    reached.add(g)
+            assert reached >= {1, 2, 3}
+
+    def test_properties(self):
+        d = Dragonfly(num_groups=3, a=4, h=2, arrangement="relative")
+        assert d.num_groups == 3
+        assert d.group_dims == (4, 2)
+        assert d.arrangement == "relative"

@@ -1,0 +1,61 @@
+"""Unit tests for repro.topology.fattree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.base import is_connected_subset
+from repro.topology.fattree import FatTree
+
+
+class TestStructure:
+    def test_counts_k4(self):
+        ft = FatTree(4)
+        assert ft.num_hosts == 16
+        assert ft.num_switches == 20
+        assert ft.num_vertices == 36
+
+    def test_validate(self):
+        FatTree(2).validate()
+        FatTree(4).validate()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(3)
+
+    def test_host_degree_one(self):
+        ft = FatTree(4)
+        for h in ft.hosts():
+            assert ft.degree(h) == 1
+
+    def test_switch_degrees_are_k(self):
+        ft = FatTree(4)
+        for v in ft.vertices():
+            if v[0] in ("agg", "edge", "core"):
+                assert ft.degree(v) == 4, v
+
+    def test_core_connects_all_pods(self):
+        ft = FatTree(4)
+        pods = {v[1] for v, _ in ft.neighbors(("core", 0, 0))}
+        assert pods == {0, 1, 2, 3}
+
+    def test_connected(self):
+        ft = FatTree(4)
+        assert is_connected_subset(ft, ft.vertices())
+
+    def test_contains(self):
+        ft = FatTree(4)
+        assert ft.contains(("host", 0, 0, 0))
+        assert ft.contains(("core", 1, 1))
+        assert not ft.contains(("host", 4, 0, 0))
+        assert not ft.contains(("spine", 0, 0))
+        assert not ft.contains(42)
+
+    def test_host_bisection(self):
+        assert FatTree(4).host_bisection_width() == 8
+
+    def test_pod_cut(self):
+        # Cutting one pod (switches + hosts) severs its (k/2)^2 uplinks.
+        ft = FatTree(4)
+        pod0 = [v for v in ft.vertices() if v[0] != "core" and v[1] == 0]
+        assert ft.cut_weight(pod0) == 4

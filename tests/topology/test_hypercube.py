@@ -1,0 +1,103 @@
+"""Unit tests for repro.topology.hypercube."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.hypercube import Hypercube
+from repro.topology.torus import Torus
+
+
+class TestBasics:
+    def test_vertex_and_edge_counts(self):
+        q = Hypercube(4)
+        assert q.num_vertices == 16
+        assert q.num_edges == 32
+
+    def test_q0_single_vertex(self):
+        q = Hypercube(0)
+        assert q.num_vertices == 1
+        assert q.num_edges == 0
+        assert list(q.neighbors(0)) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+
+    def test_rejects_huge(self):
+        with pytest.raises(ValueError):
+            Hypercube(31)
+
+    def test_validate(self):
+        Hypercube(4).validate()
+
+    def test_degree_regular(self):
+        q = Hypercube(5)
+        assert q.is_regular()
+        assert q.regular_degree() == 5
+
+    def test_neighbors_are_bit_flips(self):
+        q = Hypercube(3)
+        assert sorted(v for v, _ in q.neighbors(5)) == [1, 4, 7]
+
+    def test_invalid_vertex_raises(self):
+        q = Hypercube(3)
+        with pytest.raises(ValueError):
+            list(q.neighbors(8))
+        with pytest.raises(ValueError):
+            q.degree(True)  # bools are not vertex labels
+
+
+class TestDistances:
+    def test_hop_distance_is_hamming(self):
+        q = Hypercube(4)
+        assert q.hop_distance(0b0000, 0b1111) == 4
+        assert q.hop_distance(0b1010, 0b1001) == 2
+
+    def test_antipode(self):
+        q = Hypercube(4)
+        assert q.antipode(0) == 15
+        assert q.antipode(0b1010) == 0b0101
+
+    def test_diameter(self):
+        assert Hypercube(6).diameter == 6
+
+
+class TestStructure:
+    def test_bisection_width(self):
+        assert Hypercube(4).bisection_width() == 8
+        assert Hypercube(0).bisection_width() == 0
+
+    def test_coordinate_roundtrip(self):
+        q = Hypercube(4)
+        for v in q.vertices():
+            assert q.from_coordinates(q.to_coordinates(v)) == v
+
+    def test_from_coordinates_validates(self):
+        q = Hypercube(3)
+        with pytest.raises(ValueError):
+            q.from_coordinates((0, 1))
+        with pytest.raises(ValueError):
+            q.from_coordinates((0, 1, 2))
+
+    def test_isomorphic_to_2_torus(self):
+        """Q_d is exactly the torus (2,)*d under the single-edge convention."""
+        q = Hypercube(3)
+        t = Torus((2, 2, 2))
+        assert q.num_edges == t.num_edges
+        # Degrees and distances agree under the coordinate bijection.
+        for v in q.vertices():
+            coords = q.to_coordinates(v)
+            assert q.degree(v) == t.degree(coords)
+            q_nbrs = {q.to_coordinates(u) for u, _ in q.neighbors(v)}
+            t_nbrs = {u for u, _ in t.neighbors(coords)}
+            assert q_nbrs == t_nbrs
+
+    def test_cut_weight_of_subcube(self):
+        # The bottom 4 vertices of Q_3 form a 2-subcube: boundary 4.
+        q = Hypercube(3)
+        assert q.cut_weight(range(4)) == 4
+
+    def test_equality(self):
+        assert Hypercube(3) == Hypercube(3)
+        assert Hypercube(3) != Hypercube(4)

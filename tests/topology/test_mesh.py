@@ -1,0 +1,68 @@
+"""Unit tests for repro.topology.mesh."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.mesh import Mesh
+
+
+class TestBasics:
+    def test_counts(self):
+        m = Mesh((3, 2))
+        assert m.num_vertices == 6
+        assert m.num_edges == 7
+
+    def test_num_edges_matches_enumeration(self):
+        for dims in [(3,), (4, 2), (2, 2, 2), (4, 3, 2)]:
+            m = Mesh(dims)
+            assert m.num_edges == len(list(m.edges()))
+
+    def test_validate(self):
+        Mesh((3, 4)).validate()
+        Mesh((2, 2, 2)).validate()
+
+    def test_corner_and_interior_degrees(self):
+        m = Mesh((3, 3))
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 0)) == 3
+        assert m.degree((1, 1)) == 4
+
+    def test_not_regular_unless_trivial(self):
+        assert not Mesh((3, 3)).is_regular()
+
+    def test_no_wraparound(self):
+        m = Mesh((4,))
+        nbrs = {v for v, _ in m.neighbors((0,))}
+        assert nbrs == {(1,)}
+
+    def test_invalid_vertex(self):
+        with pytest.raises(ValueError):
+            list(Mesh((3, 3)).neighbors((3, 0)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mesh((0, 2))
+
+
+class TestMetrics:
+    def test_hop_distance_manhattan(self):
+        m = Mesh((5, 5))
+        assert m.hop_distance((0, 0), (4, 4)) == 8
+
+    def test_diameter(self):
+        assert Mesh((5, 3)).diameter == 6
+
+    def test_bisection_width_single_plane(self):
+        # Mesh cut has 1 edge per line (no wrap), unlike torus.
+        assert Mesh((4, 4)).bisection_width() == 4
+        assert Mesh((6, 2)).bisection_width() == 2
+
+    def test_bisection_all_odd_raises(self):
+        with pytest.raises(ValueError):
+            Mesh((3, 5)).bisection_width()
+
+    def test_cut_weight_of_half(self):
+        m = Mesh((4, 2))
+        left = {(x, y) for x in range(2) for y in range(2)}
+        assert m.cut_weight(left) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the Slim Fly (MMS) construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.base import is_connected_subset
+from repro.topology.slimfly import SlimFly, mms_parameters
+
+
+class TestParameters:
+    def test_q5(self):
+        assert mms_parameters(5) == (1, 7)
+
+    def test_q13(self):
+        assert mms_parameters(13) == (1, 19)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            mms_parameters(9)
+
+    def test_rejects_3_mod_4(self):
+        with pytest.raises(ValueError):
+            mms_parameters(7)
+        with pytest.raises(ValueError):
+            mms_parameters(11)
+
+    def test_rejects_two(self):
+        with pytest.raises(ValueError):
+            mms_parameters(2)
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def sf5(self):
+        return SlimFly(5)
+
+    def test_vertex_count(self, sf5):
+        assert sf5.num_vertices == 50
+
+    def test_validates(self, sf5):
+        sf5.validate()
+
+    def test_regular_with_mms_degree(self, sf5):
+        degrees = {sf5.degree(v) for v in sf5.vertices()}
+        assert degrees == {7}
+
+    def test_connected(self, sf5):
+        assert is_connected_subset(sf5, sf5.vertices())
+
+    def test_diameter_two(self, sf5):
+        """MMS graphs have diameter 2 — near the Moore bound."""
+        from repro.netsim.routing import bfs_route
+
+        verts = list(sf5.vertices())
+        origin = verts[0]
+        for v in verts[1:]:
+            assert len(bfs_route(sf5, origin, v)) - 1 <= 2
+
+    def test_near_moore_bound(self, sf5):
+        """50 vertices at degree 7, diameter 2: Moore bound is
+        1 + 7 + 7*6 = 50 exactly? No — MMS reaches ~88% of it."""
+        d = sf5.regular_degree()
+        moore = 1 + d + d * (d - 1)
+        assert sf5.num_vertices >= 0.8 * moore
+
+    def test_contains(self, sf5):
+        assert sf5.contains((0, 4, 4))
+        assert sf5.contains((1, 0, 0))
+        assert not sf5.contains((2, 0, 0))
+        assert not sf5.contains((0, 5, 0))
+
+    def test_invalid_vertex(self, sf5):
+        with pytest.raises(ValueError):
+            list(sf5.neighbors((0, 5, 5)))
+
+    def test_bipartite_like_halves(self, sf5):
+        """Cross edges between the two vertex classes follow y = mx + c:
+        each vertex has exactly q cross-class neighbors."""
+        for v in sf5.vertices():
+            cross = sum(1 for u, _ in sf5.neighbors(v) if u[0] != v[0])
+            assert cross == 5
+
+    def test_q13_scales(self):
+        sf = SlimFly(13)
+        assert sf.num_vertices == 338
+        assert sf.regular_degree() == 19
+        # Spot-check symmetry on a few vertices.
+        for v in [(0, 0, 0), (1, 6, 7), (0, 12, 3)]:
+            for u, _ in sf.neighbors(v):
+                assert v in {w for w, _ in sf.neighbors(u)}
+
+
+class TestExpansionAnalysis:
+    def test_spectral_bounds_apply(self):
+        """The paper's fallback for Slim Fly: spectral estimation."""
+        from repro.isoperimetry.spectral import spectral_expansion_estimate
+
+        sf = SlimFly(5)
+        est = spectral_expansion_estimate(sf)
+        assert 0 < est["lower"] <= est["upper"] <= est["cheeger_upper"]
+        # Slim Fly is a strong expander: conductance far above a torus'.
+        assert est["upper"] > 0.3

@@ -1,0 +1,214 @@
+"""Unit tests for repro.topology.torus."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.topology.base import is_connected_subset
+from repro.topology.torus import Torus, degenerate_free_dims, torus_num_edges
+
+
+class TestConstruction:
+    def test_dims_preserved_in_order(self):
+        t = Torus((2, 5, 3))
+        assert t.dims == (2, 5, 3)
+
+    def test_sorted_dims_descending(self):
+        assert Torus((2, 5, 3)).sorted_dims() == (5, 3, 2)
+
+    def test_num_vertices(self):
+        assert Torus((4, 3, 2)).num_vertices == 24
+
+    def test_single_dim(self):
+        assert Torus((5,)).num_vertices == 5
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            Torus((4, 0))
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            Torus((4, -1))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            Torus((4, 2.5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Torus(())
+
+    def test_equality_and_hash(self):
+        assert Torus((4, 2)) == Torus((4, 2))
+        assert Torus((4, 2)) != Torus((2, 4))
+        assert hash(Torus((4, 2))) == hash(Torus((4, 2)))
+
+    def test_is_cubic(self):
+        assert Torus((3, 3, 3)).is_cubic()
+        assert not Torus((3, 3, 2)).is_cubic()
+
+
+class TestStructure:
+    def test_validate_small_tori(self):
+        for dims in [(3,), (2,), (4, 3), (2, 2, 2), (4, 3, 2), (5, 1, 2)]:
+            Torus(dims).validate()
+
+    def test_degree_proper_cycles(self):
+        assert Torus((4, 5)).degree((0, 0)) == 4
+
+    def test_degree_length_two_dim_single_edge(self):
+        # (4, 2): 2 edges in the 4-ring + 1 edge in the 2-dim.
+        assert Torus((4, 2)).degree((0, 0)) == 3
+
+    def test_degree_skips_length_one_dims(self):
+        assert Torus((4, 1, 1)).degree((0, 0, 0)) == 2
+
+    def test_torus_2_2_is_square(self):
+        # With the single-edge convention T(2,2) is the 4-cycle = Q_2.
+        t = Torus((2, 2))
+        assert t.num_edges == 4
+        assert t.regular_degree() == 2
+
+    def test_num_edges_formula_matches_enumeration(self):
+        for dims in [(3,), (4, 2), (2, 2, 2), (4, 3, 2), (5, 4)]:
+            t = Torus(dims)
+            assert t.num_edges == len(list(t.edges()))
+            assert t.num_edges == torus_num_edges(dims)
+
+    def test_neighbors_of_invalid_vertex_raise(self):
+        t = Torus((3, 3))
+        with pytest.raises(ValueError):
+            list(t.neighbors((3, 0)))
+
+    def test_contains(self):
+        t = Torus((3, 2))
+        assert t.contains((2, 1))
+        assert not t.contains((3, 0))
+        assert not t.contains((0,))
+        assert not t.contains("ab")
+
+    def test_vertices_count_and_uniqueness(self):
+        t = Torus((3, 2, 2))
+        verts = list(t.vertices())
+        assert len(verts) == 12
+        assert len(set(verts)) == 12
+
+    def test_whole_graph_connected(self):
+        t = Torus((4, 3, 2))
+        assert is_connected_subset(t, t.vertices())
+
+
+class TestDistances:
+    def test_hop_distance_wraps(self):
+        t = Torus((6, 4))
+        assert t.hop_distance((0, 0), (5, 0)) == 1  # wrap-around
+        assert t.hop_distance((0, 0), (3, 0)) == 3
+        assert t.hop_distance((0, 0), (3, 2)) == 5
+
+    def test_diameter(self):
+        assert Torus((6, 4)).diameter == 5
+        assert Torus((2, 2, 2)).diameter == 3
+
+    def test_antipode_at_diameter(self):
+        t = Torus((4, 4, 2))
+        for v in t.vertices():
+            assert t.hop_distance(v, t.antipode(v)) == t.diameter
+
+    def test_antipode_involution_for_even_dims(self):
+        t = Torus((4, 2))
+        for v in t.vertices():
+            assert t.antipode(t.antipode(v)) == v
+
+    def test_ring_distance(self):
+        t = Torus((5,))
+        assert t.ring_distance(0, 0, 3) == 2
+        assert t.ring_distance(0, 1, 3) == 2
+        assert t.ring_distance(0, 2, 2) == 0
+
+
+class TestCuts:
+    def test_perpendicular_cut_long_dim(self):
+        t = Torus((8, 4))
+        # 4 lines along dim 0, 2 cut edges each.
+        assert t.perpendicular_cut(0) == 8
+        assert t.perpendicular_cut(1) == 16
+
+    def test_perpendicular_cut_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            Torus((5, 4)).perpendicular_cut(0)
+
+    def test_bisection_width_formula_2n_over_l(self):
+        # For torus with even longest dim >= 3: bisection = 2N/L.
+        for dims in [(8, 4), (8, 4, 4), (16, 4, 4, 4, 2)]:
+            t = Torus(dims)
+            assert t.bisection_width() == 2 * t.num_vertices // max(dims)
+
+    def test_bisection_width_matches_halfspace_cut(self):
+        t = Torus((6, 4))
+        k, cut = t.best_perpendicular_bisection()
+        half = t.halfspace(k)
+        assert len(half) == t.num_vertices // 2
+        assert t.cut_weight(half) == cut
+
+    def test_bisection_no_even_dim_raises(self):
+        with pytest.raises(ValueError):
+            Torus((3, 3)).bisection_width()
+
+    def test_cut_weight_matches_interior_identity(self):
+        # k|A| = 2 interior + cut for regular graphs (Equation 1).
+        t = Torus((4, 3, 2))
+        k = t.regular_degree()
+        subset = [(0, 0, 0), (0, 0, 1), (1, 0, 0), (2, 2, 1)]
+        cut = t.cut_weight(subset)
+        interior = t.interior_weight(subset)
+        assert k * len(subset) == 2 * interior + cut
+
+    def test_halfspace_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            Torus((5, 2)).halfspace(0)
+
+
+class TestSubtorus:
+    def test_subtorus_fits(self):
+        t = Torus((16, 16, 12, 8, 2))
+        sub = t.subtorus((8, 8, 4, 4, 2))
+        assert sub.num_vertices == 2048
+
+    def test_subtorus_too_large_raises(self):
+        with pytest.raises(ValueError):
+            Torus((4, 4)).subtorus((5, 1))
+
+    def test_subtorus_too_many_dims_raises(self):
+        with pytest.raises(ValueError):
+            Torus((4, 4)).subtorus((2, 2, 2))
+
+    def test_subtorus_multiset_matching(self):
+        # (4, 4): two dims of 4; (4, 4) fits, (4, 5) does not.
+        t = Torus((4, 4))
+        assert t.subtorus((4, 4)).num_vertices == 16
+        with pytest.raises(ValueError):
+            t.subtorus((4, 5))
+
+
+class TestHelpers:
+    def test_degenerate_free_dims(self):
+        assert degenerate_free_dims((4, 1, 2, 1)) == (4, 2)
+        assert degenerate_free_dims((1, 1)) == ()
+
+    def test_torus_num_edges_validates(self):
+        with pytest.raises(ValueError):
+            torus_num_edges((0, 2))
+
+    def test_cross_section(self):
+        assert Torus((6, 4)).cross_section(0) == 4
+        with pytest.raises(ValueError):
+            Torus((6, 4)).cross_section(2)
+
+    def test_name(self):
+        assert Torus((4, 2)).name == "Torus4x2"
+
+    def test_total_capacity_equals_edges_for_unit_weights(self):
+        t = Torus((4, 3))
+        assert t.total_capacity == t.num_edges

@@ -1,0 +1,79 @@
+"""Unit tests for per-dimension torus weights (BG/Q E-dimension model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.topology.torus import Torus
+
+
+class TestDimWeights:
+    def test_default_uniform(self):
+        t = Torus((4, 2))
+        assert t.dim_weights == (1.0, 1.0)
+        assert t.is_uniform()
+
+    def test_weighted_neighbors(self):
+        t = Torus((4, 2), dim_weights=(1.0, 2.0))
+        weights = {v: w for v, w in t.neighbors((0, 0))}
+        assert weights[(1, 0)] == 1.0
+        assert weights[(0, 1)] == 2.0
+
+    def test_validates(self):
+        t = Torus((4, 2), dim_weights=(1.0, 2.0))
+        t.validate()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Torus((4, 2), dim_weights=(1.0,))
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            Torus((4, 2), dim_weights=(1.0, 0.0))
+
+    def test_equality_distinguishes_weights(self):
+        assert Torus((4, 2)) != Torus((4, 2), dim_weights=(1.0, 2.0))
+        assert Torus((4, 2), dim_weights=(1.0, 2.0)) == Torus(
+            (4, 2), dim_weights=(1.0, 2.0)
+        )
+
+    def test_cut_weight_uses_capacities(self):
+        t = Torus((4, 2), dim_weights=(1.0, 3.0))
+        # One layer of the 2-dim: 4 cut edges of weight 3 each.
+        layer = {(x, 0) for x in range(4)}
+        assert t.cut_weight(layer) == 12.0
+
+    def test_repr_mentions_weights(self):
+        assert "dim_weights" in repr(Torus((4, 2), dim_weights=(1, 2)))
+        assert "dim_weights" not in repr(Torus((4, 2)))
+
+
+class TestBgqNetwork:
+    def test_e_dimension_doubled(self):
+        geo = PartitionGeometry((1, 1, 1, 1))
+        net = geo.bgq_network()
+        assert net.dim_weights == (1.0, 1.0, 1.0, 1.0, 2.0)
+
+    def test_combinatorial_network_unweighted(self):
+        geo = PartitionGeometry((1, 1, 1, 1))
+        assert geo.network().is_uniform()
+
+    def test_bisection_unaffected(self):
+        """The bisection cuts a longest dimension, never E, so the
+        paper's normalized numbers hold on both views."""
+        geo = PartitionGeometry((2, 2, 1, 1))
+        assert (
+            geo.network().bisection_width()
+            == geo.normalized_bisection_bandwidth
+        )
+
+    def test_e_capacity_visible_in_linknetwork(self):
+        from repro.netsim.network import LinkNetwork
+
+        geo = PartitionGeometry((1, 1, 1, 1))
+        net = LinkNetwork(geo.bgq_network(), link_bandwidth=2.0)
+        # E-links carry 4 GB/s; A-D links 2 GB/s.
+        import numpy as np
+
+        assert set(np.unique(net.capacities)) == {2.0, 4.0}
