@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Fault injection: degraded links, mid-run failures, robust geometry.
+
+The paper's bisection analysis assumes a healthy torus; real machines
+run degraded.  This script walks the `repro.faults` subsystem:
+
+1. a rank program on a small torus with a pre-existing failed link —
+   routes silently avoid it (fault-aware routing);
+2. the same program with a link *dying mid-transfer* — the in-flight
+   flow is rerouted over surviving links, visible in
+   `RunResult.reroutes`;
+3. a fault that disconnects the partition — the run aborts with
+   `PartitionDisconnectedError` carrying a structured `FaultReport`
+   (never a misleading deadlock);
+4. the degraded-bisection study: Mira's default vs optimal 16-midplane
+   geometry under sampled link failures — the ×2 ranking is robust.
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.faultstudy import degraded_bisection_study
+from repro.faults import (
+    FaultEvent,
+    FaultSet,
+    PartitionDisconnectedError,
+    random_link_failures,
+)
+from repro.machines.catalog import MIRA
+from repro.simmpi import Recv, Send, VirtualMpi
+from repro.topology import Torus
+
+
+def transfer_program(rank, size):
+    """Rank 0 streams 8 GB to the antipodal rank of an 8-ring."""
+    if rank == 0:
+        yield Send(dst=4, gb=8.0)
+    elif rank == 4:
+        yield Recv(src=0)
+
+
+def static_fault() -> None:
+    print("=" * 70)
+    print("1. Pre-existing failed link: routing avoids it")
+    print("=" * 70)
+    ring = Torus((8,))
+    healthy = VirtualMpi(ring, link_bandwidth=2.0).run(transfer_program)
+    faults = FaultSet(failed_links=[((1,), (2,))])
+    faulted = VirtualMpi(
+        ring, link_bandwidth=2.0, faults=faults
+    ).run(transfer_program)
+    print(f"healthy 0->4 transfer : {healthy.time:.2f} s")
+    print(f"with (1)-(2) down     : {faulted.time:.2f} s "
+          "(wraps the other way; bandwidth model, same rate)")
+    print()
+
+
+def midrun_failure() -> None:
+    print("=" * 70)
+    print("2. Link dies mid-transfer: in-flight flow rerouted")
+    print("=" * 70)
+    ring = Torus((8,))
+    event = FaultEvent(
+        time=1.0, faults=FaultSet(failed_links=[((1,), (2,))])
+    )
+    world = VirtualMpi(ring, link_bandwidth=2.0, fault_events=[event])
+    res = world.run(transfer_program)
+    print(f"virtual time : {res.time:.2f} s")
+    print(f"reroutes     : {res.reroutes} "
+          "(remaining volume restarted on the surviving path)")
+    print()
+
+
+def disconnection() -> None:
+    print("=" * 70)
+    print("3. Partition disconnected: structured abort, not a deadlock")
+    print("=" * 70)
+    ring = Torus((8,))
+    # Sever both links around node (0,) at t = 0.5 s.
+    cut = FaultSet(failed_links=[((0,), (1,)), ((7,), (0,))])
+    world = VirtualMpi(
+        ring, link_bandwidth=2.0,
+        fault_events=[FaultEvent(time=0.5, faults=cut)],
+    )
+    try:
+        world.run(transfer_program)
+    except PartitionDisconnectedError as exc:
+        print(f"aborted      : {exc}")
+        print(f"report       : t={exc.report.time} s, "
+              f"{len(exc.report.aborted_flows)} flow(s) lost, "
+              f"{len(exc.report.failed_links)} directed link(s) down")
+    print()
+
+
+def robustness_study() -> None:
+    print("=" * 70)
+    print("4. Degraded-bisection study: Mira 16 midplanes")
+    print("=" * 70)
+    rows = degraded_bisection_study(
+        MIRA, 16, max_failures=6, trials=10, seed=0
+    )
+    print(f"{'k':>2}  {'default':>9}  {'optimal':>9}  stable")
+    for r in rows:
+        print(
+            f"{r.failures:>2}  {r.default_mean_bw:>9.1f}  "
+            f"{r.optimal_mean_bw:>9.1f}  "
+            f"{100 * r.ranking_stable_fraction:.0f}%"
+        )
+    print("\nThe Table 1 ranking (2 x 2 x 2 x 2 over 4 x 4 x 1 x 1) "
+          "never flips.")
+
+
+def main() -> None:
+    static_fault()
+    midrun_failure()
+    disconnection()
+    robustness_study()
+    # Bonus: a whole dimension-plane outage still leaves tori connected.
+    t = Torus((4, 4))
+    from repro.faults import dimension_outage, surviving_topology
+    from repro.topology.base import is_connected_subset
+
+    outage = dimension_outage(t, 0, seed=1)
+    view = surviving_topology(t, outage)
+    assert is_connected_subset(view, view.vertices())
+    print("(and a full dimension-plane outage keeps a 2-D torus "
+          "connected — the wrap links survive)")
+
+
+if __name__ == "__main__":
+    main()

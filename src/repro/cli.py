@@ -14,6 +14,9 @@ Subcommands
     Regenerate a paper table or figure as ASCII.
 ``advise <machine> <size> <available-dims...> --wait S --fraction F``
     Run the contention-aware scheduling advisor on a job.
+``faults --machine M --size P --max-failures K``
+    Geometry-robustness table: surviving bisection bandwidth of the
+    default vs optimal geometry under sampled link failures.
 """
 
 from __future__ import annotations
@@ -77,6 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fraction", type=float, default=0.6,
                    help="contention-bound fraction of run time")
     p.add_argument("--runtime", type=float, default=3600.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "faults",
+        help="geometry robustness under sampled link failures",
+    )
+    p.add_argument(
+        "--machine", default="mira",
+        help="machine name (default: mira)",
+    )
+    p.add_argument(
+        "--size", type=int, default=16,
+        help="partition size in midplanes (default: 16)",
+    )
+    p.add_argument(
+        "--max-failures", type=int, default=8,
+        help="largest sampled failure count K (default: 8)",
+    )
+    p.add_argument(
+        "--trials", type=int, default=20,
+        help="failure draws per failure count (default: 20)",
+    )
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("advise", help="scheduling advisor for a hinted job")
@@ -254,6 +279,52 @@ def _cmd_advise(
     return 0
 
 
+def _cmd_faults(
+    machine_name: str,
+    size: int,
+    max_failures: int,
+    trials: int,
+    seed: int,
+) -> int:
+    from .analysis.report import render_table
+    from .experiments.faultstudy import (
+        default_geometry_for_machine,
+        degraded_bisection_study,
+    )
+    from .machines.catalog import get_machine
+    from .allocation.optimizer import best_geometry_for_machine
+
+    machine = get_machine(machine_name)
+    default = default_geometry_for_machine(machine, size)
+    optimal = best_geometry_for_machine(machine, size)
+    rows = [
+        {
+            "failures": r.failures,
+            "trials": r.trials,
+            "default_mean": f"{r.default_mean_bw:.1f}",
+            "default_min": f"{r.default_min_bw:.0f}",
+            "optimal_mean": f"{r.optimal_mean_bw:.1f}",
+            "optimal_min": f"{r.optimal_min_bw:.0f}",
+            "stable": f"{100 * r.ranking_stable_fraction:.0f}%",
+        }
+        for r in degraded_bisection_study(
+            machine, size, max_failures=max_failures, trials=trials,
+            seed=seed,
+        )
+    ]
+    print(render_table(
+        rows,
+        ["failures", "trials", "default_mean", "default_min",
+         "optimal_mean", "optimal_min", "stable"],
+        title=(
+            f"{machine.name} {size} midplanes: surviving bisection, "
+            f"default {default.label()} vs optimal {optimal.label()} "
+            f"(seed {seed})"
+        ),
+    ))
+    return 0
+
+
 def _cmd_design_search(baseline: str, max_midplanes: int, top: int) -> int:
     from .analysis.report import render_table
     from .experiments.designsearch import design_search
@@ -336,6 +407,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_table(args.number)
         if args.command == "figure":
             return _cmd_figure(args.number)
+        if args.command == "faults":
+            return _cmd_faults(
+                args.machine, args.size, args.max_failures, args.trials,
+                args.seed,
+            )
         if args.command == "design-search":
             return _cmd_design_search(
                 args.baseline, args.max_midplanes, args.top

@@ -7,10 +7,18 @@
 * :mod:`~repro.experiments.strongscaling` — Experiment C, the
   strong-scaling illusion (Table 4, Figure 6);
 * :mod:`~repro.experiments.machinedesign` — the JUQUEEN-48/54
-  machine-design study (Table 5, Figure 7).
+  machine-design study (Table 5, Figure 7);
+* :mod:`~repro.experiments.faultstudy` — geometry-ranking robustness
+  under sampled link failures (degraded-bisection study).
 """
 
 from .designsearch import DesignCandidate, design_search, score_machine
+from .faultstudy import (
+    DegradedBisectionRow,
+    default_geometry_for_machine,
+    degraded_bisection_study,
+    surviving_bisection_bandwidth,
+)
 from .futurekernels import KernelRun, run_fft_transpose, run_nbody_sweep
 from .machinedesign import (
     MachineDesignRow,
@@ -52,4 +60,8 @@ __all__ = [
     "DesignCandidate",
     "design_search",
     "score_machine",
+    "DegradedBisectionRow",
+    "degraded_bisection_study",
+    "default_geometry_for_machine",
+    "surviving_bisection_bandwidth",
 ]

@@ -1,0 +1,209 @@
+"""Degraded-bisection study: does geometry ranking survive failures?
+
+The paper's Tables 1–2 rank partition geometries by internal bisection
+bandwidth on a *healthy* torus.  Real machines run with failed links, so
+an allocation policy built on that ranking must answer: does the better
+geometry stay better when ``k`` links die?  This study recomputes the
+(perpendicular-cut) bisection bandwidth of a machine's default and
+optimal geometries under seeded samples of ``k = 1..K`` uniform link
+failures and reports how stable the ranking is.
+
+Metric: the surviving bisection of a faulted partition is taken as the
+best perpendicular cut of the node-level torus minus the failed links
+crossing it — the same family of cuts that realizes the healthy
+bisection (Theorem 3.1 tightness), evaluated on the surviving subgraph.
+A few random failures almost never open a cheaper non-perpendicular
+cut, and restricting to the paper's cut family keeps the healthy
+``k = 0`` column exactly equal to Tables 1–2.
+
+Everything is deterministic: trial ``t`` at failure count ``k`` uses
+seed ``seed + 1000·k + t`` for both geometries — the *same* failure
+draw is applied to each (paired comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_nonnegative_int, check_positive_int
+from ..allocation.geometry import PartitionGeometry
+from ..allocation.optimizer import (
+    best_geometry_for_machine,
+    worst_geometry_for_machine,
+)
+from ..allocation.policy import PredefinedListPolicy, mira_policy
+from ..faults import FaultSet, random_link_failures
+from ..machines.bgq import BlueGeneQMachine
+from ..topology.torus import Torus
+
+__all__ = [
+    "DegradedBisectionRow",
+    "surviving_bisection_bandwidth",
+    "default_geometry_for_machine",
+    "degraded_bisection_study",
+]
+
+
+@dataclass(frozen=True)
+class DegradedBisectionRow:
+    """Robustness of the default-vs-optimal ranking at one failure count.
+
+    Attributes
+    ----------
+    failures:
+        Number of failed (undirected) links per trial, ``k``.
+    trials:
+        Number of seeded failure draws.
+    default_mean_bw / default_min_bw:
+        Mean and worst surviving bisection of the default geometry.
+    optimal_mean_bw / optimal_min_bw:
+        The same for the optimal geometry.
+    ranking_stable_fraction:
+        Fraction of paired trials where the optimal geometry's surviving
+        bisection is still at least the default's.
+    """
+
+    failures: int
+    trials: int
+    default_mean_bw: float
+    default_min_bw: float
+    optimal_mean_bw: float
+    optimal_min_bw: float
+    ranking_stable_fraction: float
+
+
+def surviving_bisection_bandwidth(
+    torus: Torus, faults: FaultSet
+) -> float:
+    """Best perpendicular bisection of *torus* on the surviving links.
+
+    Evaluates every even-length dimension's perpendicular cut with the
+    cut's failed links removed (and degraded links scaled), returning
+    the weighted minimum.  With an empty fault set this equals
+    :meth:`Torus.bisection_width` for unit-weight tori.
+    """
+    # Each undirected failure/degradation is stored as two directed
+    # links; canonicalize so a severed cable is counted once per cut.
+    undirected_failed = {
+        (u, v) if (u, v) <= (v, u) else (v, u)
+        for u, v in faults.failed_links
+    }
+    drained = faults.failed_nodes
+    degraded = {}
+    for (u, v), factor in faults.degraded_links.items():
+        key = (u, v) if (u, v) <= (v, u) else (v, u)
+        degraded[key] = factor
+
+    def crosses(u, v, k: int, half: int) -> bool:
+        return u[k] != v[k] and (u[k] < half) != (v[k] < half)
+
+    best: float | None = None
+    for k, a in enumerate(torus.dims):
+        if a % 2 != 0 or a == 1:
+            continue
+        half = a // 2
+        cut = float(torus.perpendicular_cut(k)) * torus.dim_weights[k]
+        for u, v in undirected_failed:
+            if crosses(u, v, k, half):
+                cut -= torus.dim_weights[k]
+        for (u, v), factor in degraded.items():
+            if (u, v) not in undirected_failed and crosses(u, v, k, half):
+                cut -= torus.dim_weights[k] * (1.0 - factor)
+        # A drained node loses all its cut edges in this dimension.
+        for n in drained:
+            for nb, w in torus.neighbors(n):
+                if nb in drained and nb < n:
+                    continue  # both ends drained: count the edge once
+                if (
+                    crosses(n, nb, k, half)
+                    and ((n, nb) if (n, nb) <= (nb, n) else (nb, n))
+                    not in undirected_failed
+                ):
+                    cut -= w
+        cut = max(cut, 0.0)
+        if best is None or cut < best:
+            best = cut
+    if best is None:
+        raise ValueError(
+            f"{torus.name} has no even dimension; no perpendicular "
+            "bisection exists"
+        )
+    return best
+
+
+def default_geometry_for_machine(
+    machine: BlueGeneQMachine, num_midplanes: int
+) -> PartitionGeometry:
+    """The geometry a size-only request gets today on *machine*.
+
+    Mira serves its predefined partition list (Table 6); free-cuboid
+    machines (JUQUEEN, Sequoia) may serve the worst permissible cuboid
+    — the paper's pessimistic "current" column.
+    """
+    if machine.name.lower() == "mira":
+        policy: PredefinedListPolicy = mira_policy()
+        if policy.supports(num_midplanes):
+            return policy.geometry_for(num_midplanes)
+    return worst_geometry_for_machine(machine, num_midplanes)
+
+
+def degraded_bisection_study(
+    machine: BlueGeneQMachine,
+    num_midplanes: int,
+    max_failures: int = 8,
+    trials: int = 20,
+    seed: int = 0,
+) -> list[DegradedBisectionRow]:
+    """Default-vs-optimal bisection under ``k = 0..max_failures`` failures.
+
+    Returns one row per failure count (including the healthy ``k = 0``
+    baseline, whose bandwidths equal the paper's Tables 1–2 values).
+    Failure draws are paired: trial ``t`` uses the same seed on both
+    geometries, so the stability fraction compares like with like.
+    """
+    check_positive_int(num_midplanes, "num_midplanes")
+    check_nonnegative_int(max_failures, "max_failures")
+    check_positive_int(trials, "trials")
+    default = default_geometry_for_machine(machine, num_midplanes)
+    optimal = best_geometry_for_machine(machine, num_midplanes)
+    default_net = default.network()
+    optimal_net = optimal.network()
+    default_edges = [(u, v) for u, v, _ in default_net.edges()]
+    optimal_edges = [(u, v) for u, v, _ in optimal_net.edges()]
+
+    rows: list[DegradedBisectionRow] = []
+    for k in range(max_failures + 1):
+        n_trials = 1 if k == 0 else trials
+        d_vals: list[float] = []
+        o_vals: list[float] = []
+        stable = 0
+        for t in range(n_trials):
+            trial_seed = seed + 1000 * k + t
+            d_bw = surviving_bisection_bandwidth(
+                default_net,
+                random_link_failures(
+                    default_net, k, seed=trial_seed, edges=default_edges
+                ),
+            )
+            o_bw = surviving_bisection_bandwidth(
+                optimal_net,
+                random_link_failures(
+                    optimal_net, k, seed=trial_seed, edges=optimal_edges
+                ),
+            )
+            d_vals.append(d_bw)
+            o_vals.append(o_bw)
+            if o_bw >= d_bw:
+                stable += 1
+        rows.append(
+            DegradedBisectionRow(
+                failures=k,
+                trials=n_trials,
+                default_mean_bw=sum(d_vals) / n_trials,
+                default_min_bw=min(d_vals),
+                optimal_mean_bw=sum(o_vals) / n_trials,
+                optimal_min_bw=min(o_vals),
+                ranking_stable_fraction=stable / n_trials,
+            )
+        )
+    return rows

@@ -1,0 +1,411 @@
+"""Fault injection: degraded links, drained nodes, failure scenarios.
+
+The paper's analysis assumes a *healthy* torus, but the real Mira and
+JUQUEEN machines routinely ran with failed links and drained midplanes.
+This module is the single source of truth for "what is broken": a
+:class:`FaultSet` value type naming failed links, failed nodes, and
+per-link capacity degradation factors, plus deterministic seed-driven
+scenario generators.  Every other layer consumes a ``FaultSet``:
+
+* :meth:`repro.netsim.network.LinkNetwork.with_faults` zeroes/scales
+  link capacities;
+* :func:`repro.netsim.routing.fault_aware_route` routes around failures
+  and raises :class:`PartitionDisconnectedError` when none exists;
+* :class:`repro.simmpi.engine.VirtualMpi` accepts a ``FaultSet`` and
+  mid-run :class:`FaultEvent`\\ s, rerouting in-flight transfers or
+  aborting with a structured :class:`FaultReport`;
+* :mod:`repro.experiments.faultstudy` measures how the paper's geometry
+  ranking survives sampled failures.
+
+Directionality
+--------------
+Links are *directed* at the fault level (Blue Gene/Q links are
+physically paired but fail independently per direction); the common
+case of a whole cable failing is expressed by failing both directions,
+which is what the ``undirected=True`` constructor default and all the
+scenario generators do.
+
+Determinism
+-----------
+Every generator takes a ``seed`` and uses its own ``random.Random``;
+the same ``(topology, parameters, seed)`` always yields the same
+``FaultSet``, so faulted simulations are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ._validation import check_nonnegative_int
+from .topology.base import SubgraphView, Topology, Vertex
+from .topology.torus import Torus
+
+__all__ = [
+    "FaultSet",
+    "FaultEvent",
+    "FaultReport",
+    "PartitionDisconnectedError",
+    "random_link_failures",
+    "dimension_outage",
+    "midplane_drain",
+    "random_degradations",
+    "surviving_topology",
+]
+
+_Link = tuple[Vertex, Vertex]
+
+
+class PartitionDisconnectedError(RuntimeError):
+    """No surviving route exists between two endpoints.
+
+    Distinct from :class:`repro.simmpi.DeadlockError`: a deadlock is a
+    *program* error (mismatched sends/receives), while disconnection is
+    a *machine* condition — the fault set severed every path between the
+    endpoints.  The exception names the offending endpoints and the
+    failed links, and carries the engine's :class:`FaultReport` when
+    raised mid-run.
+    """
+
+    def __init__(
+        self,
+        src: Vertex,
+        dst: Vertex,
+        faults: "FaultSet",
+        report: "FaultReport | None" = None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.faults = faults
+        self.report = report
+        shown = sorted(map(repr, faults.failed_links))[:8]
+        suffix = (
+            f" (+{len(faults.failed_links) - len(shown)} more)"
+            if len(faults.failed_links) > len(shown)
+            else ""
+        )
+        detail = (
+            f"failed links: {', '.join(shown)}{suffix}"
+            if shown
+            else f"failed nodes: {sorted(map(repr, faults.failed_nodes))[:8]}"
+        )
+        super().__init__(
+            f"no surviving route from {src!r} to {dst!r}; {detail}"
+        )
+
+
+class FaultSet:
+    """An immutable set of link/node failures and capacity degradations.
+
+    Parameters
+    ----------
+    failed_links:
+        ``(u, v)`` pairs of failed links.  With ``undirected=True``
+        (default) both directions fail, modelling a severed cable.
+    failed_nodes:
+        Vertices that are down entirely; every incident link is treated
+        as failed.
+    degraded_links:
+        Mapping ``(u, v) -> factor`` of links running at reduced
+        capacity, ``0 < factor < 1``.  Mirrored when ``undirected``.
+    undirected:
+        Whether link entries apply to both directions.
+
+    Examples
+    --------
+    >>> f = FaultSet(failed_links=[((0,), (1,))])
+    >>> f.is_failed_link((1,), (0,))
+    True
+    >>> f.capacity_factor((1,), (0,))
+    0.0
+    """
+
+    __slots__ = ("_links", "_nodes", "_degraded")
+
+    def __init__(
+        self,
+        failed_links: Iterable[_Link] = (),
+        failed_nodes: Iterable[Vertex] = (),
+        degraded_links: Mapping[_Link, float] | None = None,
+        undirected: bool = True,
+    ):
+        links: set[_Link] = set()
+        for u, v in failed_links:
+            if u == v:
+                raise ValueError(f"self-loop link ({u!r}, {v!r}) in faults")
+            links.add((u, v))
+            if undirected:
+                links.add((v, u))
+        degraded: dict[_Link, float] = {}
+        for (u, v), factor in (degraded_links or {}).items():
+            f = float(factor)
+            if not 0.0 < f < 1.0:
+                raise ValueError(
+                    f"degradation factor for ({u!r}, {v!r}) must be in "
+                    f"(0, 1), got {factor}"
+                )
+            degraded[(u, v)] = f
+            if undirected:
+                degraded[(v, u)] = f
+        self._links = frozenset(links)
+        self._nodes = frozenset(failed_nodes)
+        # Failed beats degraded: drop degradations on failed links.
+        self._degraded = {
+            k: f for k, f in degraded.items() if k not in self._links
+        }
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def failed_links(self) -> frozenset[_Link]:
+        """Failed directed links."""
+        return self._links
+
+    @property
+    def failed_nodes(self) -> frozenset[Vertex]:
+        """Failed (drained) nodes."""
+        return self._nodes
+
+    @property
+    def degraded_links(self) -> dict[_Link, float]:
+        """Directed links running at reduced capacity (copy)."""
+        return dict(self._degraded)
+
+    def is_empty(self) -> bool:
+        """Whether no fault is present (healthy machine)."""
+        return not (self._links or self._nodes or self._degraded)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def is_failed_link(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the directed link ``u -> v`` itself has failed."""
+        return (u, v) in self._links
+
+    def is_failed_node(self, v: Vertex) -> bool:
+        """Whether node *v* is down."""
+        return v in self._nodes
+
+    def blocks(self, u: Vertex, v: Vertex) -> bool:
+        """Whether traffic cannot use ``u -> v`` (link or endpoint down)."""
+        return (
+            (u, v) in self._links or u in self._nodes or v in self._nodes
+        )
+
+    def capacity_factor(self, u: Vertex, v: Vertex) -> float:
+        """Capacity multiplier for ``u -> v``: 0 failed, (0,1) degraded."""
+        if self.blocks(u, v):
+            return 0.0
+        return self._degraded.get((u, v), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Algebra                                                             #
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "FaultSet") -> "FaultSet":
+        """Combined fault set; overlapping degradations multiply."""
+        degraded = dict(self._degraded)
+        for k, f in other._degraded.items():
+            # Clamp away from 0 so 'degraded' stays distinct from 'failed'.
+            degraded[k] = max(degraded.get(k, 1.0) * f, 1e-9)
+        links = self._links | other._links
+        return FaultSet(
+            failed_links=links,
+            failed_nodes=self._nodes | other._nodes,
+            degraded_links={
+                k: f for k, f in degraded.items() if k not in links
+            },
+            undirected=False,
+        )
+
+    def __or__(self, other: "FaultSet") -> "FaultSet":
+        return self.union(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSet):
+            return NotImplemented
+        return (
+            self._links == other._links
+            and self._nodes == other._nodes
+            and self._degraded == other._degraded
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._links, self._nodes, frozenset(self._degraded.items()))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSet(links={len(self._links)}, nodes={len(self._nodes)}, "
+            f"degraded={len(self._degraded)})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault set that strikes at virtual time *time* during a run."""
+
+    time: float
+    faults: FaultSet
+
+    def __post_init__(self) -> None:
+        if not self.time >= 0.0:
+            raise ValueError(
+                f"fault event time must be >= 0, got {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Structured account of a fault that aborted a simulation.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the fatal fault struck.
+    failed_links:
+        The directed links down at abort time.
+    aborted_flows:
+        ``(src_node, dst_node, remaining_gb)`` for every in-flight
+        transfer that could not be rerouted.
+    """
+
+    time: float
+    failed_links: tuple[_Link, ...]
+    aborted_flows: tuple[tuple[Vertex, Vertex, float], ...]
+
+
+# ---------------------------------------------------------------------- #
+# Scenario generators                                                     #
+# ---------------------------------------------------------------------- #
+
+
+def random_link_failures(
+    topo: Topology,
+    k: int,
+    seed: int = 0,
+    edges: list[_Link] | None = None,
+) -> FaultSet:
+    """Fail *k* uniformly sampled undirected links of *topo*.
+
+    Deterministic for a given ``(topology, k, seed)``.  Callers drawing
+    many samples from one topology may pass the precomputed undirected
+    *edges* list (as yielded by :meth:`Topology.edges`) to avoid
+    re-enumerating it per draw.
+    """
+    check_nonnegative_int(k, "k")
+    if edges is None:
+        edges = [(u, v) for u, v, _ in topo.edges()]
+    if k > len(edges):
+        raise ValueError(
+            f"cannot fail {k} links; {topo.name} has only "
+            f"{len(edges)} edges"
+        )
+    rng = random.Random(seed)
+    return FaultSet(failed_links=rng.sample(edges, k))
+
+
+def dimension_outage(
+    torus: Torus,
+    dim: int,
+    seed: int = 0,
+    fraction: float = 1.0,
+) -> FaultSet:
+    """Correlated outage of one torus dimension's link plane.
+
+    Models a failed cable bundle: all dimension-*dim* links between
+    coordinate ``c`` and ``c+1 (mod a)`` — a full cross-section plane —
+    fail together, for a seed-chosen ``c``.  *fraction* < 1 fails only
+    that share of the plane (sampled deterministically).
+    """
+    if not 0 <= dim < torus.ndim:
+        raise ValueError(
+            f"dimension index {dim} out of range for {torus.name}"
+        )
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    a = torus.dims[dim]
+    if a == 1:
+        raise ValueError(
+            f"dimension {dim} of {torus.name} has length 1 and no links"
+        )
+    rng = random.Random(seed)
+    c = rng.randrange(a)
+    plane: list[_Link] = []
+    for v in torus.vertices():
+        if v[dim] != c:
+            continue
+        u = v[:dim] + ((c + 1) % a,) + v[dim + 1 :]
+        if u != v:
+            plane.append((v, u))
+    if fraction < 1.0:
+        keep = max(1, round(fraction * len(plane)))
+        plane = rng.sample(plane, keep)
+    return FaultSet(failed_links=plane)
+
+
+def midplane_drain(torus: Torus, dim: int, coord: int) -> FaultSet:
+    """Drain the slab of nodes with coordinate *coord* along *dim*.
+
+    On a midplane-level torus this removes one midplane layer (the
+    administrative "drain" that takes hardware out for maintenance); on
+    a node-level torus it removes a plane of nodes.  All links incident
+    to drained nodes are implicitly failed.
+    """
+    if not 0 <= dim < torus.ndim:
+        raise ValueError(
+            f"dimension index {dim} out of range for {torus.name}"
+        )
+    if not 0 <= coord < torus.dims[dim]:
+        raise ValueError(
+            f"coordinate {coord} out of range for dimension {dim} of "
+            f"{torus.name}"
+        )
+    nodes = [v for v in torus.vertices() if v[dim] == coord]
+    return FaultSet(failed_nodes=nodes)
+
+
+def random_degradations(
+    topo: Topology,
+    k: int,
+    factor: float = 0.5,
+    seed: int = 0,
+) -> FaultSet:
+    """Degrade *k* sampled undirected links to *factor* of their capacity.
+
+    Models links retrained at reduced speed after correctable errors.
+    """
+    check_nonnegative_int(k, "k")
+    if not 0.0 < factor < 1.0:
+        raise ValueError(f"factor must be in (0, 1), got {factor}")
+    edges = [(u, v) for u, v, _ in topo.edges()]
+    if k > len(edges):
+        raise ValueError(
+            f"cannot degrade {k} links; {topo.name} has only "
+            f"{len(edges)} edges"
+        )
+    rng = random.Random(seed)
+    return FaultSet(
+        degraded_links={e: factor for e in rng.sample(edges, k)}
+    )
+
+
+def surviving_topology(topo: Topology, faults: FaultSet) -> Topology:
+    """Directional view of *topo* with failed links and nodes removed.
+
+    The view is intended for route computation: ``neighbors(u)`` omits
+    ``v`` when the *directed* link ``u -> v`` is down, so BFS over the
+    view explores exactly the usable directed links.  Degraded links
+    remain present (they still carry traffic, just slowly).
+    """
+    if faults.is_empty():
+        return topo
+    return SubgraphView(
+        topo,
+        node_alive=lambda v: not faults.is_failed_node(v),
+        edge_alive=lambda u, v: not faults.is_failed_link(u, v),
+    )

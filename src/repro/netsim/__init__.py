@@ -19,7 +19,14 @@ from .embedding import RankEmbedding, block_embedding, node_enumeration
 from .fairness import max_min_fair_rates
 from .fluid import FlowResult, FluidSimulation, simulate_flows
 from .network import LinkNetwork
-from .routing import bfs_route, dimension_ordered_route, route
+from .routing import (
+    PartitionDisconnectedError,
+    bfs_route,
+    check_tie,
+    dimension_ordered_route,
+    fault_aware_route,
+    route,
+)
 from .schedule import RouteCache, TransferRound, simulate_rounds
 from .traffic import (
     all_pairs_uniform,
@@ -34,6 +41,9 @@ __all__ = [
     "dimension_ordered_route",
     "bfs_route",
     "route",
+    "fault_aware_route",
+    "check_tie",
+    "PartitionDisconnectedError",
     "max_min_fair_rates",
     "FluidSimulation",
     "FlowResult",

@@ -49,8 +49,20 @@ def max_min_fair_rates(
         ``len(paths)`` rounds; typical symmetric patterns take one.
     """
     capacities = np.asarray(capacities, dtype=float)
-    if np.any(capacities <= 0):
-        raise ValueError("all link capacities must be positive")
+    if np.any(capacities < 0):
+        raise ValueError("link capacities must be non-negative")
+    if np.any(capacities == 0):
+        # Zero capacity models a *failed* link (see repro.faults); flows
+        # must be routed around failures before rates are solved.
+        dead = np.flatnonzero(capacities == 0)
+        dead_set = set(dead.tolist())
+        for i, p in enumerate(paths):
+            if any(int(l) in dead_set for l in p):
+                raise ValueError(
+                    f"flow {i} crosses failed (zero-capacity) link(s) "
+                    f"{sorted(dead_set.intersection(int(l) for l in p))}; "
+                    "reroute around faults before solving rates"
+                )
     n_flows = len(paths)
     n_links = len(capacities)
     rates = np.zeros(n_flows, dtype=float)

@@ -12,11 +12,15 @@ integer arrays and the fairness/load computations vectorize with NumPy.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._validation import check_positive_float
 from ..topology.base import Topology, Vertex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import FaultSet
 
 __all__ = ["LinkNetwork"]
 
@@ -57,6 +61,7 @@ class LinkNetwork:
         self._capacity = np.asarray(caps, dtype=float)
         self._endpoints = ends
         self._bandwidth = bw
+        self._faults: "FaultSet | None" = None
 
     @property
     def topology(self) -> Topology:
@@ -79,6 +84,40 @@ class LinkNetwork:
         view = self._capacity.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def faults(self) -> "FaultSet | None":
+        """The fault set applied via :meth:`with_faults`, if any."""
+        return self._faults
+
+    def with_faults(self, faults: "FaultSet") -> "LinkNetwork":
+        """A copy of this network with *faults* applied to capacities.
+
+        Failed links (and links incident to failed nodes) get capacity
+        0; degraded links get their capacity scaled by the fault set's
+        factor.  Link indices are unchanged, so paths computed on the
+        healthy network remain index-compatible — but routing must
+        avoid zero-capacity links (see
+        :func:`repro.netsim.routing.fault_aware_route`); the fairness
+        solver rejects flows crossing them.
+        """
+        clone = object.__new__(LinkNetwork)
+        clone._topo = self._topo
+        clone._index = self._index
+        clone._endpoints = self._endpoints
+        clone._bandwidth = self._bandwidth
+        caps = self._capacity.copy()
+        for i, (u, v) in enumerate(self._endpoints):
+            factor = faults.capacity_factor(u, v)
+            if factor != 1.0:
+                caps[i] *= factor
+        clone._capacity = caps
+        clone._faults = faults
+        return clone
+
+    def failed_link_ids(self) -> np.ndarray:
+        """Dense indices of links with zero capacity (failed)."""
+        return np.flatnonzero(self._capacity == 0.0)
 
     def link_id(self, u: Vertex, v: Vertex) -> int:
         """Dense index of the directed link ``u -> v``.

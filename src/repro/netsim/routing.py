@@ -20,12 +20,32 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..faults import FaultSet, PartitionDisconnectedError, surviving_topology
 from ..topology.base import Topology, Vertex
 from ..topology.torus import Torus
 
-__all__ = ["dimension_ordered_route", "bfs_route", "route"]
+__all__ = [
+    "dimension_ordered_route",
+    "bfs_route",
+    "route",
+    "fault_aware_route",
+    "check_tie",
+    "PartitionDisconnectedError",
+]
 
 _TIES = ("parity", "positive")
+
+
+def check_tie(tie: str) -> str:
+    """Validate a routing tie-break name, returning it unchanged.
+
+    Exposed so that layers above routing (e.g. the simmpi engine) can
+    reject a bad *tie* eagerly at construction instead of on the first
+    routed message.
+    """
+    if tie not in _TIES:
+        raise ValueError(f"tie must be one of {_TIES}, got {tie!r}")
+    return tie
 
 
 def dimension_ordered_route(
@@ -54,8 +74,7 @@ def dimension_ordered_route(
     -------
     list of vertices from *src* to *dst* inclusive.
     """
-    if tie not in _TIES:
-        raise ValueError(f"tie must be one of {_TIES}, got {tie!r}")
+    check_tie(tie)
     s = tuple(src)
     d = tuple(dst)
     if not torus.contains(s):
@@ -132,3 +151,42 @@ def route(
     if isinstance(topo, Torus):
         return dimension_ordered_route(topo, src, dst, tie=tie)  # type: ignore[arg-type]
     return bfs_route(topo, src, dst)
+
+
+def fault_aware_route(
+    topo: Topology,
+    src: Vertex,
+    dst: Vertex,
+    faults: FaultSet | None = None,
+    tie: str = "parity",
+) -> list[Vertex]:
+    """Route from *src* to *dst* avoiding the failed links/nodes of *faults*.
+
+    The healthy-machine fast path is the topology's natural scheme
+    (dimension-ordered on tori): when no fault lies on that path it is
+    returned unchanged, so fault-free routing stays bit-identical to
+    :func:`route`.  When the natural path crosses a failure, the router
+    falls back to a deterministic BFS shortest path over the surviving
+    directed subgraph — modelling BG/Q's static fault-avoiding route
+    recomputation at partition boot.
+
+    Raises
+    ------
+    PartitionDisconnectedError
+        When *faults* severed every path from *src* to *dst* (or either
+        endpoint is itself down).  This is distinct from
+        :class:`repro.simmpi.DeadlockError`: the program is fine, the
+        machine is not.
+    """
+    check_tie(tie)
+    if faults is None or faults.is_empty():
+        return route(topo, src, dst, tie=tie)
+    if faults.is_failed_node(src) or faults.is_failed_node(dst):
+        raise PartitionDisconnectedError(src, dst, faults)
+    natural = route(topo, src, dst, tie=tie)
+    if all(not faults.blocks(a, b) for a, b in zip(natural, natural[1:])):
+        return natural
+    try:
+        return bfs_route(surviving_topology(topo, faults), src, dst)
+    except ValueError:
+        raise PartitionDisconnectedError(src, dst, faults) from None

@@ -18,8 +18,20 @@ among concurrent transfers — the same contention model as
 2.0
 """
 
+from ..faults import (
+    FaultEvent,
+    FaultReport,
+    FaultSet,
+    PartitionDisconnectedError,
+)
 from .collectives import allgather_ring, alltoall_pairwise, broadcast_ring
-from .engine import DeadlockError, RankStats, RunResult, VirtualMpi
+from .engine import (
+    DeadlockError,
+    EventBudgetError,
+    RankStats,
+    RunResult,
+    VirtualMpi,
+)
 from .ops import Barrier, Compute, Isend, Recv, Send, SendRecv
 
 __all__ = [
@@ -27,6 +39,11 @@ __all__ = [
     "RunResult",
     "RankStats",
     "DeadlockError",
+    "EventBudgetError",
+    "FaultSet",
+    "FaultEvent",
+    "FaultReport",
+    "PartitionDisconnectedError",
     "Compute",
     "Send",
     "Isend",

@@ -21,11 +21,27 @@ Semantics
 * Bandwidth-only model: per-message latency is negligible at the
   100 MB+ message sizes of the paper's experiments.
 * Determinism: rank stepping and matching follow rank order; no clocks,
-  no randomness.
+  no randomness.  This extends to faults: the same program, ``FaultSet``
+  and fault events yield bit-identical results across repeated runs.
+
+Degraded operation
+------------------
+A :class:`~repro.faults.FaultSet` passed at construction removes links
+and nodes before the first message; routes then avoid failures (see
+:func:`repro.netsim.routing.fault_aware_route`).  Mid-run
+:class:`~repro.faults.FaultEvent`\\ s strike at a virtual time: in-flight
+transfers crossing a newly failed link are rerouted over surviving
+links when possible (counted in :attr:`RunResult.reroutes`, restarting
+the *remaining* volume on the new path), and when no route survives the
+run aborts with :class:`~repro.faults.PartitionDisconnectedError`
+carrying a structured :class:`~repro.faults.FaultReport`.
 
 Deadlocks (all ranks blocked, nothing in flight) raise
 :class:`DeadlockError` naming the blocked ranks — mismatched tags and
-unpaired sends are caught instead of hanging.
+unpaired sends are caught instead of hanging.  Disconnection is *never*
+reported as a deadlock: unreachable endpoints raise
+:class:`~repro.faults.PartitionDisconnectedError` as soon as the
+transfer would start.
 """
 
 from __future__ import annotations
@@ -36,14 +52,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._validation import check_positive_float
+from .._validation import check_positive_float, check_positive_int
+from ..faults import FaultEvent, FaultReport, FaultSet, PartitionDisconnectedError
 from ..netsim.fairness import max_min_fair_rates
 from ..netsim.network import LinkNetwork
-from ..netsim.routing import dimension_ordered_route
+from ..netsim.routing import check_tie, dimension_ordered_route, fault_aware_route
 from ..topology.torus import Torus
 from .ops import Barrier, Compute, Isend, Recv, Send, SendRecv
 
-__all__ = ["VirtualMpi", "RankStats", "RunResult", "DeadlockError"]
+__all__ = [
+    "VirtualMpi",
+    "RankStats",
+    "RunResult",
+    "DeadlockError",
+    "EventBudgetError",
+]
 
 #: Rank program: called with (rank, size), returns a generator of ops.
 Program = Callable[[int, int], Generator]
@@ -55,11 +78,17 @@ class DeadlockError(RuntimeError):
     """All ranks are blocked and no transfer or computation is active."""
 
 
+class EventBudgetError(RuntimeError):
+    """The simulation exceeded its event budget (see ``max_events``)."""
+
+
 @dataclass
 class _Flow:
     path: np.ndarray
     remaining: float
     group: "_Group"
+    src_node: int
+    dst_node: int
 
 
 @dataclass
@@ -96,18 +125,27 @@ class RunResult:
         Virtual makespan (seconds) — when the last rank finished.
     ranks:
         Per-rank statistics.
+    reroutes:
+        Number of in-flight transfers rerouted around mid-run link
+        failures (0 on a healthy run).
+    degraded_flow_seconds:
+        Degraded-capacity exposure: virtual flow·seconds spent by
+        transfers whose path crossed at least one degraded (reduced but
+        non-zero capacity) link.
     """
 
     time: float
     ranks: tuple[RankStats, ...]
+    reroutes: int = 0
+    degraded_flow_seconds: float = 0.0
 
     @property
     def total_gb_sent(self) -> float:
-        return sum(r.gb_sent for r in self.ranks)
+        return float(sum(r.gb_sent for r in self.ranks))
 
     @property
     def max_compute_seconds(self) -> float:
-        return max(r.compute_seconds for r in self.ranks)
+        return max((r.compute_seconds for r in self.ranks), default=0.0)
 
 
 class VirtualMpi:
@@ -123,7 +161,18 @@ class VirtualMpi:
     link_bandwidth:
         GB/s per unit link weight (2.0 for Blue Gene/Q).
     tie:
-        Routing tie-break (see :func:`dimension_ordered_route`).
+        Routing tie-break (see :func:`dimension_ordered_route`);
+        validated eagerly here, not on the first routed message.
+    faults:
+        Faults present from virtual time 0 (failed/degraded links,
+        drained nodes).  Routes avoid them from the first message.
+    fault_events:
+        Faults striking mid-run, each at its virtual ``time``.  Applied
+        in time order; simultaneous events apply in the given order.
+    max_events:
+        Event budget guarding against runaway programs; exceeded budgets
+        raise :class:`EventBudgetError` naming the virtual time and the
+        active flow / computing-rank counts.
     """
 
     def __init__(
@@ -132,10 +181,14 @@ class VirtualMpi:
         rank_to_node: Sequence[int] | None = None,
         link_bandwidth: float = 2.0,
         tie: str = "parity",
+        faults: FaultSet | None = None,
+        fault_events: Sequence[FaultEvent] = (),
+        max_events: int = 10_000_000,
     ):
         check_positive_float(link_bandwidth, "link_bandwidth")
+        check_tie(tie)
         self._torus = torus
-        self._net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
+        self._base_net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
         self._verts = list(torus.vertices())
         if rank_to_node is None:
             self._rank_node = list(range(torus.num_vertices))
@@ -147,6 +200,20 @@ class VirtualMpi:
                     f"rank_to_node entries must be in [0, {n - 1}]"
                 )
         self._tie = tie
+        self._faults0 = faults if faults is not None else FaultSet()
+        for ev in fault_events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(
+                    f"fault_events entries must be FaultEvent, got "
+                    f"{type(ev).__name__}"
+                )
+        self._events = tuple(sorted(fault_events, key=lambda e: e.time))
+        self._max_events = check_positive_int(max_events, "max_events")
+        self._net0 = (
+            self._base_net.with_faults(self._faults0)
+            if self._faults0
+            else self._base_net
+        )
         self._route_cache: dict[tuple[int, int], np.ndarray] = {}
 
     @property
@@ -154,18 +221,14 @@ class VirtualMpi:
         """Number of ranks in the world."""
         return len(self._rank_node)
 
-    def _path(self, src_rank: int, dst_rank: int) -> np.ndarray:
-        key = (self._rank_node[src_rank], self._rank_node[dst_rank])
-        path = self._route_cache.get(key)
-        if path is None:
-            path = self._net.path_to_links(
-                dimension_ordered_route(
-                    self._torus, self._verts[key[0]], self._verts[key[1]],
-                    tie=self._tie,
-                )
-            )
-            self._route_cache[key] = path
-        return path
+    def _degraded_mask(self, net: LinkNetwork) -> np.ndarray | None:
+        """Bool mask of links at reduced but non-zero capacity, or None."""
+        if net is self._base_net:
+            return None
+        caps = net.capacities
+        base = self._base_net.capacities
+        mask = (caps < base) & (caps > 0)
+        return mask if mask.any() else None
 
     # ------------------------------------------------------------------ #
 
@@ -181,6 +244,40 @@ class VirtualMpi:
         gb_sent = [0.0] * size
         msgs = [0] * size
         comp_secs = [0.0] * size
+        reroutes = 0
+        degraded_exposure = 0.0
+
+        # Fault state.  The instance route cache is only valid for the
+        # construction-time fault set; runs with mid-run events use a
+        # private cache so the instance stays reusable deterministically.
+        cur_faults = self._faults0
+        net = self._net0
+        cache = self._route_cache if not self._events else {}
+        degr_mask = self._degraded_mask(net)
+        evt_i = 0
+
+        def path_of(src_node: int, dst_node: int) -> np.ndarray:
+            key = (src_node, dst_node)
+            path = cache.get(key)
+            if path is None:
+                if cur_faults:
+                    verts = fault_aware_route(
+                        self._torus,
+                        self._verts[src_node],
+                        self._verts[dst_node],
+                        cur_faults,
+                        tie=self._tie,
+                    )
+                else:
+                    verts = dimension_ordered_route(
+                        self._torus,
+                        self._verts[src_node],
+                        self._verts[dst_node],
+                        tie=self._tie,
+                    )
+                path = net.path_to_links(verts)
+                cache[key] = path
+            return path
 
         computing: dict[int, float] = {}          # rank -> finish time
         flows: list[_Flow] = []
@@ -204,16 +301,71 @@ class VirtualMpi:
                 resume[r] = group.deliveries.get(r)
                 state[r] = READY
 
-        def start_flow(src: int, dst: int, gb: float, group: _Group) -> None:
-            path = self._path(src, dst)
-            gb_sent[src] += gb
-            msgs[src] += 1
+        def add_flow(
+            src_node: int, dst_node: int, gb: float, group: _Group
+        ) -> None:
+            path = path_of(src_node, dst_node)
             if len(path) == 0:  # same node: free
                 group.outstanding -= 1
                 if group.outstanding == 0:
                     wake(group)
                 return
-            flows.append(_Flow(path=path, remaining=gb, group=group))
+            flows.append(
+                _Flow(
+                    path=path,
+                    remaining=gb,
+                    group=group,
+                    src_node=src_node,
+                    dst_node=dst_node,
+                )
+            )
+
+        def start_flow(src: int, dst: int, gb: float, group: _Group) -> None:
+            gb_sent[src] += gb
+            msgs[src] += 1
+            add_flow(
+                self._rank_node[src], self._rank_node[dst], gb, group
+            )
+
+        def apply_event(ev: FaultEvent) -> None:
+            """Merge *ev* into the live fault state and reroute flows."""
+            nonlocal cur_faults, net, cache, degr_mask, reroutes
+            cur_faults = cur_faults | ev.faults
+            net = self._base_net.with_faults(cur_faults)
+            cache = {}
+            degr_mask = self._degraded_mask(net)
+            caps = net.capacities
+            lost: list[tuple[int, int, float]] = []
+            for f in flows:
+                if not bool((caps[f.path] == 0.0).any()):
+                    continue
+                try:
+                    f.path = path_of(f.src_node, f.dst_node)
+                except PartitionDisconnectedError:
+                    lost.append((f.src_node, f.dst_node, f.remaining))
+                    continue
+                if len(f.path) == 0:  # pragma: no cover - defensive
+                    raise AssertionError("reroute produced an empty path")
+                reroutes += 1
+            if lost:
+                report = FaultReport(
+                    time=now,
+                    failed_links=tuple(sorted(cur_faults.failed_links)),
+                    aborted_flows=tuple(
+                        (self._verts[s], self._verts[d], gb)
+                        for s, d, gb in lost
+                    ),
+                )
+                s, d, _ = lost[0]
+                raise PartitionDisconnectedError(
+                    self._verts[s], self._verts[d], cur_faults,
+                    report=report,
+                )
+
+        # Faults scheduled at (or before) time 0 strike before any message.
+        while evt_i < len(self._events) and self._events[evt_i].time <= 0.0:
+            apply_event(self._events[evt_i])
+            evt_i += 1
 
         def advance_rank(rank: int) -> None:
             """Step one rank's generator until it blocks or finishes."""
@@ -276,13 +428,12 @@ class VirtualMpi:
                         state[rank] = BLOCKED
                         # Accounting already done at Isend time; start
                         # the wire transfer without recounting.
-                        path = self._path(sender, rank)
-                        if len(path) == 0:
-                            wake(group)
-                        else:
-                            flows.append(
-                                _Flow(path=path, remaining=gb, group=group)
-                            )
+                        add_flow(
+                            self._rank_node[sender],
+                            self._rank_node[rank],
+                            gb,
+                            group,
+                        )
                         continue
                     waiting = sends.get(key)
                     if waiting:
@@ -331,11 +482,15 @@ class VirtualMpi:
 
         # Main event loop.
         guard = 0
-        max_events = 10_000_000
         while True:
             guard += 1
-            if guard > max_events:  # pragma: no cover - defensive
-                raise RuntimeError("simmpi exceeded the event budget")
+            if guard > self._max_events:
+                raise EventBudgetError(
+                    f"simmpi exceeded the event budget of "
+                    f"{self._max_events} at virtual time {now:.6g} s "
+                    f"with {len(flows)} active flow(s) and "
+                    f"{len(computing)} computing rank(s)"
+                )
             stepped = False
             for r in range(size):
                 if state[r] == READY:
@@ -363,14 +518,20 @@ class VirtualMpi:
             dt = np.inf
             if flows:
                 rates = max_min_fair_rates(
-                    [f.path for f in flows], self._net.capacities
+                    [f.path for f in flows], net.capacities
                 )
                 dt = min(
                     f.remaining / r for f, r in zip(flows, rates)
                 )
             if computing:
                 dt = min(dt, min(computing.values()) - now)
+            if evt_i < len(self._events):
+                dt = min(dt, self._events[evt_i].time - now)
             dt = max(dt, 0.0)
+            if degr_mask is not None and flows and dt > 0:
+                degraded_exposure += dt * sum(
+                    1 for f in flows if bool(degr_mask[f.path].any())
+                )
             now += dt
             # Progress flows.
             if flows:
@@ -384,16 +545,24 @@ class VirtualMpi:
                             done_groups.append(f.group)
                     else:
                         kept.append(f)
-                flows = kept
+                flows.clear()
+                flows.extend(kept)
                 for g in done_groups:
                     wake(g)
             # Finish computations.
             for r in [r for r, t in computing.items() if t - now <= _EPS]:
                 del computing[r]
                 state[r] = READY
+            # Strike due fault events.
+            while (
+                evt_i < len(self._events)
+                and self._events[evt_i].time - now <= _EPS
+            ):
+                apply_event(self._events[evt_i])
+                evt_i += 1
 
         return RunResult(
-            time=max(finish) if finish else 0.0,
+            time=max(finish, default=0.0),
             ranks=tuple(
                 RankStats(
                     finish_time=finish[r],
@@ -403,4 +572,6 @@ class VirtualMpi:
                 )
                 for r in range(size)
             ),
+            reroutes=reroutes,
+            degraded_flow_seconds=degraded_exposure,
         )

@@ -8,7 +8,13 @@ three-tier fat-tree.  All classes implement the small
 weighted neighbors, cut evaluation, NetworkX export).
 """
 
-from .base import Topology, Vertex, cut_edges, is_connected_subset
+from .base import (
+    SubgraphView,
+    Topology,
+    Vertex,
+    cut_edges,
+    is_connected_subset,
+)
 from .clique_product import CliqueProduct
 from .dragonfly import ARRANGEMENTS, Dragonfly
 from .fattree import FatTree
@@ -19,6 +25,7 @@ from .torus import Torus, degenerate_free_dims, torus_num_edges
 
 __all__ = [
     "Topology",
+    "SubgraphView",
     "Vertex",
     "cut_edges",
     "is_connected_subset",

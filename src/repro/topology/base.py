@@ -19,7 +19,13 @@ import abc
 from collections.abc import Hashable, Iterable, Iterator
 from typing import Any
 
-__all__ = ["Vertex", "Topology", "cut_edges", "is_connected_subset"]
+__all__ = [
+    "Vertex",
+    "Topology",
+    "SubgraphView",
+    "cut_edges",
+    "is_connected_subset",
+]
 
 #: Type alias for vertex labels.  Product topologies use coordinate tuples.
 Vertex = Hashable
@@ -218,6 +224,60 @@ class Topology(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(|V|={self.num_vertices})"
+
+
+class SubgraphView(Topology):
+    """Filtered view of a base topology (surviving subgraph of faults).
+
+    Keeps only vertices passing *node_alive* and, from each surviving
+    vertex, only the neighbors for which *edge_alive(u, v)* holds.  The
+    edge filter is evaluated *per direction*, so the view may be
+    directional (e.g. one direction of a link failed) — it is meant for
+    route computation, not for the symmetric cut/isoperimetry machinery,
+    and :meth:`validate` is intentionally not guaranteed to pass on it.
+
+    Vertices and weights come straight from the base topology, so view
+    construction is O(1); filtering happens lazily during iteration.
+    """
+
+    def __init__(
+        self,
+        base: Topology,
+        node_alive: Any = None,
+        edge_alive: Any = None,
+    ):
+        self._base = base
+        self._node_alive = node_alive or (lambda v: True)
+        self._edge_alive = edge_alive or (lambda u, v: True)
+        self._count: int | None = None
+
+    @property
+    def base(self) -> Topology:
+        """The unfiltered topology this view restricts."""
+        return self._base
+
+    @property
+    def name(self) -> str:
+        return f"{self._base.name}[surviving]"
+
+    @property
+    def num_vertices(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self.vertices())
+        return self._count
+
+    def vertices(self) -> Iterator[Vertex]:
+        return (v for v in self._base.vertices() if self._node_alive(v))
+
+    def contains(self, v: Vertex) -> bool:
+        return self._base.contains(v) and self._node_alive(v)
+
+    def neighbors(self, v: Vertex) -> Iterator[tuple[Vertex, float]]:
+        if not self._node_alive(v):
+            raise ValueError(f"{v!r} is not alive in {self.name}")
+        for u, w in self._base.neighbors(v):
+            if self._node_alive(u) and self._edge_alive(v, u):
+                yield (u, w)
 
 
 def cut_edges(

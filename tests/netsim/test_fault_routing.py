@@ -1,0 +1,153 @@
+"""Tests for fault-aware routing and the LinkNetwork fault overlay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultSet, random_link_failures
+from repro.netsim.fairness import max_min_fair_rates
+from repro.netsim.network import LinkNetwork
+from repro.netsim.routing import (
+    PartitionDisconnectedError,
+    check_tie,
+    dimension_ordered_route,
+    fault_aware_route,
+)
+from repro.topology.torus import Torus
+
+
+class TestFaultAwareRoute:
+    def test_no_faults_matches_healthy_route(self):
+        """Empty/None fault sets must be bit-identical to route()."""
+        torus = Torus((4, 4))
+        verts = list(torus.vertices())
+        for src in verts:
+            for dst in verts:
+                if src == dst:
+                    continue
+                healthy = dimension_ordered_route(torus, src, dst)
+                assert fault_aware_route(torus, src, dst, None) == healthy
+                assert (
+                    fault_aware_route(torus, src, dst, FaultSet()) == healthy
+                )
+
+    def test_natural_path_kept_when_unaffected(self):
+        """Faults elsewhere leave the DOR path untouched."""
+        torus = Torus((8,))
+        faults = FaultSet(failed_links=[((5,), (6,))])
+        assert fault_aware_route(torus, (0,), (2,), faults) == (
+            dimension_ordered_route(torus, (0,), (2,))
+        )
+
+    def test_detour_avoids_failed_link(self):
+        torus = Torus((8,))
+        faults = FaultSet(failed_links=[((1,), (2,))])
+        path = fault_aware_route(torus, (0,), (4,), faults)
+        assert path[0] == (0,) and path[-1] == (4,)
+        for a, b in zip(path, path[1:]):
+            assert not faults.blocks(a, b)
+        # The only surviving route wraps the long way: 4 hops becomes 4
+        # hops the other direction on an 8-ring.
+        assert len(path) - 1 == 4
+
+    def test_detour_avoids_failed_node(self):
+        torus = Torus((4, 4))
+        faults = FaultSet(failed_nodes=[(1, 0)])
+        path = fault_aware_route(torus, (0, 0), (2, 0), faults)
+        assert (1, 0) not in path
+        for a, b in zip(path, path[1:]):
+            assert not faults.blocks(a, b)
+
+    def test_disconnected_raises_typed_error(self):
+        torus = Torus((8,))
+        cut = FaultSet(failed_links=[((0,), (1,)), ((7,), (0,))])
+        with pytest.raises(PartitionDisconnectedError) as exc_info:
+            fault_aware_route(torus, (0,), (4,), cut)
+        err = exc_info.value
+        assert err.src == (0,) and err.dst == (4,)
+        assert "(0,)" in str(err) and "(4,)" in str(err)
+        assert "failed links" in str(err)
+
+    def test_failed_endpoint_raises(self):
+        torus = Torus((8,))
+        down = FaultSet(failed_nodes=[(4,)])
+        with pytest.raises(PartitionDisconnectedError):
+            fault_aware_route(torus, (0,), (4,), down)
+        with pytest.raises(PartitionDisconnectedError):
+            fault_aware_route(torus, (4,), (0,), down)
+
+    def test_directed_failure_blocks_one_way_only(self):
+        torus = Torus((4,))
+        one_way = FaultSet(
+            failed_links=[((0,), (1,))], undirected=False
+        )
+        fwd = fault_aware_route(torus, (0,), (1,), one_way)
+        assert fwd == [(0,), (3,), (2,), (1,)]
+        back = fault_aware_route(torus, (1,), (0,), one_way)
+        assert back == [(1,), (0,)]
+
+    def test_tie_validation(self):
+        assert check_tie("parity") == "parity"
+        assert check_tie("positive") == "positive"
+        with pytest.raises(ValueError):
+            check_tie("bogus")
+        with pytest.raises(ValueError):
+            fault_aware_route(Torus((4,)), (0,), (1,), None, tie="bogus")
+
+
+class TestLinkNetworkFaults:
+    def test_with_faults_zeroes_failed_links(self):
+        torus = Torus((4,))
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        faulted = net.with_faults(FaultSet(failed_links=[((0,), (1,))]))
+        dead = faulted.failed_link_ids()
+        assert len(dead) == 2  # both directions
+        assert np.all(faulted.capacities[dead] == 0.0)
+        # The original network is untouched.
+        assert np.all(net.capacities == 2.0)
+        assert len(net.failed_link_ids()) == 0
+
+    def test_with_faults_scales_degraded_links(self):
+        torus = Torus((4,))
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        faulted = net.with_faults(
+            FaultSet(degraded_links={((0,), (1,)): 0.25})
+        )
+        changed = np.flatnonzero(faulted.capacities != 2.0)
+        assert len(changed) == 2
+        assert np.all(faulted.capacities[changed] == 0.5)
+
+    def test_faults_property_round_trips(self):
+        torus = Torus((4,))
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        assert net.faults is None
+        fs = FaultSet(failed_links=[((0,), (1,))])
+        assert net.with_faults(fs).faults == fs
+
+    def test_shared_index_between_base_and_faulted(self):
+        """The faulted clone shares the link index (same link ids)."""
+        torus = Torus((4, 4))
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        faulted = net.with_faults(random_link_failures(torus, 2, seed=1))
+        path = dimension_ordered_route(torus, (0, 0), (2, 2))
+        assert np.array_equal(
+            net.path_to_links(path), faulted.path_to_links(path)
+        )
+
+    def test_fairness_rejects_flow_on_dead_link(self):
+        """Rates cannot be solved across a zero-capacity (failed) link —
+        flows must be rerouted first."""
+        torus = Torus((4,))
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        faults = FaultSet(failed_links=[((0,), (1,))])
+        faulted = net.with_faults(faults)
+        dead_path = faulted.path_to_links([(0,), (1,)])
+        with pytest.raises(ValueError, match="reroute"):
+            max_min_fair_rates([dead_path], faulted.capacities)
+        # A rerouted path over surviving links solves fine.
+        ok = faulted.path_to_links(
+            fault_aware_route(torus, (0,), (1,), faults)
+        )
+        rates = max_min_fair_rates([ok], faulted.capacities)
+        assert rates[0] == pytest.approx(2.0)

@@ -1,0 +1,160 @@
+"""Property-based tests for fault-aware routing.
+
+Oracle: brute-force BFS reachability over the *directed* surviving
+links.  For any seeded ``FaultSet`` on a small torus,
+
+* every route returned by :func:`fault_aware_route` must avoid failed
+  links and failed nodes, and
+* :class:`PartitionDisconnectedError` fires **iff** the oracle says the
+  endpoints are disconnected in the surviving subgraph.
+
+The hypothesis-driven sweep is marked ``chaos`` (opt-in via
+``pytest -m chaos``); a fixed-seed smoke subset of the same invariants
+runs in tier-1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultSet,
+    midplane_drain,
+    random_link_failures,
+)
+from repro.netsim.routing import (
+    PartitionDisconnectedError,
+    fault_aware_route,
+    dimension_ordered_route,
+)
+from repro.topology.torus import Torus
+
+dims_strategy = st.lists(
+    st.integers(min_value=2, max_value=4), min_size=1, max_size=3
+).map(tuple).filter(lambda d: math.prod(d) <= 32)
+
+
+def _reachable(torus, faults, src, dst):
+    """Brute-force BFS over usable directed links (the oracle)."""
+    if faults.is_failed_node(src) or faults.is_failed_node(dst):
+        return False
+    seen = {src}
+    queue = deque([src])
+    while queue:
+        u = queue.popleft()
+        if u == dst:
+            return True
+        for v, _ in torus.neighbors(u):
+            if v not in seen and not faults.blocks(u, v):
+                seen.add(v)
+                queue.append(v)
+    return False
+
+
+def _check_route_invariants(torus, faults, src, dst):
+    """Route avoids faults iff reachable; else the typed error fires."""
+    oracle = _reachable(torus, faults, src, dst)
+    try:
+        path = fault_aware_route(torus, src, dst, faults)
+    except PartitionDisconnectedError as exc:
+        assert not oracle, (
+            f"route raised but oracle says {src} -> {dst} is reachable"
+        )
+        assert exc.src == src and exc.dst == dst
+        return
+    assert oracle, (
+        f"route returned a path but oracle says {src} -> {dst} is cut"
+    )
+    assert path[0] == src and path[-1] == dst
+    neighbors = {}
+    for a, b in zip(path, path[1:]):
+        assert not faults.blocks(a, b), f"route uses blocked link {a}->{b}"
+        nbrs = neighbors.setdefault(a, {v for v, _ in torus.neighbors(a)})
+        assert b in nbrs, f"route takes non-edge {a}->{b}"
+
+
+@pytest.mark.chaos
+class TestFaultRoutingChaos:
+    """Randomized sweep over topologies, fault draws, and endpoints."""
+
+    @given(
+        dims_strategy,
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=2**16),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_route_matches_reachability_oracle(self, dims, k, seed, data):
+        torus = Torus(dims)
+        n_edges = sum(1 for _ in torus.edges())
+        faults = random_link_failures(torus, min(k, n_edges), seed=seed)
+        verts = list(torus.vertices())
+        pick = st.integers(min_value=0, max_value=len(verts) - 1)
+        src = verts[data.draw(pick)]
+        dst = verts[data.draw(pick)]
+        if src == dst:
+            return
+        _check_route_invariants(torus, faults, src, dst)
+
+    @given(
+        dims_strategy,
+        st.integers(min_value=0, max_value=2**16),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_drained_slab_matches_oracle(self, dims, seed, data):
+        torus = Torus(dims)
+        dim = data.draw(st.integers(min_value=0, max_value=len(dims) - 1))
+        coord = data.draw(st.integers(min_value=0, max_value=dims[dim] - 1))
+        n_edges = sum(1 for _ in torus.edges())
+        faults = midplane_drain(torus, dim, coord) | random_link_failures(
+            torus, min(2, n_edges), seed=seed
+        )
+        verts = [v for v in torus.vertices() if not faults.is_failed_node(v)]
+        if len(verts) < 2:
+            return
+        pick = st.integers(min_value=0, max_value=len(verts) - 1)
+        src = verts[data.draw(pick)]
+        dst = verts[data.draw(pick)]
+        if src == dst:
+            return
+        _check_route_invariants(torus, faults, src, dst)
+
+
+class TestFaultRoutingSmoke:
+    """Fixed-seed subset of the chaos invariants; runs in tier-1."""
+
+    CASES = [
+        ((4, 4), 0, 0),
+        ((4, 4), 3, 7),
+        ((4, 4), 10, 11),
+        ((2, 2, 4), 5, 3),
+        ((8,), 1, 1),
+        ((8,), 2, 5),
+        ((3, 3), 6, 2),
+    ]
+
+    @pytest.mark.parametrize("dims,k,seed", CASES)
+    def test_all_pairs_match_oracle(self, dims, k, seed):
+        torus = Torus(dims)
+        faults = random_link_failures(torus, k, seed=seed)
+        verts = list(torus.vertices())
+        for src in verts:
+            for dst in verts:
+                if src != dst:
+                    _check_route_invariants(torus, faults, src, dst)
+
+    def test_healthy_route_is_dor(self):
+        torus = Torus((4, 4))
+        for src in torus.vertices():
+            for dst in torus.vertices():
+                if src == dst:
+                    continue
+                assert fault_aware_route(
+                    torus, src, dst, FaultSet()
+                ) == dimension_ordered_route(torus, src, dst)

@@ -1,0 +1,190 @@
+"""VirtualMpi under faults: static sets, mid-run events, budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import (
+    Compute,
+    EventBudgetError,
+    FaultEvent,
+    FaultSet,
+    PartitionDisconnectedError,
+    Recv,
+    Send,
+    SendRecv,
+    VirtualMpi,
+)
+from repro.topology import Torus
+
+
+def transfer(rank, size):
+    """Rank 0 streams 8 GB to the antipodal rank of an 8-ring."""
+    if rank == 0:
+        yield Send(dst=4, gb=8.0)
+    elif rank == 4:
+        yield Recv(src=0)
+
+
+class TestStaticFaults:
+    def test_failed_link_run_wraps_around(self):
+        ring = Torus((8,))
+        healthy = VirtualMpi(ring, link_bandwidth=2.0).run(transfer)
+        faults = FaultSet(failed_links=[((1,), (2,))])
+        faulted = VirtualMpi(ring, link_bandwidth=2.0, faults=faults).run(
+            transfer
+        )
+        # Same hop count the other way around: identical makespan.
+        assert faulted.time == healthy.time == pytest.approx(4.0)
+        assert faulted.reroutes == 0  # static faults routed from t=0
+        assert faulted.degraded_flow_seconds == 0.0
+
+    def test_degraded_link_slows_transfer(self):
+        ring = Torus((8,))
+        half = FaultSet(degraded_links={((0,), (1,)): 0.5})
+        res = VirtualMpi(ring, link_bandwidth=2.0, faults=half).run(transfer)
+        # Bottleneck 1 GB/s instead of 2: transfer takes twice as long.
+        assert res.time == pytest.approx(8.0)
+        assert res.degraded_flow_seconds == pytest.approx(8.0)
+
+    def test_statically_disconnected_raises_before_deadlock(self):
+        ring = Torus((8,))
+        cut = FaultSet(failed_links=[((0,), (1,)), ((7,), (0,))])
+        with pytest.raises(PartitionDisconnectedError) as exc_info:
+            VirtualMpi(ring, link_bandwidth=2.0, faults=cut).run(transfer)
+        assert exc_info.value.src == (0,)
+        assert exc_info.value.dst == (4,)
+
+    def test_static_fault_run_is_deterministic(self):
+        torus = Torus((4, 4))
+        faults = FaultSet(failed_links=[(((0, 0)), ((0, 1)))])
+
+        def program(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=0.5)
+
+        world = VirtualMpi(torus, link_bandwidth=2.0, faults=faults)
+        a = world.run(program)
+        b = world.run(program)
+        c = VirtualMpi(torus, link_bandwidth=2.0, faults=faults).run(program)
+        assert a == b == c
+
+
+class TestFaultEvents:
+    def test_midrun_failure_reroutes_inflight_flow(self):
+        ring = Torus((8,))
+        event = FaultEvent(
+            time=1.0, faults=FaultSet(failed_links=[((1,), (2,))])
+        )
+        res = VirtualMpi(
+            ring, link_bandwidth=2.0, fault_events=[event]
+        ).run(transfer)
+        assert res.reroutes == 1
+        # 1 s healthy progress (2 GB), then the remaining 6 GB restarts
+        # on the wrap path at the same 2 GB/s: 1 + 3 = 4 s.
+        assert res.time == pytest.approx(4.0)
+
+    def test_event_after_finish_is_ignored(self):
+        ring = Torus((8,))
+        late = FaultEvent(
+            time=100.0, faults=FaultSet(failed_links=[((1,), (2,))])
+        )
+        res = VirtualMpi(
+            ring, link_bandwidth=2.0, fault_events=[late]
+        ).run(transfer)
+        assert res.time == pytest.approx(4.0)
+        assert res.reroutes == 0
+
+    def test_midrun_disconnection_aborts_with_report(self):
+        ring = Torus((8,))
+        cut = FaultSet(failed_links=[((0,), (1,)), ((7,), (0,))])
+        world = VirtualMpi(
+            ring,
+            link_bandwidth=2.0,
+            fault_events=[FaultEvent(time=1.0, faults=cut)],
+        )
+        with pytest.raises(PartitionDisconnectedError) as exc_info:
+            world.run(transfer)
+        report = exc_info.value.report
+        assert report is not None
+        assert report.time == pytest.approx(1.0)
+        assert len(report.aborted_flows) == 1
+        src_node, dst_node, remaining = report.aborted_flows[0]
+        assert src_node == (0,) and dst_node == (4,)
+        # 2 GB of the 8 GB moved before the cut.
+        assert remaining == pytest.approx(6.0)
+        assert len(report.failed_links) == 4
+
+    def test_event_runs_are_deterministic(self):
+        ring = Torus((8,))
+        event = FaultEvent(
+            time=1.0, faults=FaultSet(failed_links=[((1,), (2,))])
+        )
+        world = VirtualMpi(ring, link_bandwidth=2.0, fault_events=[event])
+        a = world.run(transfer)
+        b = world.run(transfer)
+        assert a == b
+
+    def test_events_sorted_regardless_of_input_order(self):
+        ring = Torus((8,))
+        e1 = FaultEvent(time=2.0, faults=FaultSet(failed_links=[((2,), (3,))]))
+        e2 = FaultEvent(time=1.0, faults=FaultSet(failed_links=[((1,), (2,))]))
+        res_a = VirtualMpi(
+            ring, link_bandwidth=2.0, fault_events=[e1, e2]
+        ).run(transfer)
+        res_b = VirtualMpi(
+            ring, link_bandwidth=2.0, fault_events=[e2, e1]
+        ).run(transfer)
+        assert res_a == res_b
+
+    def test_fault_events_type_checked(self):
+        with pytest.raises(TypeError):
+            VirtualMpi(Torus((4,)), fault_events=[(1.0, FaultSet())])
+
+
+class TestConstructorValidation:
+    def test_tie_validated_eagerly(self):
+        with pytest.raises(ValueError, match="tie"):
+            VirtualMpi(Torus((4,)), tie="bogus")
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            VirtualMpi(Torus((4,)), max_events=0)
+        with pytest.raises(ValueError):
+            VirtualMpi(Torus((4,)), max_events=-5)
+
+
+class TestEventBudget:
+    def test_budget_error_names_state(self):
+        ring = Torus((8,))
+
+        def chatty(rank, size):
+            peer = (rank + size // 2) % size
+            for _ in range(50):
+                yield SendRecv(peer=peer, gb=0.01)
+                yield Compute(seconds=0.001)
+
+        world = VirtualMpi(ring, link_bandwidth=2.0, max_events=10)
+        with pytest.raises(EventBudgetError) as exc_info:
+            world.run(chatty)
+        msg = str(exc_info.value)
+        assert "budget of 10" in msg
+        assert "virtual time" in msg
+        assert "flow" in msg and "computing" in msg
+
+    def test_default_budget_is_ample(self):
+        def pairing(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=0.1)
+
+        res = VirtualMpi(Torus((4,)), link_bandwidth=2.0).run(pairing)
+        assert res.time > 0
+
+
+class TestZeroRankWorld:
+    def test_empty_world_zeroes(self):
+        res = VirtualMpi(
+            Torus((4,)), rank_to_node=[], link_bandwidth=2.0
+        ).run(lambda rank, size: iter(()))
+        assert res.time == 0.0
+        assert res.total_gb_sent == 0.0
+        assert res.max_compute_seconds == 0.0
+        assert res.ranks == ()

@@ -73,6 +73,32 @@ class TestFigureCommand:
         assert f"Figure {n}" in capsys.readouterr().out
 
 
+class TestFaults:
+    def test_mira_table_renders(self, capsys):
+        code = main(
+            ["faults", "--machine", "mira", "--size", "16",
+             "--max-failures", "2", "--trials", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "surviving bisection" in out
+        # Healthy k = 0 row shows the Table 1 values.
+        assert "1024" in out and "2048" in out
+        assert "100%" in out
+
+    def test_deterministic_output(self, capsys):
+        argv = ["faults", "--max-failures", "1", "--trials", "2",
+                "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_machine_exit_2(self, capsys):
+        assert main(["faults", "--machine", "summit"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestAdvise:
     def test_wait_recommendation(self, capsys):
         code = main(

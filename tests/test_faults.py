@@ -1,0 +1,207 @@
+"""Unit tests for the fault-injection value types and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultSet,
+    PartitionDisconnectedError,
+    dimension_outage,
+    midplane_drain,
+    random_degradations,
+    random_link_failures,
+    surviving_topology,
+)
+from repro.topology import Torus
+from repro.topology.base import is_connected_subset
+
+
+class TestFaultSet:
+    def test_empty(self):
+        f = FaultSet()
+        assert f.is_empty()
+        assert not f
+        assert f.capacity_factor((0,), (1,)) == 1.0
+        assert not f.blocks((0,), (1,))
+
+    def test_undirected_mirroring(self):
+        f = FaultSet(failed_links=[((0,), (1,))])
+        assert f.is_failed_link((0,), (1,))
+        assert f.is_failed_link((1,), (0,))
+        assert f.capacity_factor((1,), (0,)) == 0.0
+
+    def test_directed_failure(self):
+        f = FaultSet(failed_links=[((0,), (1,))], undirected=False)
+        assert f.is_failed_link((0,), (1,))
+        assert not f.is_failed_link((1,), (0,))
+
+    def test_failed_node_blocks_incident_links(self):
+        f = FaultSet(failed_nodes=[(1,)])
+        assert f.blocks((0,), (1,))
+        assert f.blocks((1,), (2,))
+        assert not f.blocks((2,), (3,))
+        assert f.capacity_factor((0,), (1,)) == 0.0
+
+    def test_degradation_factor(self):
+        f = FaultSet(degraded_links={((0,), (1,)): 0.25})
+        assert f.capacity_factor((0,), (1,)) == 0.25
+        assert f.capacity_factor((1,), (0,)) == 0.25
+        assert not f.blocks((0,), (1,))
+
+    def test_degradation_factor_validated(self):
+        with pytest.raises(ValueError):
+            FaultSet(degraded_links={((0,), (1,)): 0.0})
+        with pytest.raises(ValueError):
+            FaultSet(degraded_links={((0,), (1,)): 1.0})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSet(failed_links=[((0,), (0,))])
+
+    def test_failed_beats_degraded(self):
+        f = FaultSet(
+            failed_links=[((0,), (1,))],
+            degraded_links={((0,), (1,)): 0.5},
+        )
+        assert f.capacity_factor((0,), (1,)) == 0.0
+        assert ((0,), (1,)) not in f.degraded_links
+
+    def test_union(self):
+        a = FaultSet(failed_links=[((0,), (1,))])
+        b = FaultSet(
+            failed_nodes=[(5,)],
+            degraded_links={((2,), (3,)): 0.5},
+        )
+        u = a | b
+        assert u.is_failed_link((1,), (0,))
+        assert u.is_failed_node((5,))
+        assert u.capacity_factor((2,), (3,)) == 0.5
+
+    def test_union_degradations_multiply(self):
+        a = FaultSet(degraded_links={((0,), (1,)): 0.5})
+        b = FaultSet(degraded_links={((0,), (1,)): 0.5})
+        assert (a | b).capacity_factor((0,), (1,)) == 0.25
+
+    def test_equality_and_hash(self):
+        a = FaultSet(failed_links=[((0,), (1,))])
+        b = FaultSet(failed_links=[((1,), (0,))])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultSet()
+
+    def test_repr(self):
+        f = FaultSet(failed_links=[((0,), (1,))], failed_nodes=[(2,)])
+        assert "links=2" in repr(f)
+        assert "nodes=1" in repr(f)
+
+
+class TestFaultEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, faults=FaultSet())
+
+    def test_zero_time_ok(self):
+        assert FaultEvent(time=0.0, faults=FaultSet()).time == 0.0
+
+
+class TestGenerators:
+    def test_random_link_failures_deterministic(self):
+        t = Torus((4, 4))
+        a = random_link_failures(t, 3, seed=42)
+        b = random_link_failures(t, 3, seed=42)
+        assert a == b
+        assert a != random_link_failures(t, 3, seed=43)
+        # 3 undirected failures = 6 directed links.
+        assert len(a.failed_links) == 6
+
+    def test_random_link_failures_bounds(self):
+        t = Torus((3,))
+        with pytest.raises(ValueError):
+            random_link_failures(t, 99)
+        assert random_link_failures(t, 0).is_empty()
+
+    def test_dimension_outage_is_one_plane(self):
+        t = Torus((4, 4))
+        f = dimension_outage(t, 0, seed=0)
+        # One cross-section plane of dim 0: 4 undirected links.
+        assert len(f.failed_links) == 8
+        # All failed links step in dimension 0.
+        for (u, v) in f.failed_links:
+            assert u[1] == v[1] and u[0] != v[0]
+
+    def test_dimension_outage_validates(self):
+        t = Torus((4, 1))
+        with pytest.raises(ValueError):
+            dimension_outage(t, 1)
+        with pytest.raises(ValueError):
+            dimension_outage(t, 5)
+        with pytest.raises(ValueError):
+            dimension_outage(t, 0, fraction=0.0)
+
+    def test_midplane_drain(self):
+        t = Torus((4, 3))
+        f = midplane_drain(t, 0, 2)
+        assert len(f.failed_nodes) == 3
+        assert all(v[0] == 2 for v in f.failed_nodes)
+        with pytest.raises(ValueError):
+            midplane_drain(t, 0, 9)
+
+    def test_random_degradations(self):
+        t = Torus((4, 4))
+        f = random_degradations(t, 2, factor=0.5, seed=1)
+        assert len(f.degraded_links) == 4  # 2 undirected = 4 directed
+        assert set(f.degraded_links.values()) == {0.5}
+        with pytest.raises(ValueError):
+            random_degradations(t, 1, factor=1.5)
+
+
+class TestSurvivingTopology:
+    def test_empty_faults_is_identity(self):
+        t = Torus((4,))
+        assert surviving_topology(t, FaultSet()) is t
+
+    def test_failed_link_removed_both_ways(self):
+        t = Torus((4,))
+        view = surviving_topology(
+            t, FaultSet(failed_links=[((0,), (1,))])
+        )
+        assert (1,) not in {v for v, _ in view.neighbors((0,))}
+        assert (0,) not in {v for v, _ in view.neighbors((1,))}
+        assert (3,) in {v for v, _ in view.neighbors((0,))}
+
+    def test_failed_node_removed(self):
+        t = Torus((4,))
+        view = surviving_topology(t, FaultSet(failed_nodes=[(2,)]))
+        assert view.num_vertices == 3
+        assert not view.contains((2,))
+        assert (2,) not in {v for v, _ in view.neighbors((1,))}
+
+    def test_degraded_links_stay(self):
+        t = Torus((4,))
+        view = surviving_topology(
+            t, FaultSet(degraded_links={((0,), (1,)): 0.5})
+        )
+        assert (1,) in {v for v, _ in view.neighbors((0,))}
+
+    def test_outage_keeps_torus_connected(self):
+        t = Torus((4, 4))
+        view = surviving_topology(t, dimension_outage(t, 0, seed=5))
+        assert is_connected_subset(view, view.vertices())
+
+
+class TestPartitionDisconnectedError:
+    def test_names_endpoints_and_links(self):
+        f = FaultSet(failed_links=[((0,), (1,))])
+        err = PartitionDisconnectedError((0,), (4,), f)
+        msg = str(err)
+        assert "(0,)" in msg and "(4,)" in msg
+        assert "failed links" in msg
+        assert err.src == (0,) and err.dst == (4,)
+        assert err.report is None
+
+    def test_names_nodes_when_no_links(self):
+        f = FaultSet(failed_nodes=[(3,)])
+        err = PartitionDisconnectedError((0,), (3,), f)
+        assert "failed nodes" in str(err)

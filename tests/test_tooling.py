@@ -1,0 +1,26 @@
+"""Repository tooling sanity checks.
+
+Keeps the source tree importable at the bytecode level: every module
+under ``src/`` must byte-compile (the ``python -m compileall src``
+sanity step, run in-process so it is part of tier-1).
+"""
+
+from __future__ import annotations
+
+import compileall
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def test_src_tree_byte_compiles():
+    assert SRC.is_dir()
+    ok = compileall.compile_dir(str(SRC), quiet=2, force=False, workers=1)
+    assert ok, "a module under src/ failed to byte-compile"
+
+
+def test_cli_entry_point_resolves():
+    """The console script named in pyproject actually imports."""
+    from repro.cli import main
+
+    assert callable(main)
