@@ -1,0 +1,232 @@
+"""Performance baseline — sweep executor and hot-path caches.
+
+This harness is the repository's perf anchor: it times the serial and
+parallel (``jobs=4``) evaluation of the design-search and fault-study
+grids, and the cold/warm behaviour of the solver hot paths (geometry
+enumeration memo, cuboid-bound memo, simmpi route cache).  Every run
+appends one record to ``BENCH_perf.json`` at the repository root, so
+successive PRs accumulate a perf trajectory to regress against.
+
+Assertions:
+
+* parallel results are **bit-identical** to serial (always);
+* on multi-core runners the parallel sweep is measurably faster than
+  serial (skipped on single-core boxes, where a process pool cannot
+  beat the loop);
+* warm cache passes are at least as fast as cold passes by a large
+  factor (the memos actually memoize).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perfbaseline.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.caching import cache_stats, clear_all_caches
+from repro.experiments.designsearch import design_search
+from repro.experiments.faultstudy import degraded_bisection_study
+from repro.machines.catalog import JUQUEEN, MIRA
+from repro.simmpi import SendRecv, VirtualMpi
+from repro.topology import Torus
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Worker count the acceptance grid is timed at.
+JOBS = 4
+
+_CORES = os.cpu_count() or 1
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _append_record(record: dict) -> None:
+    history: list[dict] = []
+    if BENCH_FILE.exists():
+        try:
+            history = json.loads(BENCH_FILE.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    BENCH_FILE.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def perf_record():
+    """Collect this run's timings; flush to BENCH_perf.json at the end."""
+    record: dict = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": _CORES,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "jobs": JOBS,
+        "timings": {},
+    }
+    yield record
+    _append_record(record)
+
+
+def test_sweep_grids_parallel_identical_and_timed(perf_record, report):
+    """Serial vs jobs=4 on the designsearch + faultstudy grids."""
+    def designsearch_grid(jobs):
+        return design_search(32, JUQUEEN, jobs=jobs)
+
+    def faultstudy_grid(jobs):
+        return degraded_bisection_study(
+            MIRA, 16, max_failures=6, trials=12, seed=0, jobs=jobs
+        )
+
+    timings = perf_record["timings"]
+    rows = []
+    for name, grid in (
+        ("designsearch", designsearch_grid),
+        ("faultstudy", faultstudy_grid),
+    ):
+        clear_all_caches()
+        serial, t_serial = _timed(lambda: grid(1))
+        clear_all_caches()
+        parallel, t_parallel = _timed(lambda: grid(JOBS))
+
+        if name == "designsearch":
+            # DesignCandidate carries a machine object without __eq__;
+            # compare the value payload.
+            def key(cands):
+                return [
+                    (
+                        c.machine.midplane_dims,
+                        c.bandwidths,
+                        c.dominated_baseline,
+                        c.wins,
+                    )
+                    for c in cands
+                ]
+
+            assert key(parallel) == key(serial)
+        else:
+            assert parallel == serial  # frozen dataclasses: bit-identical
+
+        timings[f"{name}_serial_s"] = round(t_serial, 4)
+        timings[f"{name}_parallel_s"] = round(t_parallel, 4)
+        rows.append(
+            {
+                "grid": name,
+                "serial_s": f"{t_serial:.3f}",
+                f"jobs={JOBS}_s": f"{t_parallel:.3f}",
+                "speedup": f"x{t_serial / max(t_parallel, 1e-9):.2f}",
+                "identical": "yes",
+            }
+        )
+
+    report(render_table(
+        rows,
+        ["grid", "serial_s", f"jobs={JOBS}_s", "speedup", "identical"],
+        title=f"Sweep executor: serial vs jobs={JOBS} "
+        f"({_CORES} core(s) available)",
+    ))
+
+    if _CORES >= 2:
+        total_serial = (
+            timings["designsearch_serial_s"]
+            + timings["faultstudy_serial_s"]
+        )
+        total_parallel = (
+            timings["designsearch_parallel_s"]
+            + timings["faultstudy_parallel_s"]
+        )
+        assert total_parallel < total_serial, (
+            f"jobs={JOBS} ({total_parallel:.3f}s) not faster than serial "
+            f"({total_serial:.3f}s) on a {_CORES}-core runner"
+        )
+
+
+def test_geometry_memo_hot_path(perf_record, report):
+    """Cold vs warm design-search scoring (geometry/bisection memos)."""
+    clear_all_caches()
+    _, t_cold = _timed(lambda: design_search(32, JUQUEEN, jobs=1))
+    _, t_warm = _timed(lambda: design_search(32, JUQUEEN, jobs=1))
+    stats = cache_stats()
+    # The warm pass resolves at the topmost memo (_geometry_extremes)
+    # without re-reaching the enumeration memo below it.
+    extremes = stats["repro.allocation.optimizer._geometry_extremes"]
+
+    perf_record["timings"]["designsearch_cold_s"] = round(t_cold, 4)
+    perf_record["timings"]["designsearch_warm_s"] = round(t_warm, 4)
+    perf_record["timings"]["extremes_memo_hit_rate"] = round(
+        extremes.hit_rate, 4
+    )
+
+    report(render_table(
+        [{
+            "path": "design_search(32, JUQUEEN)",
+            "cold_s": f"{t_cold:.3f}",
+            "warm_s": f"{t_warm:.3f}",
+            "speedup": f"x{t_cold / max(t_warm, 1e-9):.1f}",
+            "memo_hits": extremes.hits,
+            "memo_misses": extremes.misses,
+        }],
+        ["path", "cold_s", "warm_s", "speedup", "memo_hits",
+         "memo_misses"],
+        title="Hot-path memo: cold vs warm geometry scoring",
+    ))
+
+    # The warm pass must actually hit the memos.
+    assert extremes.hits > 0
+    assert t_warm <= t_cold
+
+
+def test_route_cache_reuse_hot_path(perf_record, report):
+    """Second simmpi run on the same engine reuses prebuilt routes."""
+    torus = Torus((8, 8))
+
+    def program(rank, size):
+        yield SendRecv(peer=(rank + size // 2) % size, gb=0.25)
+
+    world = VirtualMpi(torus, link_bandwidth=2.0)
+    first, t_first = _timed(lambda: world.run(program))
+    second, t_second = _timed(lambda: world.run(program))
+    assert first == second
+
+    perf_record["timings"]["simmpi_first_run_s"] = round(t_first, 4)
+    perf_record["timings"]["simmpi_cached_run_s"] = round(t_second, 4)
+
+    report(render_table(
+        [{
+            "workload": "8x8 antipodal SendRecv",
+            "first_s": f"{t_first:.3f}",
+            "cached_s": f"{t_second:.3f}",
+            "speedup": f"x{t_first / max(t_second, 1e-9):.1f}",
+        }],
+        ["workload", "first_s", "cached_s", "speedup"],
+        title="simmpi route cache: first vs subsequent run",
+    ))
+    # Routing is a significant share of the first run; the cached run
+    # must not be slower.
+    assert t_second <= t_first * 1.5
+
+
+def test_trajectory_file_written(perf_record):
+    """BENCH_perf.json exists and is a well-formed trajectory."""
+    # Flush what we have so far without waiting for fixture teardown.
+    _append_record({**perf_record, "partial": True})
+    history = json.loads(BENCH_FILE.read_text())
+    assert isinstance(history, list) and history
+    last = history[-1]
+    assert last["cpu_count"] == _CORES
+    assert "timings" in last
+    # Drop the probe record again: the module fixture writes the final one.
+    BENCH_FILE.write_text(json.dumps(history[:-1], indent=2) + "\n")

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from .._validation import check_positive_int
+from ..caching import memoized
 from ..machines.bgq import BlueGeneQMachine
 from .geometry import PartitionGeometry
 
@@ -58,13 +59,35 @@ def factorizations_into_dims(
     yield from rec(n, max_dims, cap)
 
 
+@memoized()
+def _enumerate_for_dims(
+    machine_dims: tuple[int, ...], num_midplanes: int
+) -> tuple[PartitionGeometry, ...]:
+    # Whether a cuboid fits depends only on the host's midplane dims, so
+    # same-shape machines (e.g. design-search candidates vs the real
+    # JUQUEEN) share one memo entry.
+    machine = BlueGeneQMachine("host", machine_dims)
+    out = []
+    for dims in factorizations_into_dims(
+        num_midplanes, max_dims=4, max_len=machine_dims[0]
+    ):
+        geo = PartitionGeometry(dims)
+        if geo.fits_in(machine):
+            out.append(geo)
+    out.sort(
+        key=lambda g: (-g.normalized_bisection_bandwidth, g.dims)
+    )
+    return tuple(out)
+
+
 def enumerate_geometries(
     machine: BlueGeneQMachine, num_midplanes: int
 ) -> list[PartitionGeometry]:
     """All canonical geometries of *num_midplanes* that fit in *machine*.
 
     Sorted by descending bisection bandwidth (best first), ties broken by
-    dimension tuple for determinism.
+    dimension tuple for determinism.  Memoized per (machine shape, size);
+    the returned list is a fresh copy the caller may reorder freely.
 
     Examples
     --------
@@ -73,30 +96,28 @@ def enumerate_geometries(
     [(2, 2, 1, 1), (4, 1, 1, 1)]
     """
     num_midplanes = check_positive_int(num_midplanes, "num_midplanes")
-    out = []
-    for dims in factorizations_into_dims(
-        num_midplanes, max_dims=4, max_len=machine.midplane_dims[0]
-    ):
-        geo = PartitionGeometry(dims)
-        if geo.fits_in(machine):
-            out.append(geo)
-    out.sort(
-        key=lambda g: (-g.normalized_bisection_bandwidth, g.dims)
-    )
-    return out
+    return list(_enumerate_for_dims(machine.midplane_dims, num_midplanes))
 
 
-def achievable_midplane_counts(machine: BlueGeneQMachine) -> list[int]:
-    """Every midplane count for which some cuboid fits in *machine*.
-
-    These are the sizes appearing on the x-axes of Figures 1, 2 and 7.
-    """
+@memoized()
+def _achievable_for_dims(machine_dims: tuple[int, ...]) -> tuple[int, ...]:
+    machine = BlueGeneQMachine("host", machine_dims)
     counts = set()
-    m = machine.midplane_dims
+    m = machine_dims
     for a in range(1, m[0] + 1):
         for b in range(1, m[1] + 1):
             for c in range(1, m[2] + 1):
                 for d in range(1, m[3] + 1):
                     if PartitionGeometry((a, b, c, d)).fits_in(machine):
                         counts.add(a * b * c * d)
-    return sorted(counts)
+    return tuple(sorted(counts))
+
+
+def achievable_midplane_counts(machine: BlueGeneQMachine) -> list[int]:
+    """Every midplane count for which some cuboid fits in *machine*.
+
+    These are the sizes appearing on the x-axes of Figures 1, 2 and 7.
+    Memoized per machine shape (the design search probes hundreds of
+    candidate shapes, many repeatedly).
+    """
+    return list(_achievable_for_dims(machine.midplane_dims))

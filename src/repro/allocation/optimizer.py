@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .._validation import check_positive_int
+from ..caching import memoized
 from ..machines.bgq import BlueGeneQMachine
 from .enumeration import enumerate_geometries
 from .geometry import PartitionGeometry
@@ -67,6 +68,23 @@ class GeometryComparison:
         return self.proposed_bw > self.current_bw
 
 
+@memoized()
+def _geometry_extremes(
+    machine_dims: tuple[int, ...], num_midplanes: int
+) -> tuple[PartitionGeometry, PartitionGeometry] | None:
+    """(best, worst) fitting geometry for a machine shape, or ``None``.
+
+    Shared across every driver that ranks geometries — the design
+    search alone asks for the same (shape, size) extremes thousands of
+    times while scoring candidate machines.
+    """
+    machine = BlueGeneQMachine("host", machine_dims)
+    geos = enumerate_geometries(machine, num_midplanes)
+    if not geos:
+        return None
+    return geos[0], geos[-1]
+
+
 def best_geometry_for_machine(
     machine: BlueGeneQMachine, num_midplanes: int
 ) -> PartitionGeometry:
@@ -76,13 +94,13 @@ def best_geometry_for_machine(
     optimum the paper proposes switching to.
     """
     check_positive_int(num_midplanes, "num_midplanes")
-    geos = enumerate_geometries(machine, num_midplanes)
-    if not geos:
+    extremes = _geometry_extremes(machine.midplane_dims, num_midplanes)
+    if extremes is None:
         raise ValueError(
             f"no cuboid of {num_midplanes} midplanes fits in "
             f"{machine.name} {machine.midplane_dims}"
         )
-    return geos[0]
+    return extremes[0]
 
 
 def worst_geometry_for_machine(
@@ -90,13 +108,13 @@ def worst_geometry_for_machine(
 ) -> PartitionGeometry:
     """The minimum-bisection geometry of a size that fits *machine*."""
     check_positive_int(num_midplanes, "num_midplanes")
-    geos = enumerate_geometries(machine, num_midplanes)
-    if not geos:
+    extremes = _geometry_extremes(machine.midplane_dims, num_midplanes)
+    if extremes is None:
         raise ValueError(
             f"no cuboid of {num_midplanes} midplanes fits in "
             f"{machine.name} {machine.midplane_dims}"
         )
-    return geos[-1]
+    return extremes[1]
 
 
 def compare_policy_to_optimal(

@@ -19,16 +19,23 @@ resulting run-time distribution is summarized.  Selection rules:
 from __future__ import annotations
 
 import statistics
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from .._validation import check_nonnegative_int, check_positive_int
+from ..parallel import sweep_map
 from .advisor import JobRequest
 from .geometry import PartitionGeometry
 from .policy import AllocationPolicy
 
-__all__ = ["VariabilityReport", "simulate_job_stream", "SELECTION_RULES"]
+__all__ = [
+    "VariabilityReport",
+    "simulate_job_stream",
+    "simulate_job_streams",
+    "SELECTION_RULES",
+]
 
 SELECTION_RULES = ("best", "worst", "random", "first-fit")
 
@@ -125,4 +132,33 @@ def simulate_job_stream(
         selection=selection,
         runtimes=runtimes,
         geometries=tuple(picked),
+    )
+
+
+def _stream_task(
+    task: tuple[AllocationPolicy, JobRequest, int, str, int],
+) -> VariabilityReport:
+    policy, job, num_jobs, selection, seed = task
+    return simulate_job_stream(policy, job, num_jobs, selection, seed=seed)
+
+
+def simulate_job_streams(
+    policy: AllocationPolicy,
+    job: JobRequest,
+    num_jobs: int,
+    selections: Sequence[str] = SELECTION_RULES,
+    seed: int = 0,
+    jobs: int | None = 1,
+) -> list[VariabilityReport]:
+    """One :func:`simulate_job_stream` per selection rule, optionally in
+    parallel.
+
+    Every rule's stream uses the *same* base seed (matching what a
+    serial loop over :func:`simulate_job_stream` would do), so the
+    reports are bit-identical to the serial path regardless of *jobs*.
+    """
+    return sweep_map(
+        _stream_task,
+        [(policy, job, num_jobs, rule, seed) for rule in selections],
+        jobs=jobs,
     )

@@ -1,0 +1,225 @@
+"""Bounded memoization for the allocation/isoperimetry hot paths.
+
+The sweep drivers (:mod:`repro.parallel` and the experiment harnesses)
+evaluate the same per-geometry quantities — bisection bandwidths,
+geometry enumerations, optimal cuboid bounds — thousands of times across
+a grid.  Those evaluations are pure functions of small hashable keys, so
+a shared bounded memo turns the grid's inner loop into dictionary hits.
+
+Design:
+
+* :class:`BoundedMemo` — a plain LRU dictionary with hit/miss counters.
+  Bounded so long-lived processes (servers, large sweeps) cannot grow
+  without limit; the default size comes from ``REPRO_CACHE_SIZE``.
+* :func:`memoized` — decorator storing results in a :class:`BoundedMemo`
+  keyed on the *normalized* arguments produced by an optional ``key``
+  callable (use it to canonicalize, e.g. sort dimension tuples).
+* A module registry so tests and benchmarks can
+  :func:`clear_all_caches` or inspect :func:`cache_stats` globally.
+
+Memoized functions must be pure and must return *immutable* values
+(tuples, frozen dataclasses, :class:`~repro.allocation.geometry.\
+PartitionGeometry`) — results are shared between callers, never copied.
+
+Worker processes spawned by :func:`repro.parallel.sweep_map` each carry
+their own memo (forked copies diverge); determinism is unaffected
+because memoization never changes a value, only how fast it returns.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from functools import wraps
+from typing import Any
+
+__all__ = [
+    "BoundedMemo",
+    "CacheInfo",
+    "memoized",
+    "clear_all_caches",
+    "cache_stats",
+    "default_cache_size",
+]
+
+#: Environment knob for the default per-function memo capacity.
+_SIZE_ENV = "REPRO_CACHE_SIZE"
+_DEFAULT_SIZE = 4096
+
+_registry: dict[str, "BoundedMemo"] = {}
+_registry_lock = threading.Lock()
+
+
+def default_cache_size() -> int:
+    """Memo capacity used when a call site does not pass ``maxsize``.
+
+    Reads ``REPRO_CACHE_SIZE`` (falling back to 4096); invalid or
+    non-positive values fall back to the built-in default so a bad
+    environment can never disable the bound.
+    """
+    raw = os.environ.get(_SIZE_ENV)
+    if raw is None:
+        return _DEFAULT_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return _DEFAULT_SIZE
+    return size if size > 0 else _DEFAULT_SIZE
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of one memo's counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BoundedMemo:
+    """A thread-safe LRU mapping with hit/miss accounting.
+
+    Parameters
+    ----------
+    maxsize:
+        Capacity; the least-recently-used entry is evicted on overflow.
+    name:
+        Registry name (shown by :func:`cache_stats`).
+    """
+
+    def __init__(self, maxsize: int | None = None, name: str = "memo"):
+        if maxsize is None:
+            maxsize = default_cache_size()
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._maxsize = maxsize
+        self._name = name
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value for *key*, computing it on a miss."""
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return self._data[key]
+        # Compute outside the lock: evaluations can be expensive and
+        # recursive (enumerate -> bandwidth); a duplicate computation on
+        # a race is harmless for pure functions.
+        value = compute()
+        with self._lock:
+            self._misses += 1
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                maxsize=self._maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+def _register(memo: BoundedMemo) -> None:
+    with _registry_lock:
+        base = memo.name
+        name = base
+        i = 2
+        while name in _registry:
+            name = f"{base}#{i}"
+            i += 1
+        memo._name = name  # noqa: SLF001 - registry owns naming
+        _registry[name] = memo
+
+
+def memoized(
+    maxsize: int | None = None,
+    key: Callable[..., Hashable] | None = None,
+) -> Callable[[Callable], Callable]:
+    """Memoize a pure function in a registered :class:`BoundedMemo`.
+
+    Parameters
+    ----------
+    maxsize:
+        Memo capacity (default :func:`default_cache_size`).
+    key:
+        Optional key builder called with the function's arguments;
+        defaults to ``(args, tuple(sorted(kwargs.items())))``.  Use it to
+        canonicalize arguments so equivalent calls share one entry.
+
+    The wrapped function gains ``cache`` (the memo), ``cache_info()``
+    and ``cache_clear()`` attributes, mirroring ``functools.lru_cache``.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        memo = BoundedMemo(maxsize, name=f"{fn.__module__}.{fn.__qualname__}")
+        _register(memo)
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if key is not None:
+                k = key(*args, **kwargs)
+            elif kwargs:
+                k = (args, tuple(sorted(kwargs.items())))
+            else:
+                k = args
+            return memo.get_or_compute(k, lambda: fn(*args, **kwargs))
+
+        wrapper.cache = memo  # type: ignore[attr-defined]
+        wrapper.cache_info = memo.info  # type: ignore[attr-defined]
+        wrapper.cache_clear = memo.clear  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def clear_all_caches() -> None:
+    """Empty every registered memo (tests, benchmarks, live reconfigs)."""
+    with _registry_lock:
+        memos = list(_registry.values())
+    for memo in memos:
+        memo.clear()
+
+
+def cache_stats() -> dict[str, CacheInfo]:
+    """Counters of every registered memo, keyed by registry name."""
+    with _registry_lock:
+        memos = dict(_registry)
+    return {name: memo.info() for name, memo in memos.items()}

@@ -17,6 +17,11 @@ Subcommands
 ``faults --machine M --size P --max-failures K``
     Geometry-robustness table: surviving bisection bandwidth of the
     default vs optimal geometry under sampled link failures.
+
+The sweep-shaped subcommands (``pairing --sweep``, ``design-search``,
+``variability``, ``faults``) accept ``--jobs N`` to evaluate their grids
+across N worker processes (0 = auto-detect); results are bit-identical
+to ``--jobs 1`` (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -53,8 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dims", type=int, nargs="+", help="midplane dimensions")
 
     p = sub.add_parser("pairing", help="simulate the pairing benchmark")
-    p.add_argument("dims", type=int, nargs="+", help="midplane dimensions")
+    p.add_argument("dims", type=int, nargs="*", help="midplane dimensions")
     p.add_argument("--rounds", type=int, default=26)
+    p.add_argument(
+        "--sweep", metavar="MACHINE",
+        help="instead of one geometry, sweep the best and worst "
+        "geometries of every achievable size of MACHINE",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --sweep (0 = auto; default: 1)",
+    )
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 8))
@@ -69,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("baseline", help="baseline machine (e.g. juqueen)")
     p.add_argument("--max-midplanes", type=int, default=56)
     p.add_argument("--top", type=int, default=10)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for candidate scoring (0 = auto)",
+    )
 
     p = sub.add_parser(
         "variability",
@@ -76,11 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("machine")
     p.add_argument("size", type=int, help="job size in midplanes")
-    p.add_argument("--jobs", type=int, default=100)
+    p.add_argument("--num-jobs", type=int, default=100,
+                   help="identical jobs per selection rule (default: 100)")
     p.add_argument("--fraction", type=float, default=0.6,
                    help="contention-bound fraction of run time")
     p.add_argument("--runtime", type=float, default=3600.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, one selection rule each (0 = auto)",
+    )
 
     p = sub.add_parser(
         "faults",
@@ -103,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="failure draws per failure count (default: 20)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the trial grid (0 = auto)",
+    )
 
     p = sub.add_parser("advise", help="scheduling advisor for a hinted job")
     p.add_argument("machine")
@@ -198,17 +225,63 @@ def _cmd_geometry(dims: Sequence[int]) -> int:
     return 0
 
 
-def _cmd_pairing(dims: Sequence[int], rounds: int) -> int:
+def _cmd_pairing(
+    dims: Sequence[int], rounds: int, sweep: str | None, jobs: int
+) -> int:
     from .allocation.geometry import PartitionGeometry
     from .experiments.pairing import PairingParameters, run_pairing
 
-    geo = PartitionGeometry(tuple(dims))
     params = PairingParameters(rounds=rounds)
+    if sweep is not None:
+        return _cmd_pairing_sweep(sweep, params, jobs)
+    if not dims:
+        raise ValueError(
+            "pairing needs a geometry (midplane dims) or --sweep MACHINE"
+        )
+    geo = PartitionGeometry(tuple(dims))
     res = run_pairing(geo, params)
     print(f"geometry      : {geo.label()} ({geo.num_nodes} nodes)")
     print(f"pairs         : {res.num_flows}")
     print(f"rate per flow : {res.min_rate:.3f}..{res.max_rate:.3f} GB/s")
     print(f"time          : {res.time_seconds:.2f} s")
+    return 0
+
+
+def _cmd_pairing_sweep(machine_name: str, params, jobs: int) -> int:
+    from .allocation.optimizer import best_worst_table
+    from .analysis.report import render_table
+    from .experiments.pairing import run_pairing_sweep
+    from .machines.catalog import get_machine
+
+    machine = get_machine(machine_name)
+    comparisons = best_worst_table(machine)
+    geometries = []
+    for r in comparisons:
+        geometries.append(r.current)
+        geometries.append(r.proposed)
+    results = run_pairing_sweep(geometries, params, jobs=jobs)
+    rows = []
+    for r, worst_res, best_res in zip(
+        comparisons, results[0::2], results[1::2]
+    ):
+        rows.append(
+            {
+                "midplanes": r.num_midplanes,
+                "worst": r.current.dims,
+                "worst_s": f"{worst_res.time_seconds:.1f}",
+                "best": r.proposed.dims,
+                "best_s": f"{best_res.time_seconds:.1f}",
+                "speedup": (
+                    f"x{worst_res.time_seconds / best_res.time_seconds:.2f}"
+                ),
+            }
+        )
+    print(render_table(
+        rows,
+        ["midplanes", "worst", "worst_s", "best", "best_s", "speedup"],
+        title=f"{machine.name}: pairing benchmark, worst vs best "
+        f"geometry per size",
+    ))
     return 0
 
 
@@ -285,6 +358,7 @@ def _cmd_faults(
     max_failures: int,
     trials: int,
     seed: int,
+    jobs: int,
 ) -> int:
     from .analysis.report import render_table
     from .experiments.faultstudy import (
@@ -309,7 +383,7 @@ def _cmd_faults(
         }
         for r in degraded_bisection_study(
             machine, size, max_failures=max_failures, trials=trials,
-            seed=seed,
+            seed=seed, jobs=jobs,
         )
     ]
     print(render_table(
@@ -325,13 +399,15 @@ def _cmd_faults(
     return 0
 
 
-def _cmd_design_search(baseline: str, max_midplanes: int, top: int) -> int:
+def _cmd_design_search(
+    baseline: str, max_midplanes: int, top: int, jobs: int
+) -> int:
     from .analysis.report import render_table
     from .experiments.designsearch import design_search
     from .machines.catalog import get_machine
 
     machine = get_machine(baseline)
-    search = design_search(max_midplanes, machine)
+    search = design_search(max_midplanes, machine, jobs=jobs)
     rows = [
         {
             "geometry": c.machine.midplane_dims,
@@ -354,14 +430,15 @@ def _cmd_design_search(baseline: str, max_midplanes: int, top: int) -> int:
 def _cmd_variability(
     machine_name: str,
     size: int,
-    jobs: int,
+    num_jobs: int,
     fraction: float,
     runtime: float,
     seed: int,
+    jobs: int,
 ) -> int:
     from .allocation.advisor import JobRequest
     from .allocation.policy import FreeCuboidPolicy
-    from .allocation.variability import SELECTION_RULES, simulate_job_stream
+    from .allocation.variability import SELECTION_RULES, simulate_job_streams
     from .analysis.report import render_table
     from .machines.catalog import get_machine
 
@@ -372,20 +449,23 @@ def _cmd_variability(
         optimal_runtime=runtime,
         contention_fraction=fraction,
     )
-    rows = []
-    for rule in SELECTION_RULES:
-        rep = simulate_job_stream(policy, job, jobs, rule, seed=seed)
-        rows.append({
-            "selection": rule,
+    reports = simulate_job_streams(
+        policy, job, num_jobs, SELECTION_RULES, seed=seed, jobs=jobs
+    )
+    rows = [
+        {
+            "selection": rep.selection,
             "mean_s": rep.mean,
             "stdev_s": rep.stdev,
             "spread": rep.spread,
             "geometries": rep.distinct_geometries,
-        })
+        }
+        for rep in reports
+    ]
     print(render_table(
         rows,
         ["selection", "mean_s", "stdev_s", "spread", "geometries"],
-        title=f"{machine.name}: {jobs} identical {size}-midplane jobs, "
+        title=f"{machine.name}: {num_jobs} identical {size}-midplane jobs, "
         f"contention fraction {fraction}",
     ))
     return 0
@@ -402,7 +482,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "geometry":
             return _cmd_geometry(args.dims)
         if args.command == "pairing":
-            return _cmd_pairing(args.dims, args.rounds)
+            return _cmd_pairing(args.dims, args.rounds, args.sweep,
+                                args.jobs)
         if args.command == "table":
             return _cmd_table(args.number)
         if args.command == "figure":
@@ -410,16 +491,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "faults":
             return _cmd_faults(
                 args.machine, args.size, args.max_failures, args.trials,
-                args.seed,
+                args.seed, args.jobs,
             )
         if args.command == "design-search":
             return _cmd_design_search(
-                args.baseline, args.max_midplanes, args.top
+                args.baseline, args.max_midplanes, args.top, args.jobs
             )
         if args.command == "variability":
             return _cmd_variability(
-                args.machine, args.size, args.jobs, args.fraction,
-                args.runtime, args.seed,
+                args.machine, args.size, args.num_jobs, args.fraction,
+                args.runtime, args.seed, args.jobs,
             )
         if args.command == "advise":
             return _cmd_advise(

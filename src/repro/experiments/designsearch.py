@@ -25,6 +25,7 @@ from .._validation import check_positive_int
 from ..allocation.enumeration import factorizations_into_dims
 from ..allocation.optimizer import best_geometry_for_machine
 from ..machines.bgq import BlueGeneQMachine
+from ..parallel import sweep_map
 
 __all__ = ["DesignCandidate", "score_machine", "design_search"]
 
@@ -72,11 +73,21 @@ def score_machine(
     return out
 
 
+def _score_candidate(
+    task: tuple[tuple[int, ...], tuple[int, ...]],
+) -> dict[int, int]:
+    """Score one candidate machine shape over the given sizes."""
+    dims, sizes = task
+    machine = BlueGeneQMachine(f"candidate-{'x'.join(map(str, dims))}", dims)
+    return score_machine(machine, list(sizes))
+
+
 def design_search(
     max_midplanes: int,
     baseline: BlueGeneQMachine,
     sizes: list[int] | None = None,
     min_midplanes: int = 1,
+    jobs: int | None = 1,
 ) -> list[DesignCandidate]:
     """Enumerate and rank machine geometries against a baseline.
 
@@ -91,6 +102,10 @@ def design_search(
         comparison set — every size the baseline can allocate.
     min_midplanes:
         Lower bound on candidate size (avoid degenerate tiny machines).
+    jobs:
+        Worker processes for candidate scoring (the expensive part —
+        one geometry enumeration per candidate per size); ``1`` scores
+        serially with identical results.
 
     Returns
     -------
@@ -111,38 +126,47 @@ def design_search(
         sizes = achievable_midplane_counts(baseline)
     base_scores = score_machine(baseline, sizes)
 
-    candidates: list[DesignCandidate] = []
+    # Enumerate the candidate shapes up front (deterministic order),
+    # then score them — the expensive part — through the sweep executor.
+    shapes: list[tuple[int, ...]] = []
     seen: set[tuple[int, ...]] = set()
     for total in range(min_midplanes, max_midplanes + 1):
         for dims in factorizations_into_dims(total, 4):
             if dims in seen:
                 continue
             seen.add(dims)
-            machine = BlueGeneQMachine(f"candidate-{'x'.join(map(str, dims))}",
-                                       dims)
-            if machine.midplane_dims == baseline.midplane_dims:
+            if dims == baseline.midplane_dims:
                 continue
-            scores = score_machine(machine, sizes)
-            dominated = all(
-                scores[s] >= bw
-                for s, bw in base_scores.items()
-                if bw > 0 and scores[s] > 0
-            ) and any(
-                scores[s] > 0 for s, bw in base_scores.items() if bw > 0
+            shapes.append(dims)
+    size_key = tuple(sizes)
+    all_scores = sweep_map(
+        _score_candidate, [(dims, size_key) for dims in shapes], jobs=jobs
+    )
+
+    candidates: list[DesignCandidate] = []
+    for dims, scores in zip(shapes, all_scores):
+        machine = BlueGeneQMachine(f"candidate-{'x'.join(map(str, dims))}",
+                                   dims)
+        dominated = all(
+            scores[s] >= bw
+            for s, bw in base_scores.items()
+            if bw > 0 and scores[s] > 0
+        ) and any(
+            scores[s] > 0 for s, bw in base_scores.items() if bw > 0
+        )
+        wins = sum(
+            1
+            for s, bw in base_scores.items()
+            if scores[s] > bw > 0
+        )
+        candidates.append(
+            DesignCandidate(
+                machine=machine,
+                bandwidths=scores,
+                dominated_baseline=dominated,
+                wins=wins,
             )
-            wins = sum(
-                1
-                for s, bw in base_scores.items()
-                if scores[s] > bw > 0
-            )
-            candidates.append(
-                DesignCandidate(
-                    machine=machine,
-                    bandwidths=scores,
-                    dominated_baseline=dominated,
-                    wins=wins,
-                )
-            )
+        )
     candidates.sort(
         key=lambda c: (
             not c.dominated_baseline,

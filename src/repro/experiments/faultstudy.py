@@ -34,6 +34,7 @@ from ..allocation.optimizer import (
 from ..allocation.policy import PredefinedListPolicy, mira_policy
 from ..faults import FaultSet, random_link_failures
 from ..machines.bgq import BlueGeneQMachine
+from ..parallel import sweep_map
 from ..topology.torus import Torus
 
 __all__ = [
@@ -147,12 +148,52 @@ def default_geometry_for_machine(
     return worst_geometry_for_machine(machine, num_midplanes)
 
 
+# Worker-side memo: partition dims -> (node torus, undirected edges).
+# Each worker process rebuilds a geometry's network at most once, no
+# matter how many (k, trial) tasks of the grid it executes.
+_NET_CACHE: dict[
+    tuple[int, ...], tuple[Torus, list[tuple[tuple, tuple]]]
+] = {}
+
+
+def _net_for_dims(dims: tuple[int, ...]) -> tuple[Torus, list]:
+    entry = _NET_CACHE.get(dims)
+    if entry is None:
+        net = PartitionGeometry(dims).network()
+        entry = (net, [(u, v) for u, v, _ in net.edges()])
+        _NET_CACHE[dims] = entry
+    return entry
+
+
+def _paired_trial(
+    task: tuple[tuple[int, ...], tuple[int, ...], int, int],
+) -> tuple[float, float]:
+    """Surviving bisection of (default, optimal) for one failure draw."""
+    default_dims, optimal_dims, k, trial_seed = task
+    default_net, default_edges = _net_for_dims(default_dims)
+    optimal_net, optimal_edges = _net_for_dims(optimal_dims)
+    d_bw = surviving_bisection_bandwidth(
+        default_net,
+        random_link_failures(
+            default_net, k, seed=trial_seed, edges=default_edges
+        ),
+    )
+    o_bw = surviving_bisection_bandwidth(
+        optimal_net,
+        random_link_failures(
+            optimal_net, k, seed=trial_seed, edges=optimal_edges
+        ),
+    )
+    return d_bw, o_bw
+
+
 def degraded_bisection_study(
     machine: BlueGeneQMachine,
     num_midplanes: int,
     max_failures: int = 8,
     trials: int = 20,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[DegradedBisectionRow]:
     """Default-vs-optimal bisection under ``k = 0..max_failures`` failures.
 
@@ -160,41 +201,34 @@ def degraded_bisection_study(
     baseline, whose bandwidths equal the paper's Tables 1–2 values).
     Failure draws are paired: trial ``t`` uses the same seed on both
     geometries, so the stability fraction compares like with like.
+
+    With ``jobs > 1`` the (failure count × trial) grid is evaluated in
+    worker processes (:func:`repro.parallel.sweep_map`); each trial's
+    seed is fixed by its grid position, so the rows are bit-identical
+    to a serial run.
     """
     check_positive_int(num_midplanes, "num_midplanes")
     check_nonnegative_int(max_failures, "max_failures")
     check_positive_int(trials, "trials")
     default = default_geometry_for_machine(machine, num_midplanes)
     optimal = best_geometry_for_machine(machine, num_midplanes)
-    default_net = default.network()
-    optimal_net = optimal.network()
-    default_edges = [(u, v) for u, v, _ in default_net.edges()]
-    optimal_edges = [(u, v) for u, v, _ in optimal_net.edges()]
+
+    counts = [1 if k == 0 else trials for k in range(max_failures + 1)]
+    tasks = [
+        (default.dims, optimal.dims, k, seed + 1000 * k + t)
+        for k, n_trials in enumerate(counts)
+        for t in range(n_trials)
+    ]
+    results = sweep_map(_paired_trial, tasks, jobs=jobs)
 
     rows: list[DegradedBisectionRow] = []
-    for k in range(max_failures + 1):
-        n_trials = 1 if k == 0 else trials
-        d_vals: list[float] = []
-        o_vals: list[float] = []
-        stable = 0
-        for t in range(n_trials):
-            trial_seed = seed + 1000 * k + t
-            d_bw = surviving_bisection_bandwidth(
-                default_net,
-                random_link_failures(
-                    default_net, k, seed=trial_seed, edges=default_edges
-                ),
-            )
-            o_bw = surviving_bisection_bandwidth(
-                optimal_net,
-                random_link_failures(
-                    optimal_net, k, seed=trial_seed, edges=optimal_edges
-                ),
-            )
-            d_vals.append(d_bw)
-            o_vals.append(o_bw)
-            if o_bw >= d_bw:
-                stable += 1
+    offset = 0
+    for k, n_trials in enumerate(counts):
+        pairs = results[offset : offset + n_trials]
+        offset += n_trials
+        d_vals = [d for d, _ in pairs]
+        o_vals = [o for _, o in pairs]
+        stable = sum(1 for d, o in pairs if o >= d)
         rows.append(
             DegradedBisectionRow(
                 failures=k,

@@ -28,6 +28,7 @@ import math
 from collections.abc import Iterator, Sequence
 
 from .._validation import check_dims, check_subset_size
+from ..caching import memoized
 
 __all__ = [
     "cuboid_perimeter",
@@ -202,46 +203,63 @@ def enumerate_cuboid_shapes(
     yield from rec(0, t, ())
 
 
+@memoized()
+def _cuboid_extremes(
+    a: tuple[int, ...], t: int
+) -> tuple[tuple[tuple[int, ...], int], tuple[tuple[int, ...], int]] | None:
+    """((best shape, min per), (worst shape, max per)) or ``None``.
+
+    One exhaustive enumeration serves both bounds; memoized because the
+    isoperimetric profile and the allocation rankings re-evaluate the
+    same (sorted torus, volume) pairs across sweep grids.
+    """
+    best: tuple[tuple[int, ...], int] | None = None
+    worst: tuple[tuple[int, ...], int] | None = None
+    for shape in enumerate_cuboid_shapes(a, t):
+        per = cuboid_perimeter(a, shape)
+        if best is None or per < best[1]:
+            best = (shape, per)
+        if worst is None or per > worst[1]:
+            worst = (shape, per)
+    if best is None or worst is None:
+        return None
+    return best, worst
+
+
 def best_cuboid(dims: Sequence[int], t: int) -> tuple[tuple[int, ...], int]:
     """Minimum-perimeter cuboid of volume *t*: ``(shape, perimeter)``.
 
     This realizes Lemma 3.3's optimum by exhaustive search over all
     cuboid shapes, so it is correct even when the Lemma 3.2 construction
-    does not exist for the given *t*.
+    does not exist for the given *t*.  Memoized per (sorted dims, t).
 
     Raises :class:`ValueError` when no cuboid of volume *t* fits.
     """
     dims = check_dims(dims, "dims")
     a = tuple(sorted(dims, reverse=True))
-    best: tuple[tuple[int, ...], int] | None = None
-    for shape in enumerate_cuboid_shapes(a, t):
-        per = cuboid_perimeter(a, shape)
-        if best is None or per < best[1]:
-            best = (shape, per)
-    if best is None:
+    extremes = _cuboid_extremes(a, check_subset_size(t, math.prod(a)))
+    if extremes is None:
         raise ValueError(
             f"no cuboid of volume {t} fits inside torus {tuple(dims)}"
         )
-    return best
+    return extremes[0]
 
 
 def worst_cuboid(dims: Sequence[int], t: int) -> tuple[tuple[int, ...], int]:
     """Maximum-perimeter cuboid of volume *t*: ``(shape, perimeter)``.
 
     Useful for bounding how *bad* an allocation geometry can get.
+    Memoized per (sorted dims, t), sharing one enumeration with
+    :func:`best_cuboid`.
     """
     dims = check_dims(dims, "dims")
     a = tuple(sorted(dims, reverse=True))
-    worst: tuple[tuple[int, ...], int] | None = None
-    for shape in enumerate_cuboid_shapes(a, t):
-        per = cuboid_perimeter(a, shape)
-        if worst is None or per > worst[1]:
-            worst = (shape, per)
-    if worst is None:
+    extremes = _cuboid_extremes(a, check_subset_size(t, math.prod(a)))
+    if extremes is None:
         raise ValueError(
             f"no cuboid of volume {t} fits inside torus {tuple(dims)}"
         )
-    return worst
+    return extremes[1]
 
 
 def cuboid_profile(dims: Sequence[int]) -> dict[int, int]:

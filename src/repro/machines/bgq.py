@@ -27,6 +27,7 @@ import math
 from collections.abc import Sequence
 
 from .._validation import check_dims
+from ..caching import memoized
 from ..topology.torus import Torus
 
 __all__ = [
@@ -94,13 +95,20 @@ def bgq_bisection_formula(num_nodes: int, longest_dim: int) -> int:
     return 2 * num_nodes // longest_dim
 
 
+@memoized()
+def _bisection_of_node_dims(node_dims: tuple[int, ...]) -> int:
+    return Torus(node_dims).bisection_width()
+
+
 def normalized_bisection_bandwidth(midplane_dims: Sequence[int]) -> int:
     """Normalized internal bisection bandwidth of a midplane cuboid.
 
     Computed from the node-level torus via the perpendicular-cut rule
     (equivalently ``256 · P / A_1`` with ``P`` midplanes and largest
     midplane dimension ``A_1``); each link contributes 1 unit, matching
-    the numbers in the paper's tables and figures.
+    the numbers in the paper's tables and figures.  Memoized: geometry
+    enumeration asks for the same cuboid's bandwidth once per candidate
+    per sort key, and the sweep drivers ask across whole grids.
 
     Examples
     --------
@@ -110,7 +118,7 @@ def normalized_bisection_bandwidth(midplane_dims: Sequence[int]) -> int:
     512
     """
     node_dims = midplane_to_node_dims(midplane_dims)
-    return Torus(node_dims).bisection_width()
+    return _bisection_of_node_dims(node_dims)
 
 
 class BlueGeneQMachine:

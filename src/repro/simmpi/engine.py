@@ -247,12 +247,15 @@ class VirtualMpi:
         reroutes = 0
         degraded_exposure = 0.0
 
-        # Fault state.  The instance route cache is only valid for the
-        # construction-time fault set; runs with mid-run events use a
-        # private cache so the instance stays reusable deterministically.
+        # Fault state.  The instance route cache is valid for the
+        # construction-time fault set, so every run starts from it —
+        # even runs with scheduled mid-run events, whose routes are
+        # unchanged until the first event actually *applies* (at which
+        # point apply_event swaps in a private cache, keeping the
+        # pristine one intact for subsequent runs).
         cur_faults = self._faults0
         net = self._net0
-        cache = self._route_cache if not self._events else {}
+        cache = self._route_cache
         degr_mask = self._degraded_mask(net)
         evt_i = 0
 

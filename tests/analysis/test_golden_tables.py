@@ -1,0 +1,108 @@
+"""Golden-value regression tests for the paper's headline tables.
+
+Tables 1 (Mira) and 2 (JUQUEEN) are the paper's core claim: for each
+improvable partition size, the current geometry, the proposed geometry,
+their bisection bandwidths, and the improvement factor.  The expected
+values live as checked-in JSON fixtures under ``tests/analysis/golden/``
+so that any refactor of the allocation stack (enumeration order,
+memoization, parallel sweeps) that perturbs a single cell fails loudly.
+
+Regenerate the fixtures after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/analysis/test_golden_tables.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import table1, table2
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _snapshot_table1() -> list[dict]:
+    rows = []
+    for row in table1():
+        rows.append(
+            {
+                "nodes": row["nodes"],
+                "midplanes": row["midplanes"],
+                "current": list(row["current"]),
+                "current_bw": row["current_bw"],
+                "proposed": list(row["proposed"]),
+                "proposed_bw": row["proposed_bw"],
+                "improvement": round(
+                    row["proposed_bw"] / row["current_bw"], 6
+                ),
+            }
+        )
+    return rows
+
+
+def _snapshot_table2() -> list[dict]:
+    rows = []
+    for row in table2():
+        rows.append(
+            {
+                "nodes": row["nodes"],
+                "midplanes": row["midplanes"],
+                "worst": list(row["worst"]),
+                "worst_bw": row["worst_bw"],
+                "best": list(row["best"]),
+                "best_bw": row["best_bw"],
+                "improvement": round(row["best_bw"] / row["worst_bw"], 6),
+            }
+        )
+    return rows
+
+
+CASES = [
+    ("mira_table1.json", _snapshot_table1),
+    ("juqueen_table2.json", _snapshot_table2),
+]
+
+
+@pytest.mark.parametrize("filename,snapshot", CASES)
+def test_golden_table(filename, snapshot, update_golden):
+    path = GOLDEN_DIR / filename
+    actual = snapshot()
+    if update_golden:
+        path.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden fixture {path} missing; run with --update-golden to "
+        "create it"
+    )
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        f"{filename} drifted from the golden fixture; if the change is "
+        "intentional, rerun with --update-golden"
+    )
+
+
+class TestGoldenSanity:
+    """The fixtures themselves must encode the paper's headline claims."""
+
+    def test_table1_headline(self):
+        rows = json.loads((GOLDEN_DIR / "mira_table1.json").read_text())
+        assert len(rows) == 4  # 4, 8, 16, 24 midplanes
+        by_size = {r["midplanes"]: r for r in rows}
+        assert by_size[16]["improvement"] == 2.0
+        assert by_size[16]["current_bw"] == 1024
+        assert by_size[16]["proposed_bw"] == 2048
+
+    def test_table2_headline(self):
+        rows = json.loads(
+            (GOLDEN_DIR / "juqueen_table2.json").read_text()
+        )
+        assert rows, "Table 2 golden fixture is empty"
+        for r in rows:
+            assert r["improvement"] > 1.0
+            assert r["best_bw"] == pytest.approx(
+                r["worst_bw"] * r["improvement"], rel=1e-5
+            )

@@ -8,6 +8,22 @@ from repro.allocation.geometry import PartitionGeometry
 from repro.topology import CliqueProduct, Hypercube, Mesh, Torus
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden fixtures under tests/analysis/golden/ "
+        "from the current code instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def small_torus() -> Torus:
     """A small non-cubic torus usable with the brute-force oracle."""

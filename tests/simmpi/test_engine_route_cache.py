@@ -1,0 +1,133 @@
+"""Route-cache reuse in the virtual MPI engine.
+
+The engine prebuilds routes lazily into an instance-level cache that is
+valid for the construction-time fault set.  Scheduling mid-run fault
+events must not discard that cache for the portion of the run *before*
+the first event applies — only an applied event invalidates routes.
+"""
+
+from __future__ import annotations
+
+from repro.faults import FaultEvent, FaultSet
+from repro.simmpi import Recv, Send, SendRecv, VirtualMpi
+from repro.topology import Torus
+
+
+def antipodal(rank, size):
+    yield SendRecv(peer=(rank + size // 2) % size, gb=0.5)
+
+
+def counting_routes(monkeypatch):
+    """Patch the engine's routing entry points to count invocations."""
+    import repro.simmpi.engine as engine_mod
+
+    calls = {"n": 0}
+    real_dor = engine_mod.dimension_ordered_route
+    real_far = engine_mod.fault_aware_route
+
+    def dor(*args, **kwargs):
+        calls["n"] += 1
+        return real_dor(*args, **kwargs)
+
+    def far(*args, **kwargs):
+        calls["n"] += 1
+        return real_far(*args, **kwargs)
+
+    monkeypatch.setattr(engine_mod, "dimension_ordered_route", dor)
+    monkeypatch.setattr(engine_mod, "fault_aware_route", far)
+    return calls
+
+
+class TestPristineCacheReuse:
+    def test_second_run_hits_cache_without_events(self, monkeypatch):
+        world = VirtualMpi(Torus((4, 4)), link_bandwidth=2.0)
+        calls = counting_routes(monkeypatch)
+        world.run(antipodal)
+        first = calls["n"]
+        assert first > 0
+        world.run(antipodal)
+        assert calls["n"] == first  # every route served from the cache
+
+    def test_pre_event_routes_hit_cache_with_scheduled_events(
+        self, monkeypatch
+    ):
+        # A late event (after the 0.5 GB transfers complete at 2 GB/s)
+        # must not stop the run from using the pristine route cache.
+        late = FaultEvent(
+            time=1e6, faults=FaultSet(failed_links=[((0, 0), (0, 1))])
+        )
+        world = VirtualMpi(
+            Torus((4, 4)), link_bandwidth=2.0, fault_events=[late]
+        )
+        calls = counting_routes(monkeypatch)
+        world.run(antipodal)
+        first = calls["n"]
+        assert first > 0
+        # The instance cache was populated during the pre-event phase,
+        # so a rerun of the same instance routes nothing anew.
+        assert len(world._route_cache) > 0
+        world.run(antipodal)
+        assert calls["n"] == first
+
+    def test_event_runs_match_eventless_results_pre_strike(self):
+        # With the event far in the future the result must be identical
+        # to a run with no events at all (cache reuse must not change
+        # semantics).
+        torus = Torus((4, 4))
+        plain = VirtualMpi(torus, link_bandwidth=2.0).run(antipodal)
+        late = FaultEvent(
+            time=1e6, faults=FaultSet(failed_links=[((0, 0), (0, 1))])
+        )
+        evented = VirtualMpi(
+            torus, link_bandwidth=2.0, fault_events=[late]
+        ).run(antipodal)
+        assert evented == plain
+
+    def test_applied_event_invalidates_routes(self, monkeypatch):
+        # Once an event actually strikes, routes must be recomputed —
+        # the pristine cache may not serve post-event paths.
+        ring = Torus((8,))
+
+        def transfer(rank, size):
+            if rank == 0:
+                yield Send(dst=4, gb=8.0)
+            elif rank == 4:
+                yield Recv(src=0)
+
+        event = FaultEvent(
+            time=1.0, faults=FaultSet(failed_links=[((1,), (2,))])
+        )
+        world = VirtualMpi(ring, link_bandwidth=2.0, fault_events=[event])
+        calls = counting_routes(monkeypatch)
+        res = world.run(transfer)
+        assert res.reroutes == 1
+        after_first = calls["n"]
+        # The pristine instance cache still holds only pre-event routes,
+        # so a rerun re-derives the post-event route (deterministically).
+        res2 = world.run(transfer)
+        assert res2 == res
+        assert calls["n"] > after_first
+
+    def test_pristine_cache_not_polluted_by_event_routes(self):
+        ring = Torus((8,))
+
+        def transfer(rank, size):
+            if rank == 0:
+                yield Send(dst=4, gb=8.0)
+            elif rank == 4:
+                yield Recv(src=0)
+
+        event = FaultEvent(
+            time=1.0, faults=FaultSet(failed_links=[((1,), (2,))])
+        )
+        world = VirtualMpi(ring, link_bandwidth=2.0, fault_events=[event])
+        first = world.run(transfer)
+        # The instance cache holds exactly the pre-event (healthy)
+        # route: same links as a fresh healthy engine would derive.
+        healthy = VirtualMpi(ring, link_bandwidth=2.0)
+        healthy.run(transfer)
+        assert set(world._route_cache) == set(healthy._route_cache)
+        for key, path in world._route_cache.items():
+            assert path.tolist() == healthy._route_cache[key].tolist()
+        # And the instance stays deterministically reusable.
+        assert world.run(transfer) == first

@@ -19,14 +19,14 @@ class TestDesignSearchCommand:
 
 class TestVariabilityCommand:
     def test_runs_and_shows_rules(self, capsys):
-        assert main(["variability", "juqueen", "8", "--jobs", "20"]) == 0
+        assert main(["variability", "juqueen", "8", "--num-jobs", "20"]) == 0
         out = capsys.readouterr().out
         for rule in ("best", "worst", "random", "first-fit"):
             assert rule in out
 
     def test_spread_visible_for_improvable_size(self, capsys):
         assert main(
-            ["variability", "juqueen", "8", "--jobs", "50",
+            ["variability", "juqueen", "8", "--num-jobs", "50",
              "--fraction", "1.0"]
         ) == 0
         out = capsys.readouterr().out

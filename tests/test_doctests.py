@@ -24,6 +24,7 @@ import repro.kernels.costmodel
 import repro.kernels.strassen
 import repro.machines.bgq
 import repro.netsim.network
+import repro.parallel
 import repro.topology.clique_product
 import repro.topology.fattree
 import repro.topology.hypercube
@@ -48,6 +49,7 @@ MODULES = [
     repro.allocation.enumeration,
     repro.allocation.variability,
     repro.netsim.network,
+    repro.parallel,
     repro.kernels.strassen,
     repro.kernels.caps,
     repro.kernels.costmodel,

@@ -1,0 +1,122 @@
+"""Unit tests for the deterministic sweep executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import resolve_jobs, split_seeds, sweep_map
+
+
+def square(x):
+    return x * x
+
+
+def failing(x):
+    if x == 3:
+        raise ValueError("task 3 exploded")
+    return x
+
+
+def seeded_sum(task):
+    import numpy as np
+
+    n, seed = task
+    rng = np.random.default_rng(seed)
+    return float(rng.random(n).sum())
+
+
+class TestSweepMap:
+    def test_serial_matches_plain_map(self):
+        items = list(range(17))
+        assert sweep_map(square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(23))
+        serial = sweep_map(square, items, jobs=1)
+        parallel = sweep_map(square, items, jobs=4)
+        assert parallel == serial
+
+    def test_parallel_seeded_results_bit_identical(self):
+        tasks = [(100, s) for s in split_seeds(42, 12)]
+        assert sweep_map(seeded_sum, tasks, jobs=4) == sweep_map(
+            seeded_sum, tasks, jobs=1
+        )
+
+    def test_empty_grid(self):
+        assert sweep_map(square, [], jobs=4) == []
+
+    def test_single_task_stays_serial(self):
+        assert sweep_map(square, [7], jobs=8) == [49]
+
+    def test_task_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="task 3"):
+            sweep_map(failing, range(5), jobs=1)
+
+    def test_task_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="task 3"):
+            sweep_map(failing, range(5), jobs=2)
+
+    def test_explicit_chunksize(self):
+        items = list(range(10))
+        assert sweep_map(square, items, jobs=2, chunksize=3) == [
+            x * x for x in items
+        ]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            sweep_map(square, [1, 2], jobs=-2)
+
+    def test_rejects_bad_chunksize(self):
+        with pytest.raises(ValueError):
+            sweep_map(square, [1, 2], jobs=2, chunksize=0)
+
+    def test_consumes_generators_eagerly(self):
+        gen = (x for x in range(6))
+        assert sweep_map(square, gen, jobs=1) == [x * x for x in range(6)]
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_auto_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_auto_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(0) == 5
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestSplitSeeds:
+    def test_deterministic(self):
+        assert split_seeds(0, 8) == split_seeds(0, 8)
+        assert split_seeds(123, 5) == split_seeds(123, 5)
+
+    def test_distinct_children(self):
+        assert len(set(split_seeds(7, 200))) == 200
+
+    def test_prefix_stability(self):
+        # Spawning is sequential: the first k children do not depend on n.
+        assert split_seeds(9, 10)[:4] == split_seeds(9, 4)
+
+    def test_different_parents_diverge(self):
+        assert split_seeds(0, 4) != split_seeds(1, 4)
+
+    def test_zero_children(self):
+        assert split_seeds(5, 0) == ()
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            split_seeds(-1, 3)
