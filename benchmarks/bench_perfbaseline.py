@@ -219,6 +219,77 @@ def test_route_cache_reuse_hot_path(perf_record, report):
     assert t_second <= t_first * 1.5
 
 
+def test_trace_overhead_on_pairing_hot_path(perf_record, report):
+    """Enabled-tracing overhead on the pairing sweep, vs untraced.
+
+    The observability contract is that disabled-mode instrumentation is
+    a single attribute check (untraced timings here *include* those
+    checks — they are the production hot path), and that even enabled
+    collection stays cheap and bit-identical.
+    """
+    from repro import observability
+    from repro.allocation.geometry import PartitionGeometry
+    from repro.experiments.pairing import (
+        PairingParameters,
+        run_pairing_sweep,
+    )
+
+    geometries = [
+        PartitionGeometry(dims)
+        for dims in [(4, 2, 1, 1), (2, 2, 2, 1), (3, 2, 1, 1),
+                     (4, 1, 1, 1), (2, 2, 1, 1), (8, 1, 1, 1)]
+    ]
+    params = PairingParameters(rounds=4)
+
+    def sweep():
+        return run_pairing_sweep(geometries, params, jobs=1)
+
+    was_enabled = observability.enabled()
+    try:
+        observability.disable()
+        sweep()  # warm the memos so both passes run the same code
+        untraced, t_untraced = _timed(sweep)
+
+        observability.enable()
+        observability.reset()
+        traced, t_traced = _timed(sweep)
+        counters = dict(observability.OBS.counters)
+        span_totals = dict(observability.OBS.span_totals)
+    finally:
+        observability.OBS.enabled = was_enabled
+        observability.reset()
+
+    assert traced == untraced  # collection never changes results
+    # The trace must be non-trivial: the sweep actually got observed.
+    assert counters.get("pairing.runs") == len(geometries)
+    assert span_totals["experiment.pairing.run"][0] == len(geometries)
+
+    overhead_pct = 100.0 * (t_traced - t_untraced) / max(t_untraced, 1e-9)
+    timings = perf_record["timings"]
+    timings["pairing_untraced_s"] = round(t_untraced, 4)
+    timings["pairing_traced_s"] = round(t_traced, 4)
+    timings["trace_overhead_pct"] = round(overhead_pct, 2)
+
+    report(render_table(
+        [{
+            "path": f"pairing sweep x{len(geometries)} (serial)",
+            "untraced_s": f"{t_untraced:.3f}",
+            "traced_s": f"{t_traced:.3f}",
+            "overhead": f"{overhead_pct:+.1f}%",
+            "identical": "yes",
+        }],
+        ["path", "untraced_s", "traced_s", "overhead", "identical"],
+        title="Observability: enabled-tracing overhead on the pairing "
+        "hot path",
+    ))
+
+    # Generous bound — this guards against accidentally expensive
+    # instrumentation (e.g. formatting in the hot loop), not jitter.
+    assert t_traced <= t_untraced * 1.5 + 0.05, (
+        f"tracing overhead {overhead_pct:.1f}% exceeds the 50% guard"
+    )
+
+
 def test_trajectory_file_written(perf_record):
     """BENCH_perf.json exists and is a well-formed trajectory."""
     # Flush what we have so far without waiting for fixture teardown.

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import observability
 from .._validation import check_nonnegative_int, check_positive_int
 from ..parallel import sweep_map
 from .advisor import JobRequest
@@ -157,8 +158,11 @@ def simulate_job_streams(
     serial loop over :func:`simulate_job_stream` would do), so the
     reports are bit-identical to the serial path regardless of *jobs*.
     """
-    return sweep_map(
-        _stream_task,
-        [(policy, job, num_jobs, rule, seed) for rule in selections],
-        jobs=jobs,
-    )
+    with observability.span(
+        "experiment.variability", rules=len(selections)
+    ):
+        return sweep_map(
+            _stream_task,
+            [(policy, job, num_jobs, rule, seed) for rule in selections],
+            jobs=jobs,
+        )

@@ -24,6 +24,10 @@ PartitionGeometry`) — results are shared between callers, never copied.
 Worker processes spawned by :func:`repro.parallel.sweep_map` each carry
 their own memo (forked copies diverge); determinism is unaffected
 because memoization never changes a value, only how fast it returns.
+Worker hit/miss *counters* are shipped back to the parent when a sweep
+completes (see :func:`repro.observability.merge_snapshot` and
+:func:`merge_cache_counts`), so :func:`cache_stats` accounts for
+``jobs > 1`` runs too.
 """
 
 from __future__ import annotations
@@ -42,6 +46,9 @@ __all__ = [
     "memoized",
     "clear_all_caches",
     "cache_stats",
+    "cache_counts",
+    "merge_cache_counts",
+    "reset_cache_counters",
     "default_cache_size",
 ]
 
@@ -139,6 +146,33 @@ class BoundedMemo:
             self._hits = 0
             self._misses = 0
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without touching cached entries.
+
+        Worker processes call this at start (via
+        :func:`repro.observability.reset_worker`) so that counts
+        inherited from a fork are not double-counted when the worker's
+        cumulative snapshot merges back into the parent.
+        """
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    def merge_counts(self, hits: int, misses: int) -> None:
+        """Fold externally observed hit/miss counts into this memo.
+
+        Used by the observability merge path to account for lookups
+        that happened in a worker process's forked copy of the memo.
+        """
+        if hits < 0 or misses < 0:
+            raise ValueError(
+                f"merged counts must be non-negative, got "
+                f"hits={hits}, misses={misses}"
+            )
+        with self._lock:
+            self._hits += hits
+            self._misses += misses
+
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(
@@ -219,7 +253,57 @@ def clear_all_caches() -> None:
 
 
 def cache_stats() -> dict[str, CacheInfo]:
-    """Counters of every registered memo, keyed by registry name."""
+    """Counters of every registered memo, keyed by registry name.
+
+    Counts from ``jobs > 1`` sweeps are included *after* each
+    :func:`repro.parallel.sweep_map` call completes: every worker ships
+    a cumulative snapshot of its forked memos' counters with its task
+    results, and the parent folds the final snapshot per worker back in
+    via :func:`merge_cache_counts`.  **Pre-merge limitation:** while a
+    parallel sweep is still running (or if a worker dies before
+    returning a result), worker-side lookups are invisible here — only
+    the parent process's own hits and misses are counted until the
+    merge happens at sweep completion.
+    """
     with _registry_lock:
         memos = dict(_registry)
     return {name: memo.info() for name, memo in memos.items()}
+
+
+def cache_counts() -> dict[str, tuple[int, int]]:
+    """``{registry name: (hits, misses)}`` for every registered memo.
+
+    The compact form shipped inside worker snapshots; memos with no
+    activity are omitted to keep the pickled payload small.
+    """
+    with _registry_lock:
+        memos = dict(_registry)
+    out: dict[str, tuple[int, int]] = {}
+    for name, memo in memos.items():
+        info = memo.info()
+        if info.hits or info.misses:
+            out[name] = (info.hits, info.misses)
+    return out
+
+
+def merge_cache_counts(counts: dict[str, tuple[int, int]]) -> None:
+    """Fold worker-process hit/miss counts into this process's memos.
+
+    Unknown names are ignored: a worker may have imported (and thereby
+    registered) a memo the parent never did, and its counters have no
+    local memo to land in.
+    """
+    with _registry_lock:
+        memos = dict(_registry)
+    for name, (hits, misses) in counts.items():
+        memo = memos.get(name)
+        if memo is not None:
+            memo.merge_counts(hits, misses)
+
+
+def reset_cache_counters() -> None:
+    """Zero every registered memo's counters, keeping cached entries."""
+    with _registry_lock:
+        memos = list(_registry.values())
+    for memo in memos:
+        memo.reset_counters()

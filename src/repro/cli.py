@@ -18,10 +18,22 @@ Subcommands
     Geometry-robustness table: surviving bisection bandwidth of the
     default vs optimal geometry under sampled link failures.
 
+``trace summarize <path>``
+    Render the spans, counters, and cache stats of a recorded JSONL
+    trace.
+
 The sweep-shaped subcommands (``pairing --sweep``, ``design-search``,
 ``variability``, ``faults``) accept ``--jobs N`` to evaluate their grids
 across N worker processes (0 = auto-detect); results are bit-identical
-to ``--jobs 1`` (see :mod:`repro.parallel`).
+to ``--jobs 1`` (see :mod:`repro.parallel`).  Note the distinction on
+``variability``: ``--num-jobs`` is the *stream length* (identical jobs
+per selection rule) while ``--jobs`` is, as everywhere else, the worker
+process count.
+
+The same sweep subcommands accept ``--trace PATH`` to record a JSONL
+trace of the run (spans, counters, merged worker cache stats; see
+:mod:`repro.observability`), equivalent to setting ``REPRO_TRACE=PATH``
+in the environment.
 """
 
 from __future__ import annotations
@@ -31,6 +43,14 @@ import sys
 from collections.abc import Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSONL observability trace of this run to PATH "
+        "(same as REPRO_TRACE=PATH; inspect with 'trace summarize')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for --sweep (0 = auto; default: 1)",
     )
+    _add_trace_flag(p)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 8))
@@ -87,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for candidate scoring (0 = auto)",
     )
+    _add_trace_flag(p)
 
     p = sub.add_parser(
         "variability",
@@ -104,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes, one selection rule each (0 = auto)",
     )
+    _add_trace_flag(p)
 
     p = sub.add_parser(
         "faults",
@@ -130,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the trial grid (0 = auto)",
     )
+    _add_trace_flag(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a recorded JSONL observability trace",
+    )
+    p.add_argument(
+        "action", choices=["summarize"],
+        help="what to do with the trace file",
+    )
+    p.add_argument("path", help="JSONL trace written by --trace/REPRO_TRACE")
 
     p = sub.add_parser("advise", help="scheduling advisor for a hinted job")
     p.add_argument("machine")
@@ -471,46 +505,130 @@ def _cmd_variability(
     return 0
 
 
+def _cmd_trace(action: str, path: str) -> int:
+    from . import observability
+    from .analysis.report import render_table
+
+    assert action == "summarize"
+    try:
+        summary = observability.summarize_jsonl(path)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+
+    span_rows = [
+        {
+            "span": name,
+            "count": agg["count"],
+            "total_s": f"{agg['total_s']:.4f}",
+            "mean_ms": f"{1000 * agg['mean_s']:.3f}",
+        }
+        for name, agg in sorted(
+            summary["spans"].items(),
+            key=lambda kv: -kv[1]["total_s"],
+        )
+    ]
+    counter_rows = [
+        {"counter": name, "value": f"{value:g}"}
+        for name, value in sorted(summary["counters"].items())
+    ] + [
+        {"counter": f"{name} (gauge)", "value": f"{value:g}"}
+        for name, value in sorted(summary["gauges"].items())
+    ]
+    cache_rows = [
+        {
+            "cache": name,
+            "hits": info["hits"],
+            "misses": info["misses"],
+            "hit_rate": f"{100 * info['hit_rate']:.0f}%",
+            "size": f"{info['size']}/{info['maxsize']}",
+        }
+        for name, info in sorted(summary["caches"].items())
+        if info["hits"] or info["misses"]
+    ]
+    print(render_table(
+        span_rows, ["span", "count", "total_s", "mean_ms"],
+        title=f"Spans ({summary['span_events']} individual events)",
+    ))
+    print()
+    print(render_table(counter_rows, ["counter", "value"],
+                       title="Counters"))
+    print()
+    print(render_table(
+        cache_rows, ["cache", "hits", "misses", "hit_rate", "size"],
+        title="Caches (merged across worker processes)",
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from . import observability
+
+    trace_path = getattr(args, "trace", None) or (
+        observability.env_trace_path()
+    )
+    prior_enabled = observability.enabled()
+    if trace_path and args.command != "trace":
+        observability.enable()
+    try:
+        return _dispatch(args, trace_path, observability)
+    finally:
+        if not prior_enabled and observability.enabled():
+            # --trace enabled collection for this invocation only:
+            # restore the pre-call state so in-process callers (tests)
+            # stay clean, even on error exits.
+            observability.disable()
+            observability.reset()
+
+
+def _dispatch(args, trace_path, observability) -> int:
+    code: int | None = None
     try:
         if args.command == "machines":
-            return _cmd_machines()
-        if args.command == "analyze":
-            return _cmd_analyze(args.machine, args.improvable_only)
-        if args.command == "geometry":
-            return _cmd_geometry(args.dims)
-        if args.command == "pairing":
-            return _cmd_pairing(args.dims, args.rounds, args.sweep,
+            code = _cmd_machines()
+        elif args.command == "analyze":
+            code = _cmd_analyze(args.machine, args.improvable_only)
+        elif args.command == "geometry":
+            code = _cmd_geometry(args.dims)
+        elif args.command == "pairing":
+            code = _cmd_pairing(args.dims, args.rounds, args.sweep,
                                 args.jobs)
-        if args.command == "table":
-            return _cmd_table(args.number)
-        if args.command == "figure":
-            return _cmd_figure(args.number)
-        if args.command == "faults":
-            return _cmd_faults(
+        elif args.command == "table":
+            code = _cmd_table(args.number)
+        elif args.command == "figure":
+            code = _cmd_figure(args.number)
+        elif args.command == "faults":
+            code = _cmd_faults(
                 args.machine, args.size, args.max_failures, args.trials,
                 args.seed, args.jobs,
             )
-        if args.command == "design-search":
-            return _cmd_design_search(
+        elif args.command == "design-search":
+            code = _cmd_design_search(
                 args.baseline, args.max_midplanes, args.top, args.jobs
             )
-        if args.command == "variability":
-            return _cmd_variability(
+        elif args.command == "variability":
+            code = _cmd_variability(
                 args.machine, args.size, args.num_jobs, args.fraction,
                 args.runtime, args.seed, args.jobs,
             )
-        if args.command == "advise":
-            return _cmd_advise(
+        elif args.command == "trace":
+            code = _cmd_trace(args.action, args.path)
+        elif args.command == "advise":
+            code = _cmd_advise(
                 args.machine, args.size, args.available,
                 args.wait, args.runtime, args.fraction,
             )
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError(f"unhandled command {args.command!r}")
+    if code is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    if trace_path and args.command != "trace" and code == 0:
+        n = observability.export_jsonl(trace_path)
+        print(f"trace: {n} records -> {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import observability
 from .._validation import check_positive_int
 from ..allocation.enumeration import factorizations_into_dims
 from ..allocation.optimizer import best_geometry_for_machine
@@ -139,9 +140,14 @@ def design_search(
                 continue
             shapes.append(dims)
     size_key = tuple(sizes)
-    all_scores = sweep_map(
-        _score_candidate, [(dims, size_key) for dims in shapes], jobs=jobs
-    )
+    with observability.span(
+        "experiment.designsearch", candidates=len(shapes)
+    ):
+        all_scores = sweep_map(
+            _score_candidate,
+            [(dims, size_key) for dims in shapes],
+            jobs=jobs,
+        )
 
     candidates: list[DesignCandidate] = []
     for dims, scores in zip(shapes, all_scores):

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import observability
 from .._validation import check_nonnegative_int, check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..allocation.optimizer import (
@@ -219,7 +220,10 @@ def degraded_bisection_study(
         for k, n_trials in enumerate(counts)
         for t in range(n_trials)
     ]
-    results = sweep_map(_paired_trial, tasks, jobs=jobs)
+    with observability.span(
+        "experiment.faultstudy", trials=len(tasks)
+    ):
+        results = sweep_map(_paired_trial, tasks, jobs=jobs)
 
     rows: list[DegradedBisectionRow] = []
     offset = 0

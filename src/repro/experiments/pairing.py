@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..kernels.costmodel import LINK_BANDWIDTH_GB_PER_S
@@ -103,6 +104,7 @@ class PairingResult:
         return self.geometry.num_midplanes
 
 
+@observability.profiled("experiment.pairing.run")
 def run_pairing(
     geometry: PartitionGeometry,
     params: PairingParameters | None = None,
@@ -134,6 +136,10 @@ def run_pairing(
     sim = FluidSimulation(net, paths, [volume] * len(paths))
     makespan, results = sim.run()
     rates = [r.initial_rate for r in results]
+    if observability.OBS.enabled:
+        observability.counter_add("pairing.runs")
+        observability.counter_add("pairing.flows", len(paths))
+        observability.counter_add("pairing.gb", volume * len(paths))
     return PairingResult(
         geometry=geometry,
         time_seconds=makespan,
@@ -165,6 +171,9 @@ def run_pairing_sweep(
     """
     if params is None:
         params = PairingParameters()
-    return sweep_map(
-        _pairing_task, [(g, params) for g in geometries], jobs=jobs
-    )
+    with observability.span(
+        "experiment.pairing.sweep", geometries=len(geometries)
+    ):
+        return sweep_map(
+            _pairing_task, [(g, params) for g in geometries], jobs=jobs
+        )

@@ -19,6 +19,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .. import observability
+
 __all__ = ["max_min_fair_rates"]
 
 _EPS = 1e-12
@@ -88,11 +90,13 @@ def max_min_fair_rates(
 
     cap_rem = capacities.astype(float).copy()
     fill = 0.0
+    rounds_done = 0
     # Guard: each round freezes at least one flow.
     for _round in range(n_flows + 1):
         active_idx = np.flatnonzero(unfrozen)
         if len(active_idx) == 0:
             break
+        rounds_done += 1
         concat = (
             np.concatenate([paths[i] for i in active_idx])
             if len(active_idx)
@@ -119,4 +123,8 @@ def max_min_fair_rates(
                 rates[i] = fill
     if unfrozen.any():  # pragma: no cover - defensive
         rates[unfrozen] = fill
+    if observability.OBS.enabled:
+        observability.counter_add("netsim.fairness.calls")
+        observability.counter_add("netsim.fairness.rounds", rounds_done)
+        observability.counter_add("netsim.fairness.flows", n_flows)
     return rates

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import observability
 from .fairness import max_min_fair_rates
 from .network import LinkNetwork
 
@@ -88,6 +89,16 @@ class FluidSimulation:
         *max_rounds* guards against pathological inputs; it defaults to
         the number of flows (each round finishes at least one flow).
         """
+        if observability.OBS.enabled:
+            with observability.span(
+                "netsim.fluid.run", flows=len(self._paths)
+            ):
+                return self._run(max_rounds)
+        return self._run(max_rounds)
+
+    def _run(
+        self, max_rounds: int | None = None
+    ) -> tuple[float, list[FlowResult]]:
         n = len(self._paths)
         if n == 0:
             return 0.0, []
@@ -96,11 +107,13 @@ class FluidSimulation:
         completion = np.zeros(n, dtype=float)
         initial_rates = np.zeros(n, dtype=float)
         now = 0.0
+        rounds_done = 0
         rounds = max_rounds if max_rounds is not None else n + 1
         for round_no in range(rounds):
             idx = np.flatnonzero(active)
             if len(idx) == 0:
                 break
+            rounds_done += 1
             sub_paths = [self._paths[i] for i in idx]
             sub_demands = (
                 None if self._demands is None else self._demands[idx]
@@ -124,6 +137,13 @@ class FluidSimulation:
             raise RuntimeError(
                 "fluid simulation did not converge within "
                 f"{rounds} rounds ({int(active.sum())} flows unfinished)"
+            )
+        if observability.OBS.enabled:
+            observability.counter_add("netsim.fluid.runs")
+            observability.counter_add("netsim.fluid.rounds", rounds_done)
+            observability.counter_add("netsim.fluid.flows", n)
+            observability.counter_add(
+                "netsim.fluid.gb_delivered", float(self._volumes.sum())
             )
         results = [
             FlowResult(completion_time=float(completion[i]),

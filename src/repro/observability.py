@@ -1,0 +1,497 @@
+"""Lightweight tracing, metrics, and profiling hooks — zero dependencies.
+
+The paper's arguments are about *where time goes*: link contention vs.
+compute vs. scheduling.  This module gives every layer of the simulator
+a way to say so — nested spans with monotonic timings, named counters
+and gauges (bytes moved per link class, route-cache hits, fairness
+solver iterations, fault reroutes), and a JSONL exporter — while costing
+essentially nothing when disabled.
+
+Design rules
+------------
+* **One attribute check when off.**  Hot paths guard with
+  ``if OBS.enabled:`` (or call a function that does); nothing else runs
+  in disabled mode.  :func:`profiled` wraps a function the same way, so
+  decorating a hot function adds a single boolean test per call.
+* **Collection never changes results.**  Spans and counters observe;
+  they do not participate.  A traced run is bit-identical to an
+  untraced one (property-tested in
+  ``tests/properties/test_property_parallel.py``).
+* **Worker metrics merge into the parent.**  Worker processes spawned
+  by :func:`repro.parallel.sweep_map` accumulate their own counters,
+  span totals, and memo hit/miss counts; each task result carries a
+  cumulative :class:`TraceSnapshot` and the parent folds the final
+  snapshot of every worker back in — so :func:`repro.caching.\
+    cache_stats` finally reflects ``jobs > 1`` runs.
+* **Bounded memory.**  Individual span *events* are capped at
+  :data:`MAX_EVENTS`; aggregate per-name totals keep counting past the
+  cap, so summaries stay exact on arbitrarily long runs.
+
+Naming conventions (see ``docs/observability.md`` for the full list):
+dot-separated, ``<layer>.<thing>[.<detail>]`` — e.g. ``simmpi.run``,
+``simmpi.route_cache.hits``, ``netsim.fairness.rounds``,
+``parallel.sweep``, ``experiment.pairing.run``.
+
+Enabling
+--------
+* programmatically: :func:`enable` / :func:`disable`;
+* environment: ``REPRO_TRACE=1`` (collect in memory) or
+  ``REPRO_TRACE=/path/trace.jsonl`` (collect *and* name a default
+  export path, honoured by the CLI and the test-session hook);
+* CLI: ``--trace PATH`` on the sweep-shaped subcommands, and
+  ``repro trace summarize PATH`` to render a recorded trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import wraps
+from typing import Any
+
+__all__ = [
+    "OBS",
+    "MAX_EVENTS",
+    "TraceSnapshot",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "configure_from_env",
+    "env_trace_path",
+    "span",
+    "profiled",
+    "counter_add",
+    "gauge_set",
+    "worker_snapshot",
+    "merge_snapshot",
+    "reset_worker",
+    "export_jsonl",
+    "summarize_jsonl",
+]
+
+#: Environment knob.  Falsey values leave tracing off; ``1``/``true``/
+#: ``yes``/``on`` enable in-memory collection; anything else enables
+#: collection *and* is taken as the default JSONL export path.
+_ENV = "REPRO_TRACE"
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Cap on retained span events (aggregate totals keep counting past it).
+MAX_EVENTS = 100_000
+
+
+class _State:
+    """Process-wide trace collector.
+
+    ``enabled`` is *the* hot-path gate: every instrumentation site reads
+    this one attribute and does nothing else when it is False.  The rest
+    of the state is only touched while tracing is on.
+    """
+
+    __slots__ = (
+        "enabled",
+        "events",
+        "dropped_events",
+        "stack",
+        "span_totals",
+        "counters",
+        "gauges",
+        "origin",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.origin = "parent"
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop collected metrics; the enabled flag is left alone."""
+        self.events: list[tuple] = []
+        self.dropped_events = 0
+        self.stack: list[str] = []
+        self.span_totals: dict[str, list] = {}  # name -> [count, total_s]
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+
+#: The process-wide collector.  Hot paths read ``OBS.enabled`` directly.
+OBS = _State()
+
+#: Monotone stamp for worker snapshots: within one process, a later
+#: snapshot always carries a larger seq, so the parent can keep the
+#: final (cumulative) snapshot per worker pid.
+_seq = itertools.count(1)
+
+
+# --------------------------------------------------------------------- #
+# Enable / disable / environment
+
+
+def enabled() -> bool:
+    """Whether tracing is collecting (the hot-path fast check)."""
+    return OBS.enabled
+
+
+def enable() -> None:
+    """Start collecting spans, counters, and gauges in this process."""
+    OBS.enabled = True
+
+
+def disable() -> None:
+    """Stop collecting.  Already-collected metrics are kept."""
+    OBS.enabled = False
+
+
+def reset() -> None:
+    """Drop all collected metrics (keeps the enabled flag)."""
+    OBS.reset()
+
+
+def env_trace_path() -> str | None:
+    """The default JSONL export path named by ``REPRO_TRACE``, if any.
+
+    ``REPRO_TRACE=1`` (and friends) enable collection without naming a
+    path; any other truthy value is interpreted as a file path.
+    """
+    raw = os.environ.get(_ENV)
+    if raw is None:
+        return None
+    val = raw.strip()
+    if val.lower() in _FALSEY or val.lower() in _TRUTHY:
+        return None
+    return val
+
+
+def configure_from_env() -> bool:
+    """Sync the enabled flag with ``REPRO_TRACE``; returns the flag.
+
+    Called at import time so fresh processes (CLI runs, spawned
+    workers) honour the environment automatically; call it again after
+    changing the environment mid-process (tests do).
+    """
+    raw = os.environ.get(_ENV)
+    if raw is None or raw.strip().lower() in _FALSEY:
+        OBS.enabled = False
+    else:
+        OBS.enabled = True
+    return OBS.enabled
+
+
+# --------------------------------------------------------------------- #
+# Spans, counters, gauges
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Record a nested, monotonic-clock timed span around a block.
+
+    Nesting is tracked with an explicit stack: a span opened while
+    another is active records that span as its parent.  Attributes are
+    small JSON-serializable values attached to the span event.
+    """
+    if not OBS.enabled:
+        yield
+        return
+    parent = OBS.stack[-1] if OBS.stack else None
+    OBS.stack.append(name)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dur = time.perf_counter() - t0
+        OBS.stack.pop()
+        tot = OBS.span_totals.get(name)
+        if tot is None:
+            OBS.span_totals[name] = [1, dur]
+        else:
+            tot[0] += 1
+            tot[1] += dur
+        if len(OBS.events) < MAX_EVENTS:
+            OBS.events.append(
+                (name, parent, len(OBS.stack), t0, dur, attrs or None)
+            )
+        else:
+            OBS.dropped_events += 1
+
+
+def profiled(
+    name: str | None = None,
+) -> Callable[[Callable], Callable]:
+    """Decorator: run the function under a :func:`span`.
+
+    With tracing disabled the wrapper is a single attribute check plus
+    the call — safe on hot paths.  *name* defaults to
+    ``<module-tail>.<qualname>``.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or (
+            f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__qualname__}"
+        )
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            with span(span_name):
+                return fn(*args, **kwargs)
+
+        wrapper.span_name = span_name  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    """Add *value* to the named counter (no-op while disabled)."""
+    if OBS.enabled:
+        counters = OBS.counters
+        counters[name] = counters.get(name, 0.0) + value
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set the named gauge to *value* (no-op while disabled)."""
+    if OBS.enabled:
+        OBS.gauges[name] = float(value)
+
+
+# --------------------------------------------------------------------- #
+# Worker-process snapshots (the sweep_map merge path)
+
+
+@dataclass(frozen=True)
+class TraceSnapshot:
+    """Cumulative, picklable view of one process's metrics.
+
+    Counters, gauges, and span totals are only non-empty when tracing
+    is enabled in the worker; ``cache_counts`` is *always* populated so
+    memo hit/miss accounting survives ``jobs > 1`` sweeps regardless of
+    tracing.  Snapshots are cumulative: within one pid, the snapshot
+    with the largest ``seq`` supersedes all earlier ones.
+    """
+
+    pid: int
+    seq: int
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    span_totals: dict[str, tuple[int, float]]
+    cache_counts: dict[str, tuple[int, int]]
+
+
+def worker_snapshot() -> TraceSnapshot:
+    """This process's cumulative metrics, for shipping to a parent."""
+    from .caching import cache_counts
+
+    return TraceSnapshot(
+        pid=os.getpid(),
+        seq=next(_seq),
+        counters=dict(OBS.counters),
+        gauges=dict(OBS.gauges),
+        span_totals={
+            k: (v[0], v[1]) for k, v in OBS.span_totals.items()
+        },
+        cache_counts=cache_counts(),
+    )
+
+
+def merge_snapshot(snap: TraceSnapshot) -> None:
+    """Fold a worker's final snapshot into this process.
+
+    Memo hit/miss counts always merge (into the registered memos of
+    :mod:`repro.caching`); counters and span totals additionally merge
+    into the trace state when tracing is enabled here.  Gauges merge by
+    maximum — they are high-water marks across processes.
+    """
+    from .caching import merge_cache_counts
+
+    merge_cache_counts(snap.cache_counts)
+    if not OBS.enabled:
+        return
+    counters = OBS.counters
+    for k, v in snap.counters.items():
+        counters[k] = counters.get(k, 0.0) + v
+    gauges = OBS.gauges
+    for k, v in snap.gauges.items():
+        cur = gauges.get(k)
+        gauges[k] = v if cur is None else max(cur, v)
+    for k, (count, total) in snap.span_totals.items():
+        tot = OBS.span_totals.get(k)
+        if tot is None:
+            OBS.span_totals[k] = [count, total]
+        else:
+            tot[0] += count
+            tot[1] += total
+
+
+def reset_worker() -> None:
+    """Zero this process's metrics at worker start.
+
+    Used as the process-pool initializer: fork-started workers inherit
+    the parent's accumulated counters and memo hit/miss counts, which
+    would double-count when the worker's cumulative snapshot merges
+    back.  Memo *contents* are kept — inherited cache entries are real
+    hits.
+    """
+    from .caching import reset_cache_counters
+
+    OBS.reset()
+    OBS.origin = "worker"
+    reset_cache_counters()
+
+
+# --------------------------------------------------------------------- #
+# JSONL export / summary
+
+
+def export_jsonl(path: str | os.PathLike) -> int:
+    """Write the collected trace as JSON Lines; returns the record count.
+
+    Record types (one JSON object per line, ``"type"`` discriminated):
+
+    - ``meta`` — schema version, pid, event accounting;
+    - ``span_total`` — per-name aggregate: ``count``, ``total_s``
+      (includes merged worker totals);
+    - ``counter`` / ``gauge`` — named values (merged);
+    - ``cache`` — one per registered memo: ``hits``, ``misses``,
+      ``size``, ``maxsize`` (merged via :func:`merge_snapshot`);
+    - ``span`` — individual events: ``name``, ``parent``, ``depth``,
+      ``t0`` (monotonic, process-relative), ``dur`` seconds, optional
+      ``attrs``.
+    """
+    from .caching import cache_stats
+
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "version": 1,
+            "pid": os.getpid(),
+            "origin": OBS.origin,
+            "enabled": OBS.enabled,
+            "events": len(OBS.events),
+            "dropped_events": OBS.dropped_events,
+            "timestamp": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+    ]
+    for name, (count, total) in sorted(OBS.span_totals.items()):
+        records.append(
+            {
+                "type": "span_total",
+                "name": name,
+                "count": count,
+                "total_s": total,
+            }
+        )
+    for name, value in sorted(OBS.counters.items()):
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in sorted(OBS.gauges.items()):
+        records.append({"type": "gauge", "name": name, "value": value})
+    for name, info in sorted(cache_stats().items()):
+        records.append(
+            {
+                "type": "cache",
+                "name": name,
+                "hits": info.hits,
+                "misses": info.misses,
+                "size": info.size,
+                "maxsize": info.maxsize,
+            }
+        )
+    for name, parent, depth, t0, dur, attrs in OBS.events:
+        rec: dict = {
+            "type": "span",
+            "name": name,
+            "parent": parent,
+            "depth": depth,
+            "t0": t0,
+            "dur": dur,
+        }
+        if attrs:
+            rec["attrs"] = attrs
+        records.append(rec)
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+    return len(records)
+
+
+def summarize_jsonl(path: str | os.PathLike) -> dict:
+    """Aggregate a JSONL trace file for display.
+
+    Returns a dict with keys ``meta`` (the first meta record or None),
+    ``spans`` (name -> {count, total_s, mean_s}), ``counters``,
+    ``gauges`` (name -> value), ``caches`` (name -> {hits, misses,
+    size, maxsize, hit_rate}), and ``span_events`` (number of
+    individual span records).  Raises :class:`ValueError` on a file
+    with no recognizable trace records.
+    """
+    meta: dict | None = None
+    spans: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    caches: dict[str, dict] = {}
+    span_events = 0
+    recognized = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} is not valid JSON: {exc}"
+                ) from None
+            kind = rec.get("type")
+            if kind == "meta" and meta is None:
+                meta = rec
+            elif kind == "span_total":
+                count = int(rec["count"])
+                total = float(rec["total_s"])
+                spans[rec["name"]] = {
+                    "count": count,
+                    "total_s": total,
+                    "mean_s": total / count if count else 0.0,
+                }
+            elif kind == "counter":
+                counters[rec["name"]] = (
+                    counters.get(rec["name"], 0.0) + float(rec["value"])
+                )
+            elif kind == "gauge":
+                gauges[rec["name"]] = float(rec["value"])
+            elif kind == "cache":
+                hits, misses = int(rec["hits"]), int(rec["misses"])
+                total = hits + misses
+                caches[rec["name"]] = {
+                    "hits": hits,
+                    "misses": misses,
+                    "size": int(rec["size"]),
+                    "maxsize": int(rec["maxsize"]),
+                    "hit_rate": hits / total if total else 0.0,
+                }
+            elif kind == "span":
+                span_events += 1
+            else:
+                continue
+            recognized += 1
+    if recognized == 0:
+        raise ValueError(f"{path}: no trace records found")
+    return {
+        "meta": meta,
+        "spans": spans,
+        "counters": counters,
+        "gauges": gauges,
+        "caches": caches,
+        "span_events": span_events,
+    }
+
+
+configure_from_env()

@@ -25,11 +25,13 @@ scope for exactly this reason.
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Callable, Iterable, Sequence
 from typing import Any, TypeVar
 
 import numpy as np
 
+from . import observability
 from ._validation import check_nonnegative_int, check_positive_int
 
 __all__ = ["sweep_map", "split_seeds", "resolve_jobs"]
@@ -47,16 +49,29 @@ def resolve_jobs(jobs: int | None) -> int:
     ``None`` or ``0`` means "auto": the ``REPRO_JOBS`` environment
     variable if set and valid, else the machine's CPU count.  Anything
     else must be a positive integer and is returned unchanged.
+
+    An invalid ``REPRO_JOBS`` (negative, zero, empty, or non-numeric)
+    is not silently swallowed: a :class:`RuntimeWarning` names the bad
+    value before the explicit fall back to the CPU count.
     """
     if jobs is None or jobs == 0:
         raw = os.environ.get(_JOBS_ENV)
         if raw is not None:
             try:
-                val = int(raw)
+                val: int | None = int(raw)
             except ValueError:
-                val = 0
-            if val >= 1:
+                val = None
+            if val is not None and val >= 1:
                 return val
+            fallback = os.cpu_count() or 1
+            warnings.warn(
+                f"ignoring invalid {_JOBS_ENV}={raw!r} (expected a "
+                f"positive integer); falling back to the CPU count "
+                f"({fallback})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return fallback
         return os.cpu_count() or 1
     return check_positive_int(jobs, "jobs")
 
@@ -84,6 +99,41 @@ def split_seeds(seed: int, n: int) -> tuple[int, ...]:
 
 def _serial_map(fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
     return [fn(t) for t in tasks]
+
+
+class _SnapshottingTask:
+    """Task wrapper: every result carries the worker's metric snapshot.
+
+    Snapshots are cumulative per worker process (counters, span totals,
+    memo hit/miss counts); the parent keeps only the final snapshot of
+    each worker pid and merges it once, so per-task payloads stay tiny
+    and nothing is double-counted.  Picklable as long as the wrapped
+    function is a module-level callable — the same constraint
+    :func:`sweep_map` already imposes.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]):
+        self._fn = fn
+
+    def __call__(
+        self, task: _T
+    ) -> tuple[_R, observability.TraceSnapshot]:
+        return self._fn(task), observability.worker_snapshot()
+
+
+def _merge_worker_snapshots(
+    snapshots: Iterable[observability.TraceSnapshot],
+) -> None:
+    """Merge the final (highest-seq) snapshot of every worker pid."""
+    final: dict[int, observability.TraceSnapshot] = {}
+    for snap in snapshots:
+        cur = final.get(snap.pid)
+        if cur is None or snap.seq > cur.seq:
+            final[snap.pid] = snap
+    for snap in final.values():
+        observability.merge_snapshot(snap)
 
 
 def sweep_map(
@@ -121,6 +171,14 @@ def sweep_map(
     Pool *creation* failures (platforms without process support) degrade
     to the serial path.  Exceptions raised by *fn* itself always
     propagate — a failing task is a bug, not a reason to fall back.
+
+    Each parallel task result additionally carries the worker's
+    cumulative metric snapshot (:mod:`repro.observability`); the final
+    snapshot per worker is merged into this process at sweep
+    completion, so memo hit/miss accounting
+    (:func:`repro.caching.cache_stats`) and — when tracing is enabled —
+    counters and span totals reflect worker-side activity.  The merge
+    never changes results.
     """
     task_list = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -135,12 +193,30 @@ def sweep_map(
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        executor = ProcessPoolExecutor(max_workers=workers)
+        # The initializer zeroes fork-inherited counters so each
+        # worker's cumulative snapshot is a clean delta (see
+        # observability.reset_worker).
+        executor = ProcessPoolExecutor(
+            max_workers=workers, initializer=observability.reset_worker
+        )
     except (ImportError, NotImplementedError, OSError, PermissionError):
         # No usable process pool on this platform/sandbox: the sweep
         # still completes, just serially.
         return _serial_map(fn, task_list)
     try:
-        return list(executor.map(fn, task_list, chunksize=chunksize))
+        with observability.span(
+            "parallel.sweep", tasks=len(task_list), workers=workers
+        ):
+            pairs = list(
+                executor.map(
+                    _SnapshottingTask(fn), task_list, chunksize=chunksize
+                )
+            )
     finally:
         executor.shutdown()
+    _merge_worker_snapshots(snap for _, snap in pairs)
+    if observability.OBS.enabled:
+        observability.counter_add("parallel.sweeps")
+        observability.counter_add("parallel.tasks", len(task_list))
+        observability.gauge_set("parallel.workers", workers)
+    return [result for result, _ in pairs]

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..faults import FaultEvent, FaultReport, FaultSet, PartitionDisconnectedError
 from ..netsim.fairness import max_min_fair_rates
@@ -215,11 +216,40 @@ class VirtualMpi:
             else self._base_net
         )
         self._route_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._link_dims: np.ndarray | None = None
 
     @property
     def size(self) -> int:
         """Number of ranks in the world."""
         return len(self._rank_node)
+
+    def _link_dim_array(self) -> np.ndarray:
+        """Dimension index of every directed link ("link class").
+
+        Built lazily on the first traced flow; only used while tracing
+        is enabled, to attribute moved bytes per torus dimension.
+        """
+        if self._link_dims is None:
+            net = self._base_net
+            dims = np.empty(net.num_links, dtype=np.int64)
+            for i in range(net.num_links):
+                u, v = net.link_endpoints(i)
+                dims[i] = next(
+                    k for k in range(len(u)) if u[k] != v[k]
+                )
+            self._link_dims = dims
+        return self._link_dims
+
+    def _record_flow_trace(self, path: np.ndarray, gb: float) -> None:
+        """Traced-mode accounting of one started flow (bytes per class)."""
+        observability.counter_add("simmpi.flows")
+        observability.counter_add("simmpi.gb_routed", gb)
+        per_dim = np.bincount(self._link_dim_array()[path]) * gb
+        for d, gb_hops in enumerate(per_dim):
+            if gb_hops:
+                observability.counter_add(
+                    f"simmpi.gb_hops.dim{d}", float(gb_hops)
+                )
 
     def _degraded_mask(self, net: LinkNetwork) -> np.ndarray | None:
         """Bool mask of links at reduced but non-zero capacity, or None."""
@@ -234,7 +264,14 @@ class VirtualMpi:
 
     def run(self, program: Program) -> RunResult:
         """Execute *program* on every rank; return the virtual-time result."""
+        if observability.OBS.enabled:
+            with observability.span("simmpi.run", ranks=self.size):
+                return self._run(program)
+        return self._run(program)
+
+    def _run(self, program: Program) -> RunResult:
         size = self.size
+        obs = observability.OBS
         gens = [program(r, size) for r in range(size)]
 
         READY, BLOCKED, DONE = 0, 1, 2
@@ -263,6 +300,8 @@ class VirtualMpi:
             key = (src_node, dst_node)
             path = cache.get(key)
             if path is None:
+                if obs.enabled:
+                    observability.counter_add("simmpi.route_cache.misses")
                 if cur_faults:
                     verts = fault_aware_route(
                         self._torus,
@@ -280,6 +319,8 @@ class VirtualMpi:
                     )
                 path = net.path_to_links(verts)
                 cache[key] = path
+            elif obs.enabled:
+                observability.counter_add("simmpi.route_cache.hits")
             return path
 
         computing: dict[int, float] = {}          # rank -> finish time
@@ -313,6 +354,8 @@ class VirtualMpi:
                 if group.outstanding == 0:
                     wake(group)
                 return
+            if obs.enabled:
+                self._record_flow_trace(path, gb)
             flows.append(
                 _Flow(
                     path=path,
@@ -333,6 +376,8 @@ class VirtualMpi:
         def apply_event(ev: FaultEvent) -> None:
             """Merge *ev* into the live fault state and reroute flows."""
             nonlocal cur_faults, net, cache, degr_mask, reroutes
+            if obs.enabled:
+                observability.counter_add("simmpi.fault_events")
             cur_faults = cur_faults | ev.faults
             net = self._base_net.with_faults(cur_faults)
             cache = {}
@@ -564,6 +609,15 @@ class VirtualMpi:
                 apply_event(self._events[evt_i])
                 evt_i += 1
 
+        if obs.enabled:
+            observability.counter_add("simmpi.runs")
+            observability.counter_add("simmpi.gb_sent", sum(gb_sent))
+            observability.counter_add("simmpi.messages", sum(msgs))
+            observability.counter_add("simmpi.loop_events", guard)
+            if reroutes:
+                observability.counter_add(
+                    "simmpi.fault_reroutes", reroutes
+                )
         return RunResult(
             time=max(finish, default=0.0),
             ranks=tuple(

@@ -24,6 +24,22 @@ def update_golden(request: pytest.FixtureRequest) -> bool:
     return bool(request.config.getoption("--update-golden"))
 
 
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Export the session's observability trace when one was requested.
+
+    Running the suite with ``REPRO_TRACE=/path/to/trace.jsonl`` collects
+    spans/counters across every test in this process and writes them out
+    here (the traced CI leg uploads the file as an artifact).  A bare
+    truthy value (``REPRO_TRACE=1``) enables collection without export.
+    """
+    from repro import observability
+
+    path = observability.env_trace_path()
+    if path and observability.enabled():
+        n = observability.export_jsonl(path)
+        print(f"\nrepro trace: {n} records -> {path}")
+
+
 @pytest.fixture
 def small_torus() -> Torus:
     """A small non-cubic torus usable with the brute-force oracle."""

@@ -116,6 +116,42 @@ class TestSweepDeterminism:
         assert parallel == serial
 
     @pytest.mark.parametrize("seed", SEEDS)
+    def test_traced_parallel_sweep_bit_identical(self, monkeypatch, seed):
+        """Tracing must be invisible in the results: a ``jobs=4`` sweep
+        under ``REPRO_TRACE=1`` is bit-identical to the untraced serial
+        run — while actually collecting spans and counters."""
+        from repro import observability
+
+        grid = _random_grid(seed, 6)
+        geometries = [PartitionGeometry(dims) for dims, _ in grid]
+        params = PairingParameters(rounds=2)
+        serial_untraced = run_pairing_sweep(geometries, params, jobs=1)
+
+        s = observability.OBS
+        saved = (
+            s.enabled, s.events, s.dropped_events, s.stack,
+            s.span_totals, s.counters, s.gauges, s.origin,
+        )
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        try:
+            assert observability.configure_from_env() is True
+            observability.reset()
+            parallel_traced = run_pairing_sweep(geometries, params, jobs=4)
+            counters = dict(s.counters)
+            span_totals = dict(s.span_totals)
+        finally:
+            (
+                s.enabled, s.events, s.dropped_events, s.stack,
+                s.span_totals, s.counters, s.gauges, s.origin,
+            ) = saved
+        assert parallel_traced == serial_untraced
+        # The trace itself must be non-trivial (worker metrics merged).
+        assert counters.get("pairing.runs") == len(geometries)
+        assert counters.get("netsim.fluid.runs", 0) > 0
+        assert "experiment.pairing.sweep" in span_totals
+        assert "experiment.pairing.run" in span_totals
+
+    @pytest.mark.parametrize("seed", SEEDS)
     def test_variability_streams_bit_identical(self, seed):
         job = JobRequest(8, 3600.0, 0.5)
         policy = juqueen_policy()

@@ -134,6 +134,52 @@ class TestRegistry:
         assert cold == warm == 256 * 24 // 4
 
 
+@memoized(maxsize=64)
+def _expensive_identity(x):
+    return x
+
+
+def _memo_task(x):
+    # Repeating keys (x % 3) guarantee hits inside each worker process.
+    return _expensive_identity(x % 3)
+
+
+class TestWorkerStatsMerge:
+    def test_jobs2_sweep_counts_visible_in_cache_stats(self):
+        """Regression: cache_stats() was all-zero after a jobs>1 sweep.
+
+        Worker-side hit/miss counters must merge back into the parent
+        registry once the sweep completes, so ``hits + misses`` equals
+        the number of memoized lookups regardless of where they ran.
+        """
+        from repro.parallel import sweep_map
+
+        _expensive_identity.cache_clear()
+        n_tasks = 12
+        results = sweep_map(_memo_task, list(range(n_tasks)), jobs=2)
+        assert results == [x % 3 for x in range(n_tasks)]
+        info = cache_stats()[_expensive_identity.cache.name]
+        assert info.hits + info.misses == n_tasks
+        assert info.hits > 0
+
+    def test_merge_and_reset_counters(self):
+        memo = BoundedMemo(maxsize=4, name="merge-t")
+        memo.get_or_compute("a", lambda: 1)
+        memo.get_or_compute("a", lambda: 1)
+        memo.merge_counts(5, 7)
+        info = memo.info()
+        assert (info.hits, info.misses) == (6, 8)
+        memo.reset_counters()
+        info = memo.info()
+        assert (info.hits, info.misses) == (0, 0)
+        assert "a" in memo  # data survives a counter reset
+
+    def test_merge_rejects_negative(self):
+        memo = BoundedMemo(maxsize=4, name="merge-neg")
+        with pytest.raises(ValueError):
+            memo.merge_counts(-1, 0)
+
+
 class TestDefaultSize:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_SIZE", "17")

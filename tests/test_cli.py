@@ -99,6 +99,65 @@ class TestFaults:
         assert "error" in capsys.readouterr().err
 
 
+class TestJobsHelpWording:
+    """Guard the two jobs-like flags against wording drift.
+
+    ``--num-jobs`` is the *stream length* of the variability experiment;
+    ``--jobs`` is the *worker process count* of any parallel sweep.  The
+    help text must keep the distinction explicit.
+    """
+
+    def test_variability_help_distinguishes_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["variability", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "--num-jobs" in out
+        assert "worker processes" in out
+        # The stream-length flag must not be described as workers.
+        num_jobs_lines = [
+            line for line in out.splitlines() if "--num-jobs" in line
+        ]
+        assert num_jobs_lines
+        assert not any("worker" in line for line in num_jobs_lines)
+
+    @pytest.mark.parametrize(
+        "cmd", ["pairing", "design-search", "faults"]
+    )
+    def test_jobs_flag_means_workers(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([cmd, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        jobs_lines_start = out.find("--jobs")
+        assert jobs_lines_start != -1
+        assert "worker processes" in out
+
+    def test_docs_use_num_jobs_for_variability(self):
+        """Drift guard: any documented ``variability`` invocation must
+        use ``--num-jobs`` for the stream length (renamed from
+        ``--jobs``, which now means worker count)."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        docs = [root / "README.md", root / "EXPERIMENTS.md"]
+        docs += sorted((root / "docs").glob("*.md"))
+        offenders = []
+        for doc in docs:
+            if not doc.exists():
+                continue
+            for i, line in enumerate(
+                doc.read_text().splitlines(), start=1
+            ):
+                if "variability" in line and "--jobs" in line:
+                    if "--num-jobs" not in line.replace("--jobs", "", 1):
+                        offenders.append(f"{doc.name}:{i}: {line.strip()}")
+        assert not offenders, (
+            "variability invocations must use --num-jobs for the stream "
+            "length:\n" + "\n".join(offenders)
+        )
+
+
 class TestAdvise:
     def test_wait_recommendation(self, capsys):
         code = main(

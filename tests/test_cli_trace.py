@@ -1,0 +1,97 @@
+"""CLI tests for --trace exporting and `repro trace summarize`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def obs_sandbox():
+    """Save/restore process trace state around every CLI invocation."""
+    s = observability.OBS
+    saved = (
+        s.enabled, s.events, s.dropped_events, s.stack,
+        s.span_totals, s.counters, s.gauges, s.origin,
+    )
+    yield
+    (
+        s.enabled, s.events, s.dropped_events, s.stack,
+        s.span_totals, s.counters, s.gauges, s.origin,
+    ) = saved
+
+
+class TestTraceFlag:
+    def test_pairing_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "pairing.jsonl"
+        code = main(
+            ["pairing", "2", "1", "1", "1", "--rounds", "1",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace:" in err and str(trace) in err
+        assert trace.exists()
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        types = {r["type"] for r in records}
+        assert {"meta", "span_total", "counter"} <= types
+        counters = {
+            r["name"] for r in records if r["type"] == "counter"
+        }
+        assert "pairing.runs" in counters
+
+    def test_trace_flag_does_not_leak_enabled_state(self, tmp_path):
+        was_enabled = observability.enabled()
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["pairing", "1", "1", "1", "1", "--rounds", "1",
+             "--trace", str(trace)]
+        ) == 0
+        assert observability.enabled() == was_enabled
+
+    def test_env_knob_writes_trace(self, tmp_path, monkeypatch, capsys):
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        observability.configure_from_env()
+        try:
+            assert main(
+                ["pairing", "1", "1", "1", "1", "--rounds", "1"]
+            ) == 0
+        finally:
+            observability.disable()
+            observability.reset()
+        assert trace.exists()
+
+
+class TestTraceSummarize:
+    def test_summarize_renders_tables(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["pairing", "2", "1", "1", "1", "--rounds", "1",
+             "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.pairing.run" in out
+        assert "pairing.runs" in out
+        assert "span" in out and "counter" in out
+
+    def test_missing_file_exit_2(self, tmp_path, capsys):
+        assert main(
+            ["trace", "summarize", str(tmp_path / "absent.jsonl")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_garbage_file_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not a trace\n")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

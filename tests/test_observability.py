@@ -1,0 +1,287 @@
+"""Unit tests for the tracing/metrics/profiling subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.caching import memoized
+from repro.parallel import sweep_map
+
+
+@pytest.fixture(autouse=True)
+def obs_sandbox():
+    """Isolate each test from (and restore) the process trace state.
+
+    The suite may itself run under ``REPRO_TRACE=1`` (the traced CI
+    leg); saving and restoring the whole state keeps these tests from
+    wiping or polluting the session's trace.
+    """
+    s = observability.OBS
+    saved = (
+        s.enabled, s.events, s.dropped_events, s.stack,
+        s.span_totals, s.counters, s.gauges, s.origin,
+    )
+    s.enabled = False
+    s.reset()
+    yield
+    (
+        s.enabled, s.events, s.dropped_events, s.stack,
+        s.span_totals, s.counters, s.gauges, s.origin,
+    ) = saved
+
+
+class TestEnableDisable:
+    def test_disabled_by_default_in_sandbox(self):
+        assert not observability.enabled()
+
+    def test_enable_disable_roundtrip(self):
+        observability.enable()
+        assert observability.enabled()
+        observability.disable()
+        assert not observability.enabled()
+
+    def test_reset_keeps_flag_drops_metrics(self):
+        observability.enable()
+        observability.counter_add("x")
+        observability.reset()
+        assert observability.enabled()
+        assert observability.OBS.counters == {}
+
+
+class TestEnvConfiguration:
+    @pytest.mark.parametrize("raw", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsey_values_disable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert observability.configure_from_env() is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "on"])
+    def test_truthy_values_enable_without_path(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TRACE", raw)
+        assert observability.configure_from_env() is True
+        assert observability.env_trace_path() is None
+
+    def test_path_value_enables_and_names_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/run.jsonl")
+        assert observability.configure_from_env() is True
+        assert observability.env_trace_path() == "/tmp/run.jsonl"
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert observability.configure_from_env() is False
+        assert observability.env_trace_path() is None
+
+
+class TestSpans:
+    def test_disabled_span_records_nothing(self):
+        with observability.span("a"):
+            pass
+        assert observability.OBS.span_totals == {}
+        assert observability.OBS.events == []
+
+    def test_span_records_totals_and_event(self):
+        observability.enable()
+        with observability.span("outer", size=4):
+            with observability.span("inner"):
+                pass
+        totals = observability.OBS.span_totals
+        assert totals["outer"][0] == 1 and totals["inner"][0] == 1
+        assert totals["outer"][1] >= totals["inner"][1] >= 0.0
+        events = {name: (parent, depth)
+                  for name, parent, depth, _, _, _ in
+                  observability.OBS.events}
+        assert events["inner"] == ("outer", 1)
+        assert events["outer"] == (None, 0)
+
+    def test_span_pops_stack_on_exception(self):
+        observability.enable()
+        with pytest.raises(RuntimeError):
+            with observability.span("boom"):
+                raise RuntimeError("x")
+        assert observability.OBS.stack == []
+        assert observability.OBS.span_totals["boom"][0] == 1
+
+    def test_event_cap_drops_events_but_keeps_totals(self, monkeypatch):
+        monkeypatch.setattr(observability, "MAX_EVENTS", 3)
+        observability.enable()
+        for _ in range(5):
+            with observability.span("s"):
+                pass
+        assert len(observability.OBS.events) == 3
+        assert observability.OBS.dropped_events == 2
+        assert observability.OBS.span_totals["s"][0] == 5
+
+
+class TestProfiled:
+    def test_disabled_is_passthrough(self):
+        @observability.profiled()
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        assert observability.OBS.span_totals == {}
+
+    def test_enabled_records_default_name(self):
+        @observability.profiled()
+        def g(x):
+            return x * 2
+
+        observability.enable()
+        assert g(3) == 6
+        assert g.span_name in observability.OBS.span_totals
+        assert "g" in g.span_name
+
+    def test_explicit_name(self):
+        @observability.profiled("custom.name")
+        def h():
+            return None
+
+        observability.enable()
+        h()
+        assert observability.OBS.span_totals["custom.name"][0] == 1
+
+
+class TestCountersGauges:
+    def test_counter_disabled_noop(self):
+        observability.counter_add("c", 5)
+        assert observability.OBS.counters == {}
+
+    def test_counter_accumulates(self):
+        observability.enable()
+        observability.counter_add("c")
+        observability.counter_add("c", 2.5)
+        assert observability.OBS.counters["c"] == pytest.approx(3.5)
+
+    def test_gauge_overwrites(self):
+        observability.enable()
+        observability.gauge_set("g", 1)
+        observability.gauge_set("g", 7)
+        assert observability.OBS.gauges["g"] == 7.0
+
+
+class TestSnapshotMerge:
+    def test_snapshot_carries_metrics(self):
+        observability.enable()
+        observability.counter_add("c", 2)
+        with observability.span("s"):
+            pass
+        snap = observability.worker_snapshot()
+        assert snap.counters["c"] == 2.0
+        assert snap.span_totals["s"][0] == 1
+        assert snap.pid > 0 and snap.seq > 0
+
+    def test_merge_adds_counters_and_span_totals(self):
+        observability.enable()
+        observability.counter_add("c", 1)
+        snap = observability.TraceSnapshot(
+            pid=1, seq=1,
+            counters={"c": 4.0, "d": 1.0},
+            gauges={"g": 3.0},
+            span_totals={"s": (2, 0.5)},
+            cache_counts={},
+        )
+        observability.merge_snapshot(snap)
+        assert observability.OBS.counters["c"] == 5.0
+        assert observability.OBS.counters["d"] == 1.0
+        assert observability.OBS.gauges["g"] == 3.0
+        assert observability.OBS.span_totals["s"] == [2, 0.5]
+
+    def test_merge_gauges_take_max(self):
+        observability.enable()
+        observability.gauge_set("g", 9.0)
+        snap = observability.TraceSnapshot(
+            pid=1, seq=1, counters={}, gauges={"g": 3.0},
+            span_totals={}, cache_counts={},
+        )
+        observability.merge_snapshot(snap)
+        assert observability.OBS.gauges["g"] == 9.0
+
+    def test_merge_cache_counts_even_when_disabled(self):
+        @memoized(maxsize=4)
+        def _probe(x):
+            return x
+
+        _probe.cache_clear()
+        snap = observability.TraceSnapshot(
+            pid=1, seq=1, counters={"c": 1.0}, gauges={},
+            span_totals={},
+            cache_counts={_probe.cache.name: (3, 2)},
+        )
+        observability.merge_snapshot(snap)
+        info = _probe.cache_info()
+        assert (info.hits, info.misses) == (3, 2)
+        # ...but trace metrics do not merge into a disabled collector.
+        assert observability.OBS.counters == {}
+
+
+def _traced_square(x: int) -> int:
+    observability.counter_add("test.worker_calls")
+    return x * x
+
+
+class TestWorkerMergeThroughSweepMap:
+    def test_worker_counters_merge_into_parent(self):
+        observability.enable()
+        results = sweep_map(_traced_square, list(range(8)), jobs=2)
+        assert results == [x * x for x in range(8)]
+        # All 8 task calls are visible in the parent, whether they ran
+        # in workers (merged snapshots) or serially (pool fallback).
+        assert observability.OBS.counters["test.worker_calls"] == 8.0
+
+    def test_parallel_sweep_span_and_counters(self):
+        observability.enable()
+        sweep_map(_traced_square, list(range(6)), jobs=2)
+        assert observability.OBS.counters["parallel.tasks"] == 6.0
+        assert "parallel.sweep" in observability.OBS.span_totals
+
+
+class TestExportSummarize:
+    def test_roundtrip(self, tmp_path):
+        observability.enable()
+        with observability.span("layer.op", n=2):
+            observability.counter_add("layer.count", 3)
+        observability.gauge_set("layer.gauge", 4)
+        path = tmp_path / "trace.jsonl"
+        n = observability.export_jsonl(path)
+        assert n >= 4  # meta + span_total + counter + gauge + span
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == n
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta" and meta["version"] == 1
+
+        summary = observability.summarize_jsonl(path)
+        assert summary["spans"]["layer.op"]["count"] == 1
+        assert summary["counters"]["layer.count"] == 3.0
+        assert summary["gauges"]["layer.gauge"] == 4.0
+        assert summary["span_events"] == 1
+        assert summary["meta"]["pid"] == meta["pid"]
+
+    def test_export_includes_cache_records(self, tmp_path):
+        @memoized(maxsize=4)
+        def _cached(x):
+            return x
+
+        _cached.cache_clear()
+        _cached(1)
+        _cached(1)
+        observability.enable()
+        path = tmp_path / "trace.jsonl"
+        observability.export_jsonl(path)
+        summary = observability.summarize_jsonl(path)
+        info = summary["caches"][_cached.cache.name]
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+
+    def test_summarize_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            observability.summarize_jsonl(path)
+
+    def test_summarize_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no trace records"):
+            observability.summarize_jsonl(path)

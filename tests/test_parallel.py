@@ -92,7 +92,24 @@ class TestResolveJobs:
 
     def test_invalid_env_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("raw", ["-2", "0", "", "abc"])
+    def test_invalid_env_warns_naming_value(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.warns(RuntimeWarning) as record:
+            assert resolve_jobs(None) == (os.cpu_count() or 1)
+        message = str(record[0].message)
+        assert "REPRO_JOBS" in message
+        assert repr(raw) in message
+
+    def test_valid_env_does_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert resolve_jobs(None) == 2
+        assert not [
+            w for w in recwarn if issubclass(w.category, RuntimeWarning)
+        ]
 
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
