@@ -290,6 +290,70 @@ def test_trace_overhead_on_pairing_hot_path(perf_record, report):
     )
 
 
+def test_batch_router_speedup_on_pairing(perf_record, report):
+    """Scalar (``REPRO_VECTOR=0``) vs batch-routed pairing sweep.
+
+    The CSR batch router plus the PathMatrix-native solvers must beat
+    the per-pair scalar path by at least 5x on the Figure 3/4 geometry
+    grid — with bit-identical PairingResults (exact float equality).
+    """
+    from repro.allocation.geometry import PartitionGeometry
+    from repro.experiments.pairing import (
+        PairingParameters,
+        run_pairing_sweep,
+    )
+
+    geometries = [
+        PartitionGeometry(dims)
+        for dims in [(4, 2, 1, 1), (2, 2, 2, 1), (3, 2, 1, 1),
+                     (4, 1, 1, 1), (2, 2, 1, 1), (8, 1, 1, 1)]
+    ]
+    params = PairingParameters(rounds=4)
+
+    def sweep():
+        return run_pairing_sweep(geometries, params, jobs=1)
+
+    saved = os.environ.get("REPRO_VECTOR")
+    try:
+        os.environ["REPRO_VECTOR"] = "0"
+        clear_all_caches()
+        sweep()  # warm geometry memos so both passes run the same code
+        scalar, t_scalar = _timed(sweep)
+
+        os.environ["REPRO_VECTOR"] = "1"
+        vector, t_vector = _timed(sweep)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VECTOR", None)
+        else:
+            os.environ["REPRO_VECTOR"] = saved
+
+    assert vector == scalar  # frozen dataclasses: bit-identical floats
+
+    speedup = t_scalar / max(t_vector, 1e-9)
+    timings = perf_record["timings"]
+    timings["pairing_scalar_s"] = round(t_scalar, 4)
+    timings["pairing_vector_s"] = round(t_vector, 4)
+    timings["pairing_vector_speedup"] = round(speedup, 2)
+
+    report(render_table(
+        [{
+            "path": f"pairing sweep x{len(geometries)} (serial)",
+            "scalar_s": f"{t_scalar:.3f}",
+            "vector_s": f"{t_vector:.3f}",
+            "speedup": f"x{speedup:.1f}",
+            "identical": "yes",
+        }],
+        ["path", "scalar_s", "vector_s", "speedup", "identical"],
+        title="Batch router: scalar oracle vs vectorized pairing sweep",
+    ))
+
+    assert speedup >= 5.0, (
+        f"batch-routed pairing only x{speedup:.2f} over scalar "
+        f"(scalar {t_scalar:.3f}s, vector {t_vector:.3f}s); need >= x5"
+    )
+
+
 def test_trajectory_file_written(perf_record):
     """BENCH_perf.json exists and is a well-formed trajectory."""
     # Flush what we have so far without waiting for fixture teardown.

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI guard: fail when a tracked timing regresses against the trajectory.
+
+Reads the ``BENCH_perf.json`` trajectory that
+``benchmarks/bench_perfbaseline.py`` appends to, takes the newest record
+and the most recent *comparable* earlier record (same CPU count and
+platform — cross-runner comparisons are noise), and fails when any
+``*_s`` timing regressed by more than the allowed factor.
+
+Derived metrics (``*_speedup``, ``*_pct``, ``*_rate``) are skipped:
+they have their own in-bench assertions.  Timings below an absolute
+floor are skipped too — a 2 ms blip on a 1 ms measurement is jitter,
+not a regression.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py [path/to/BENCH_perf.json]
+
+Exit status 0 when no comparable baseline exists (first run on a new
+runner), or when every timing is within bounds; 1 on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: A timing must grow by more than this factor to count as a regression.
+MAX_REGRESSION_FACTOR = 2.0
+
+#: Timings shorter than this (seconds) are jitter-dominated; skip them.
+ABSOLUTE_FLOOR_S = 0.005
+
+DEFAULT_BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def load_history(path: Path) -> list[dict]:
+    try:
+        history = json.loads(path.read_text())
+    except FileNotFoundError:
+        return []
+    except (json.JSONDecodeError, OSError) as exc:
+        print(f"perf guard: cannot read {path}: {exc}")
+        return []
+    return history if isinstance(history, list) else []
+
+
+def comparable(a: dict, b: dict) -> bool:
+    """Records are comparable when taken on equivalent runners."""
+    return (
+        a.get("cpu_count") == b.get("cpu_count")
+        and a.get("platform") == b.get("platform")
+    )
+
+
+def find_baseline(history: list[dict]) -> tuple[dict | None, dict | None]:
+    """(current, baseline): newest record and its comparable predecessor."""
+    if not history:
+        return None, None
+    current = history[-1]
+    for record in reversed(history[:-1]):
+        if comparable(current, record):
+            return current, record
+    return current, None
+
+
+def check(history: list[dict]) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    current, baseline = find_baseline(history)
+    if current is None:
+        print("perf guard: no bench records yet; nothing to check")
+        return []
+    if baseline is None:
+        print(
+            "perf guard: no comparable baseline "
+            f"(cpu_count={current.get('cpu_count')}, "
+            f"platform={current.get('platform')!r}); first run passes"
+        )
+        return []
+
+    failures: list[str] = []
+    checked = 0
+    for key, now in sorted(current.get("timings", {}).items()):
+        if not key.endswith("_s"):
+            continue
+        before = baseline.get("timings", {}).get(key)
+        if before is None or not isinstance(before, (int, float)):
+            continue
+        if not isinstance(now, (int, float)):
+            continue
+        if before < ABSOLUTE_FLOOR_S and now < ABSOLUTE_FLOOR_S:
+            continue
+        checked += 1
+        limit = max(before * MAX_REGRESSION_FACTOR, ABSOLUTE_FLOOR_S)
+        status = "ok"
+        if now > limit:
+            status = "REGRESSED"
+            failures.append(
+                f"{key}: {now:.4f}s vs baseline {before:.4f}s "
+                f"(> x{MAX_REGRESSION_FACTOR} limit {limit:.4f}s)"
+            )
+        print(f"perf guard: {key}: {before:.4f}s -> {now:.4f}s [{status}]")
+    print(
+        f"perf guard: {checked} timing(s) checked against baseline "
+        f"{baseline.get('timestamp', '?')}"
+    )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_BENCH_FILE
+    failures = check(load_history(path))
+    if failures:
+        print(f"perf guard: {len(failures)} regression(s):")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

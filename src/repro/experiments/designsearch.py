@@ -89,6 +89,7 @@ def design_search(
     sizes: list[int] | None = None,
     min_midplanes: int = 1,
     jobs: int | None = 1,
+    fluid_check_top: int = 0,
 ) -> list[DesignCandidate]:
     """Enumerate and rank machine geometries against a baseline.
 
@@ -107,6 +108,14 @@ def design_search(
         Worker processes for candidate scoring (the expensive part —
         one geometry enumeration per candidate per size); ``1`` scores
         serially with identical results.
+    fluid_check_top:
+        Verify the top-``N`` ranked candidates' headline scores through
+        the flow-level simulator: the batch-routed antipodal pairing on
+        the winning partition of each candidate's largest allocatable
+        size must reproduce the cut-arithmetic bandwidth
+        (:func:`repro.experiments.pairing.fluid_bisection_bandwidth`),
+        else a :class:`RuntimeError` is raised.  ``0`` (default) skips
+        the check; the ranking itself is unchanged either way.
 
     Returns
     -------
@@ -182,4 +191,30 @@ def design_search(
             c.machine.midplane_dims,
         )
     )
+    if fluid_check_top > 0:
+        _fluid_check(candidates[:fluid_check_top])
     return candidates
+
+
+def _fluid_check(candidates: list[DesignCandidate]) -> None:
+    """Cross-check candidates' headline scores via the flow simulator."""
+    import math
+
+    from .pairing import fluid_bisection_bandwidth
+
+    for cand in candidates:
+        checkable = [
+            (s, bw) for s, bw in cand.bandwidths.items() if bw > 0
+        ]
+        if not checkable:
+            continue
+        size, static_bw = max(checkable)
+        geometry = best_geometry_for_machine(cand.machine, size)
+        fluid_bw = fluid_bisection_bandwidth(geometry)
+        if not math.isclose(fluid_bw, float(static_bw), rel_tol=1e-9):
+            raise RuntimeError(
+                f"fluid cross-check failed for candidate "
+                f"{cand.machine.midplane_dims} at size {size}: "
+                f"flow-level bisection {fluid_bw} vs cut arithmetic "
+                f"{static_bw}"
+            )

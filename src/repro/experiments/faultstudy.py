@@ -23,6 +23,7 @@ draw is applied to each (paired comparison).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .. import observability
@@ -195,6 +196,7 @@ def degraded_bisection_study(
     trials: int = 20,
     seed: int = 0,
     jobs: int | None = 1,
+    fluid_check: bool = False,
 ) -> list[DegradedBisectionRow]:
     """Default-vs-optimal bisection under ``k = 0..max_failures`` failures.
 
@@ -207,6 +209,13 @@ def degraded_bisection_study(
     worker processes (:func:`repro.parallel.sweep_map`); each trial's
     seed is fixed by its grid position, so the rows are bit-identical
     to a serial run.
+
+    With ``fluid_check=True`` the pristine ``k = 0`` row is additionally
+    verified against the flow-level simulator: the batch-routed
+    antipodal pairing's aggregate max-min rate
+    (:func:`repro.experiments.pairing.fluid_bisection_bandwidth`) must
+    reproduce both geometries' cut-arithmetic bandwidths, else a
+    :class:`RuntimeError` is raised.  The rows themselves are unchanged.
     """
     check_positive_int(num_midplanes, "num_midplanes")
     check_nonnegative_int(max_failures, "max_failures")
@@ -224,6 +233,21 @@ def degraded_bisection_study(
         "experiment.faultstudy", trials=len(tasks)
     ):
         results = sweep_map(_paired_trial, tasks, jobs=jobs)
+
+    if fluid_check:
+        from .pairing import fluid_bisection_bandwidth
+
+        for label, geometry in (("default", default), ("optimal", optimal)):
+            static_bw = surviving_bisection_bandwidth(
+                geometry.network(), FaultSet()
+            )
+            fluid_bw = fluid_bisection_bandwidth(geometry)
+            if not math.isclose(fluid_bw, static_bw, rel_tol=1e-9):
+                raise RuntimeError(
+                    f"fluid cross-check failed for the {label} geometry "
+                    f"{geometry.dims}: flow-level bisection {fluid_bw} "
+                    f"vs cut arithmetic {static_bw}"
+                )
 
     rows: list[DegradedBisectionRow] = []
     offset = 0

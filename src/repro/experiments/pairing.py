@@ -17,19 +17,30 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..kernels.costmodel import LINK_BANDWIDTH_GB_PER_S
+from ..netsim.batchroute import (
+    PathMatrix,
+    batch_dimension_ordered_routes,
+    vector_enabled,
+)
+from ..netsim.fairness import max_min_fair_rates
 from ..netsim.fluid import FluidSimulation
 from ..netsim.network import LinkNetwork
 from ..netsim.routing import dimension_ordered_route
 from ..netsim.traffic import bisection_pairing
 from ..parallel import sweep_map
+from ..topology.torus import Torus
 
 __all__ = [
     "PairingParameters",
     "PairingResult",
+    "pairing_path_matrix",
+    "fluid_bisection_bandwidth",
     "run_pairing",
     "run_pairing_sweep",
 ]
@@ -104,6 +115,59 @@ class PairingResult:
         return self.geometry.num_midplanes
 
 
+def pairing_path_matrix(torus: Torus, tie: str = "parity") -> PathMatrix:
+    """Batch-routed paths of the full bisection pairing on *torus*.
+
+    Every node to its antipode, dimension-ordered, in
+    ``Torus.vertices()`` (row-major) flow order — the CSR equivalent of
+    routing :func:`repro.netsim.traffic.bisection_pairing` pair by pair,
+    link-for-link identical to the scalar router.
+    """
+    n = torus.num_vertices
+    src = np.arange(n, dtype=np.int64)
+    coords = np.stack(np.unravel_index(src, torus.dims), axis=1)
+    dims = np.asarray(torus.dims, dtype=np.int64)
+    anti = (coords + dims[None, :] // 2) % dims[None, :]
+    dst = np.ravel_multi_index(tuple(anti.T), torus.dims).astype(np.int64)
+    return batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+
+
+def _pairing_paths(
+    torus: Torus, net: LinkNetwork, tie: str
+) -> PathMatrix | list[np.ndarray]:
+    """Antipodal-pairing paths: batch-routed, or scalar under
+    ``REPRO_VECTOR=0`` (the oracle escape hatch)."""
+    if vector_enabled():
+        return pairing_path_matrix(torus, tie=tie)
+    return [
+        net.path_to_links(dimension_ordered_route(torus, src, dst, tie=tie))
+        for src, dst in bisection_pairing(torus)
+    ]
+
+
+def fluid_bisection_bandwidth(
+    geometry: PartitionGeometry,
+    link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S,
+    tie: str = "parity",
+) -> float:
+    """Normalized bisection bandwidth *measured* through the flow model.
+
+    Routes the full antipodal pairing on the geometry's node-level torus
+    and solves one max-min allocation; the aggregate rate, divided by
+    twice the per-link bandwidth, is the partition's bisection bandwidth
+    in link units — directly comparable to the static cut arithmetic of
+    :func:`repro.machines.bgq.normalized_bisection_bandwidth`.  Used as
+    an optional cross-check by the fault study and design search
+    (pristine topology only).
+    """
+    check_positive_float(link_bandwidth, "link_bandwidth")
+    torus = geometry.bgq_network()
+    net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
+    paths = _pairing_paths(torus, net, tie)
+    rates = max_min_fair_rates(paths, net.capacities)
+    return float(rates.sum()) / (2.0 * link_bandwidth)
+
+
 @observability.profiled("experiment.pairing.run")
 def run_pairing(
     geometry: PartitionGeometry,
@@ -125,17 +189,10 @@ def run_pairing(
         params = PairingParameters()
     torus = geometry.bgq_network()
     net = LinkNetwork(torus, link_bandwidth=params.link_bandwidth)
-    pairs = bisection_pairing(torus)
-    paths = [
-        net.path_to_links(
-            dimension_ordered_route(torus, src, dst, tie=params.tie)
-        )
-        for src, dst in pairs
-    ]
+    paths = _pairing_paths(torus, net, params.tie)
     volume = params.volume_per_pair_gb
     sim = FluidSimulation(net, paths, [volume] * len(paths))
-    makespan, results = sim.run()
-    rates = [r.initial_rate for r in results]
+    makespan, _, rates = sim.solve()
     if observability.OBS.enabled:
         observability.counter_add("pairing.runs")
         observability.counter_add("pairing.flows", len(paths))
@@ -143,8 +200,8 @@ def run_pairing(
     return PairingResult(
         geometry=geometry,
         time_seconds=makespan,
-        min_rate=min(rates),
-        max_rate=max(rates),
+        min_rate=float(rates.min()),
+        max_rate=float(rates.max()),
         num_flows=len(paths),
     )
 

@@ -2,13 +2,23 @@
 
 The experimental substrate replacing the Blue Gene/Q hardware:
 capacitated directed links (:mod:`~repro.netsim.network`), deterministic
-dimension-ordered torus routing (:mod:`~repro.netsim.routing`), max-min
-fair rate allocation (:mod:`~repro.netsim.fairness`), a fluid
-completion-time engine (:mod:`~repro.netsim.fluid`), traffic patterns
+dimension-ordered torus routing (:mod:`~repro.netsim.routing`, with a
+vectorized batch router and CSR path container in
+:mod:`~repro.netsim.batchroute`), max-min fair rate allocation
+(:mod:`~repro.netsim.fairness`), a fluid completion-time engine
+(:mod:`~repro.netsim.fluid`), traffic patterns
 (:mod:`~repro.netsim.traffic`), and rank-to-node embeddings
 (:mod:`~repro.netsim.embedding`).
 """
 
+from .batchroute import (
+    PathMatrix,
+    TorusLinkLayout,
+    batch_dimension_ordered_routes,
+    link_layout,
+    vector_enabled,
+    vertex_indices,
+)
 from .collectives import (
     pairwise_alltoall,
     recursive_doubling_allreduce,
@@ -38,6 +48,12 @@ from .traffic import (
 
 __all__ = [
     "LinkNetwork",
+    "PathMatrix",
+    "TorusLinkLayout",
+    "batch_dimension_ordered_routes",
+    "link_layout",
+    "vector_enabled",
+    "vertex_indices",
     "dimension_ordered_route",
     "bfs_route",
     "route",

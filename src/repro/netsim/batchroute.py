@@ -1,0 +1,512 @@
+"""Vectorized batch routing and the CSR path container.
+
+The scalar router (:func:`repro.netsim.routing.dimension_ordered_route`)
+walks one (src, dst) pair at a time through a Python loop, building a
+``list[tuple[int, ...]]`` of intermediate vertices that the caller then
+re-hashes into directed link ids via ``LinkNetwork.path_to_links``.
+Every headline experiment routes *thousands* of pairs over the same
+torus, so this module batches the whole computation:
+
+* :func:`batch_dimension_ordered_routes` takes arrays of source and
+  destination **node indices** (row-major order, matching
+  ``Torus.vertices()``) and computes every dimension-ordered route at
+  once — signed per-dimension deltas with wraparound and the
+  parity/positive tie-breaks done as array arithmetic — emitting
+  directed link ids directly, with no intermediate vertex tuples;
+* :class:`PathMatrix` holds the result in CSR form: one flat
+  ``link_ids`` array plus ``offsets``, with per-flow views,
+  ``bincount``-ready flattening (:meth:`PathMatrix.flow_ids`), and a
+  ``Sequence[np.ndarray]``-shaped iteration protocol so existing código
+  that loops over per-flow arrays keeps working.
+
+Link ids come from an analytic layout (:func:`link_layout`) that mirrors
+``LinkNetwork``'s construction order exactly — ``LinkNetwork`` walks
+``Torus.vertices()`` (row-major) and, per vertex, ``Torus.neighbors``
+(dimensions ascending, + before −, one merged slot for length-2
+dimensions) — so batch-routed ids are **bit-identical** to
+``net.path_to_links(dimension_ordered_route(...))``.  Property tests
+(``tests/properties/test_property_batchroute.py``) enforce this
+link-for-link against the scalar oracle.
+
+The scalar path remains available everywhere as an escape hatch: set
+``REPRO_VECTOR=0`` in the environment and the experiment drivers fall
+back to the oracle router.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..caching import memoized
+from ..topology.torus import Torus
+from .routing import check_tie
+
+__all__ = [
+    "PathMatrix",
+    "TorusLinkLayout",
+    "link_layout",
+    "batch_dimension_ordered_routes",
+    "vertex_indices",
+    "vector_enabled",
+]
+
+#: Environment knob: ``REPRO_VECTOR=0`` disables the vectorized batch
+#: path in the experiment drivers, restoring the scalar oracle router.
+_VECTOR_ENV = "REPRO_VECTOR"
+
+
+def vector_enabled() -> bool:
+    """Whether the vectorized batch-routing path is enabled.
+
+    Reads ``REPRO_VECTOR`` at call time; any of ``0``, ``false``,
+    ``no``, ``off`` (case-insensitive) disables it.  The knob exists so
+    the scalar router — kept as the property-test oracle — can be forced
+    end-to-end when debugging a suspected vectorization issue.
+    """
+    raw = os.environ.get(_VECTOR_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+class PathMatrix:
+    """CSR-style container of per-flow directed-link paths.
+
+    Parameters
+    ----------
+    link_ids:
+        Flat int64 array: the concatenation of every flow's link ids.
+    offsets:
+        Int64 array of length ``num_flows + 1``; flow ``i``'s links are
+        ``link_ids[offsets[i]:offsets[i+1]]``.
+
+    The arrays are made read-only: flows share one backing buffer, and
+    per-flow views are handed out freely (route caches, fairness
+    solves), so in-place mutation would corrupt every consumer.
+
+    Examples
+    --------
+    >>> pm = PathMatrix.from_paths([[0, 1], [], [2]])
+    >>> len(pm), pm.total_links
+    (3, 3)
+    >>> pm[0].tolist(), pm[1].tolist()
+    ([0, 1], [])
+    """
+
+    __slots__ = ("_link_ids", "_offsets", "_flow_ids")
+
+    def __init__(self, link_ids: np.ndarray, offsets: np.ndarray):
+        link_ids = np.ascontiguousarray(link_ids, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or len(offsets) < 1:
+            raise ValueError("offsets must be a 1-D array of length >= 1")
+        if link_ids.ndim != 1:
+            raise ValueError("link_ids must be a 1-D array")
+        if offsets[0] != 0 or offsets[-1] != len(link_ids):
+            raise ValueError(
+                f"offsets must run from 0 to len(link_ids)="
+                f"{len(link_ids)}, got [{offsets[0]}, {offsets[-1]}]"
+            )
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        link_ids.flags.writeable = False
+        offsets.flags.writeable = False
+        self._link_ids = link_ids
+        self._offsets = offsets
+        self._flow_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                         #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_paths(
+        cls, paths: Sequence[np.ndarray] | Iterable[Sequence[int]]
+    ) -> "PathMatrix":
+        """Build from a sequence of per-flow link-id arrays.
+
+        The thin adapter between the historical ``Sequence[np.ndarray]``
+        API and the CSR layout; round-trips exactly
+        (``[pm[i] for i in range(len(pm))]`` equals the input).
+        """
+        if isinstance(paths, PathMatrix):
+            return paths
+        arrays = [np.asarray(p, dtype=np.int64).ravel() for p in paths]
+        lengths = np.fromiter(
+            (len(a) for a in arrays), dtype=np.int64, count=len(arrays)
+        )
+        offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = (
+            np.concatenate(arrays)
+            if arrays
+            else np.empty(0, dtype=np.int64)
+        )
+        return cls(flat, offsets)
+
+    # ------------------------------------------------------------------ #
+    # Structure                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def link_ids(self) -> np.ndarray:
+        """Flat link-id array (read-only) — ``bincount``-ready."""
+        return self._link_ids
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """CSR offsets array of length ``len(self) + 1`` (read-only)."""
+        return self._offsets
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-flow path lengths (hop counts)."""
+        return np.diff(self._offsets)
+
+    @property
+    def total_links(self) -> int:
+        """Total link traversals across all flows (``len(link_ids)``)."""
+        return len(self._link_ids)
+
+    def flow_ids(self) -> np.ndarray:
+        """Flow index of every entry of :attr:`link_ids` (read-only).
+
+        The companion array for grouped reductions: per-flow "any link
+        saturated" or per-flow load sums become single ``np.bincount``
+        calls over ``(flow_ids, link_ids)``.  Computed lazily once.
+        """
+        if self._flow_ids is None:
+            ids = np.repeat(
+                np.arange(len(self), dtype=np.int64), self.lengths
+            )
+            ids.flags.writeable = False
+            self._flow_ids = ids
+        return self._flow_ids
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol                                                    #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        """Flow *i*'s link ids as a zero-copy (read-only) view."""
+        if not -len(self) <= i < len(self):
+            raise IndexError(f"flow index {i} out of range for {self!r}")
+        if i < 0:
+            i += len(self)
+        return self._link_ids[self._offsets[i] : self._offsets[i + 1]]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __repr__(self) -> str:
+        return (
+            f"PathMatrix(flows={len(self)}, links={self.total_links})"
+        )
+
+
+@dataclass(frozen=True)
+class TorusLinkLayout:
+    """Analytic dense-link-id layout of a torus ``LinkNetwork``.
+
+    ``LinkNetwork`` assigns ids first-seen while walking row-major
+    vertices and per-vertex neighbors; on a torus that walk is fully
+    regular, so ids factor as ``vertex_rank * degree + slot``:
+
+    Attributes
+    ----------
+    dims:
+        Torus dimension lengths.
+    strides:
+        Row-major vertex strides (``C`` order, as ``Torus.vertices()``).
+    degree:
+        Directed links per vertex (length-2 dimensions contribute one
+        merged slot, length >= 3 two, length 1 none).
+    slot_up, slot_down:
+        Per-dimension slot offset of the +/− directed link out of a
+        vertex (equal for length-2 dimensions; −1 for length-1).
+    slot_dims:
+        Dimension index of each of the ``degree`` slots — tiled over
+        vertices this is the per-link "link class" table.
+    """
+
+    dims: tuple[int, ...]
+    strides: np.ndarray
+    degree: int
+    slot_up: np.ndarray
+    slot_down: np.ndarray
+    slot_dims: np.ndarray
+
+    def link_id(self, vertex_rank: int, dim: int, step: int) -> int:
+        """Dense id of the link leaving *vertex_rank* along *dim*.
+
+        *step* is +1 or −1; for length-2 dimensions both map to the
+        single merged slot.  The scalar mirror of the batch arithmetic,
+        exposed for tests.
+        """
+        slot = self.slot_up[dim] if step > 0 else self.slot_down[dim]
+        if slot < 0:
+            raise ValueError(f"dimension {dim} of {self.dims} has no links")
+        return int(vertex_rank) * self.degree + int(slot)
+
+
+@memoized(maxsize=256, key=lambda torus: torus)
+def link_layout(torus: Torus) -> TorusLinkLayout:
+    """The (memoized) analytic link layout of *torus*.
+
+    One layout per distinct torus is computed ever; repeated batch
+    routes, engines, and sweeps share it through :mod:`repro.caching`.
+    """
+    dims = torus.dims
+    ndim = len(dims)
+    strides = np.empty(ndim, dtype=np.int64)
+    acc = 1
+    for k in range(ndim - 1, -1, -1):
+        strides[k] = acc
+        acc *= dims[k]
+    slot_up = np.full(ndim, -1, dtype=np.int64)
+    slot_down = np.full(ndim, -1, dtype=np.int64)
+    slots: list[int] = []
+    cursor = 0
+    for k, a in enumerate(dims):
+        if a == 1:
+            continue
+        if a == 2:
+            slot_up[k] = slot_down[k] = cursor
+            slots.append(k)
+            cursor += 1
+        else:
+            slot_up[k] = cursor
+            slot_down[k] = cursor + 1
+            slots.extend((k, k))
+            cursor += 2
+    slot_dims = np.asarray(slots, dtype=np.int64)
+    for arr in (strides, slot_up, slot_down, slot_dims):
+        arr.flags.writeable = False
+    return TorusLinkLayout(
+        dims=dims,
+        strides=strides,
+        degree=cursor,
+        slot_up=slot_up,
+        slot_down=slot_down,
+        slot_dims=slot_dims,
+    )
+
+
+def vertex_indices(
+    torus: Torus, vertices: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Row-major node indices of *vertices* (the ``Torus.vertices()`` rank).
+
+    The bridge from vertex-tuple traffic patterns
+    (:mod:`repro.netsim.traffic`) to the node-index arrays the batch
+    router consumes.
+    """
+    coords = np.asarray(list(vertices), dtype=np.int64)
+    if coords.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if coords.ndim != 2 or coords.shape[1] != torus.ndim:
+        raise ValueError(
+            f"expected {torus.ndim}-coordinate vertices for {torus.name}"
+        )
+    return np.ravel_multi_index(tuple(coords.T), torus.dims).astype(
+        np.int64
+    )
+
+
+def batch_dimension_ordered_routes(
+    torus: Torus,
+    src: np.ndarray,
+    dst: np.ndarray,
+    dim_order: Sequence[int] | None = None,
+    tie: str = "parity",
+) -> PathMatrix:
+    """Dimension-ordered routes for *all* (src, dst) pairs at once.
+
+    Parameters
+    ----------
+    torus:
+        The torus network (healthy topology; for faulted networks use
+        the scalar :func:`repro.netsim.routing.fault_aware_route`).
+        Degraded — reduced but non-zero — link capacities do not change
+        dimension-ordered routes, so batch routing remains valid there.
+    src, dst:
+        Equal-length integer arrays of node indices in row-major
+        (``Torus.vertices()``) order; see :func:`vertex_indices`.
+    dim_order:
+        Dimension-correction order (default ``0..D-1``), as in the
+        scalar router.
+    tie:
+        ``"parity"`` or ``"positive"`` — identical semantics to
+        :func:`~repro.netsim.routing.dimension_ordered_route`,
+        including the per-source-coordinate parity split of exact-half
+        ring distances.
+
+    Returns
+    -------
+    PathMatrix
+        Flow ``i``'s links equal
+        ``net.path_to_links(dimension_ordered_route(torus, src_i,
+        dst_i, dim_order, tie))`` for a ``LinkNetwork`` over *torus*,
+        link id for link id.
+    """
+    check_tie(tie)
+    layout = link_layout(torus)
+    dims_arr = np.asarray(torus.dims, dtype=np.int64)
+    ndim = torus.ndim
+    n_nodes = torus.num_vertices
+
+    src = np.ascontiguousarray(src, dtype=np.int64).ravel()
+    dst = np.ascontiguousarray(dst, dtype=np.int64).ravel()
+    if len(src) != len(dst):
+        raise ValueError(
+            f"{len(src)} sources but {len(dst)} destinations"
+        )
+    for name, arr in (("src", src), ("dst", dst)):
+        if arr.size and (arr.min() < 0 or arr.max() >= n_nodes):
+            raise ValueError(
+                f"{name} node indices must be in [0, {n_nodes - 1}] "
+                f"for {torus.name}"
+            )
+    if dim_order is None:
+        order = np.arange(ndim, dtype=np.int64)
+    else:
+        order = np.asarray(list(dim_order), dtype=np.int64)
+        if sorted(order.tolist()) != list(range(ndim)):
+            raise ValueError(
+                f"dim_order must be a permutation of 0..{ndim - 1}, "
+                f"got {tuple(dim_order)}"
+            )
+    n_flows = len(src)
+    if n_flows == 0:
+        return PathMatrix(
+            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        )
+
+    # Coordinates, per-dimension hop counts, and step directions — all
+    # (n_flows, ndim) arrays.
+    src_c = np.stack(np.unravel_index(src, torus.dims), axis=1).astype(
+        np.int64
+    )
+    dst_c = np.stack(np.unravel_index(dst, torus.dims), axis=1).astype(
+        np.int64
+    )
+    a = dims_arr[None, :]
+    up = (dst_c - src_c) % a
+    down = (src_c - dst_c) % a
+    hops = np.minimum(up, down)
+    step = np.where(up < down, 1, -1).astype(np.int64)
+    tied = up == down  # includes hops == 0; step unused there
+    if tie == "positive":
+        step[tied] = 1
+    else:  # parity: + from even source coordinates, − from odd
+        step[tied] = np.where(src_c[tied] % 2 == 0, 1, -1)
+
+    # Permute into emission (dimension-correction) order.
+    src_o = src_c[:, order]
+    hops_o = hops[:, order]
+    step_o = step[:, order]
+    a_o = np.broadcast_to(dims_arr[order], (n_flows, ndim))
+    strides_o = np.broadcast_to(
+        layout.strides[order], (n_flows, ndim)
+    )
+
+    # Linear-index contribution of every *other* dimension while dim k
+    # is being corrected: earlier dimensions (in order) sit at their
+    # destination coordinate, later ones at their source.
+    contrib_src = src_o * strides_o
+    contrib_dst = dst_c[:, order] * strides_o
+    prefix_dst = np.zeros((n_flows, ndim), dtype=np.int64)
+    np.cumsum(contrib_dst[:, :-1], axis=1, out=prefix_dst[:, 1:])
+    suffix_src = np.zeros((n_flows, ndim), dtype=np.int64)
+    if ndim > 1:
+        suffix_src[:, :-1] = np.cumsum(
+            contrib_src[:, :0:-1], axis=1
+        )[:, ::-1]
+    base_o = prefix_dst + suffix_src
+
+    # Expand the (flow, dimension) segments to one flat element per hop.
+    seg_len = hops_o.ravel()
+    total = int(seg_len.sum())
+    offsets = np.zeros(n_flows + 1, dtype=np.int64)
+    np.cumsum(hops_o.sum(axis=1), out=offsets[1:])
+    if total == 0:
+        return PathMatrix(np.empty(0, dtype=np.int64), offsets)
+    seg_starts = np.concatenate(
+        ([0], np.cumsum(seg_len)[:-1])
+    )
+    hop_idx = np.arange(total, dtype=np.int64) - np.repeat(
+        seg_starts, seg_len
+    )
+
+    def expand(grid: np.ndarray) -> np.ndarray:
+        return np.repeat(grid.ravel(), seg_len)
+
+    c0 = expand(src_o)
+    s = expand(step_o)
+    aa = expand(a_o)
+    strd = expand(strides_o)
+    base = expand(base_o)
+    # Slot of the emitted link: +/− by step; merged for length-2 dims
+    # (slot_up == slot_down there, so the tie direction is irrelevant,
+    # exactly as ``LinkNetwork`` stores one directed link per pair).
+    slot_o = np.where(
+        step_o > 0, layout.slot_up[order], layout.slot_down[order]
+    )
+    slot = expand(slot_o)
+
+    coord = (c0 + s * hop_idx) % aa
+    link_ids = (base + coord * strd) * layout.degree + slot
+    return PathMatrix(link_ids, offsets)
+
+
+def _check_layout_consistency(torus: Torus, num_links: int) -> None:
+    """Assert a ``LinkNetwork`` link count matches the analytic layout.
+
+    Cheap O(1) guard used by callers that pair a batch-routed
+    :class:`PathMatrix` with an independently built ``LinkNetwork``.
+    """
+    expected = torus.num_vertices * link_layout(torus).degree
+    if num_links != expected:
+        raise ValueError(
+            f"LinkNetwork has {num_links} links but the analytic layout "
+            f"of {torus.name} expects {expected}"
+        )
+
+
+def total_route_hops(torus: Torus) -> int:
+    """Total hop count of the full bisection pairing on *torus*.
+
+    Convenience for sizing benchmarks: every vertex to its antipode is
+    ``sum(a_k // 2)`` hops, times ``|V|`` flows.
+    """
+    return torus.num_vertices * sum(a // 2 for a in torus.dims)
+
+
+def _selftest_small() -> None:  # pragma: no cover - debugging helper
+    """Exhaustive check against the scalar oracle on a tiny torus."""
+    from .network import LinkNetwork
+    from .routing import dimension_ordered_route
+
+    torus = Torus((4, 3, 2))
+    net = LinkNetwork(torus)
+    verts = list(torus.vertices())
+    pairs = [(i, j) for i in range(len(verts)) for j in range(len(verts))]
+    src = np.asarray([i for i, _ in pairs])
+    dst = np.asarray([j for _, j in pairs])
+    for tie in ("parity", "positive"):
+        pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+        for f, (i, j) in enumerate(pairs):
+            want = net.path_to_links(
+                dimension_ordered_route(torus, verts[i], verts[j], tie=tie)
+            )
+            assert pm[f].tolist() == want.tolist(), (verts[i], verts[j])
+    assert math.prod(torus.dims) == torus.num_vertices

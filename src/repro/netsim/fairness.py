@@ -7,10 +7,15 @@ model of TCP-fair / hardware-arbitrated link sharing and is what the
 bisection-pairing experiment's "every pair shares the cut" argument
 computes implicitly.
 
-The implementation is fully vectorized: paths are integer arrays over
-dense link ids (see :class:`repro.netsim.network.LinkNetwork`), the
-per-link active-flow counts are maintained with ``np.bincount``, and each
-round of filling is O(total path length).
+The implementation is fully vectorized and operates natively on the
+CSR :class:`~repro.netsim.batchroute.PathMatrix`: per-link active-flow
+counts are ``np.bincount`` over the flat link-id array, and the
+per-round freeze test is a second bincount over the flow-id companion
+array — no per-flow Python loop anywhere.  The historical
+``Sequence[np.ndarray]`` input shape is accepted through a thin
+:meth:`PathMatrix.from_paths` adapter, and produces identical floats:
+the round structure (counts, increments, fill levels) is unchanged, so
+results are bit-for-bit those of the pre-CSR implementation.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from .. import observability
+from .batchroute import PathMatrix
 
 __all__ = ["max_min_fair_rates"]
 
@@ -27,104 +33,140 @@ _EPS = 1e-12
 
 
 def max_min_fair_rates(
-    paths: Sequence[np.ndarray],
+    paths: PathMatrix | Sequence[np.ndarray],
     capacities: np.ndarray,
     demands: Sequence[float] | None = None,
+    *,
+    active: np.ndarray | None = None,
 ) -> np.ndarray:
     """Max-min fair rates for flows with the given link paths.
 
     Parameters
     ----------
     paths:
-        One integer array of directed-link indices per flow.  A flow with
-        an empty path (source == destination) gets rate ``inf``.
+        A :class:`~repro.netsim.batchroute.PathMatrix`, or one integer
+        array of directed-link indices per flow (adapted via
+        :meth:`PathMatrix.from_paths`).  A flow with an empty path
+        (source == destination) gets rate ``inf``.
     capacities:
         Per-link capacity array.
     demands:
         Optional per-flow rate caps (e.g. injection bandwidth limits); a
         flow freezes at its demand if the network would allow more.
+        Indexed over *all* flows of *paths*, even when *active* selects
+        a subset.
+    active:
+        Optional array of flow indices to solve for; other flows are
+        treated as absent (no link usage).  The fluid engine uses this
+        to re-solve shrinking flow sets without re-slicing the
+        :class:`PathMatrix`.  Default: all flows.
 
     Returns
     -------
     numpy.ndarray
-        Per-flow rates.  Water-filling terminates in at most
-        ``len(paths)`` rounds; typical symmetric patterns take one.
+        Per-flow rates, aligned with *active* when given (else with
+        *paths*).  Water-filling terminates in at most ``len(active)``
+        rounds; typical symmetric patterns take one.
     """
+    pm = paths if isinstance(paths, PathMatrix) else PathMatrix.from_paths(paths)
     capacities = np.asarray(capacities, dtype=float)
     if np.any(capacities < 0):
         raise ValueError("link capacities must be non-negative")
+    n_total = len(pm)
+    n_links = len(capacities)
+
+    if active is None:
+        act = np.arange(n_total, dtype=np.int64)
+    else:
+        act = np.ascontiguousarray(active, dtype=np.int64).ravel()
+        if act.size and (act.min() < 0 or act.max() >= n_total):
+            raise ValueError(
+                f"active flow indices must be in [0, {n_total - 1}]"
+            )
+    n_act = len(act)
+    rates = np.zeros(n_act, dtype=float)
+    if n_act == 0:
+        return rates
+
+    # CSR compaction: gather the active flows' link entries once.
+    lengths = pm.lengths[act]
+    total = int(lengths.sum())
+    if total:
+        seg_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(seg_starts, lengths)
+            + np.repeat(pm.offsets[act], lengths)
+        )
+        sub_links = pm.link_ids[flat]
+    else:
+        sub_links = np.empty(0, dtype=np.int64)
+    sub_fids = np.repeat(np.arange(n_act, dtype=np.int64), lengths)
+
     if np.any(capacities == 0):
         # Zero capacity models a *failed* link (see repro.faults); flows
         # must be routed around failures before rates are solved.
-        dead = np.flatnonzero(capacities == 0)
-        dead_set = set(dead.tolist())
-        for i, p in enumerate(paths):
-            if any(int(l) in dead_set for l in p):
-                raise ValueError(
-                    f"flow {i} crosses failed (zero-capacity) link(s) "
-                    f"{sorted(dead_set.intersection(int(l) for l in p))}; "
-                    "reroute around faults before solving rates"
-                )
-    n_flows = len(paths)
-    n_links = len(capacities)
-    rates = np.zeros(n_flows, dtype=float)
-    if n_flows == 0:
-        return rates
+        entry_dead = capacities[sub_links] == 0
+        if entry_dead.any():
+            pos = int(sub_fids[entry_dead].min())
+            flow_id = int(act[pos])
+            dead_links = sorted(
+                set(sub_links[entry_dead & (sub_fids == pos)].tolist())
+            )
+            raise ValueError(
+                f"flow {flow_id} crosses failed (zero-capacity) link(s) "
+                f"{dead_links}; "
+                "reroute around faults before solving rates"
+            )
 
     caps = demands is not None
     if caps:
         demand_arr = np.asarray(list(demands), dtype=float)  # type: ignore[arg-type]
-        if len(demand_arr) != n_flows:
+        if len(demand_arr) != n_total:
             raise ValueError(
-                f"demands has {len(demand_arr)} entries for {n_flows} flows"
+                f"demands has {len(demand_arr)} entries for {n_total} flows"
             )
         if np.any(demand_arr <= 0):
             raise ValueError("all demands must be positive")
+        demand_act = demand_arr[act]
 
     # Flows that traverse no link are unconstrained.
-    unfrozen = np.ones(n_flows, dtype=bool)
-    for i, p in enumerate(paths):
-        if len(p) == 0:
-            unfrozen[i] = False
-            rates[i] = np.inf if not caps else demand_arr[i]
+    empty = lengths == 0
+    unfrozen = ~empty
+    rates[empty] = np.inf if not caps else demand_act[empty]
 
     cap_rem = capacities.astype(float).copy()
     fill = 0.0
     rounds_done = 0
     # Guard: each round freezes at least one flow.
-    for _round in range(n_flows + 1):
-        active_idx = np.flatnonzero(unfrozen)
-        if len(active_idx) == 0:
+    for _round in range(n_act + 1):
+        if not unfrozen.any():
             break
         rounds_done += 1
-        concat = (
-            np.concatenate([paths[i] for i in active_idx])
-            if len(active_idx)
-            else np.empty(0, dtype=np.int64)
-        )
-        counts = np.bincount(concat, minlength=n_links)
+        entry_live = unfrozen[sub_fids]
+        counts = np.bincount(sub_links[entry_live], minlength=n_links)
         used = counts > 0
         if not used.any():
             break
         inc = float((cap_rem[used] / counts[used]).min())
         if caps:
-            head = demand_arr[active_idx] - fill
+            head = demand_act[unfrozen] - fill
             inc = min(inc, float(head.min()))
         fill += inc
         cap_rem = cap_rem - counts * inc
         # Freeze flows crossing a saturated link (or hitting their demand).
         saturated = used & (cap_rem <= _EPS * capacities)
-        for i in active_idx:
-            p = paths[i]
-            hit_link = len(p) > 0 and bool(saturated[p].any())
-            hit_demand = caps and fill >= demand_arr[i] - _EPS
-            if hit_link or hit_demand:
-                unfrozen[i] = False
-                rates[i] = fill
+        hit_entries = entry_live & saturated[sub_links]
+        hit = np.bincount(sub_fids[hit_entries], minlength=n_act) > 0
+        if caps:
+            hit |= unfrozen & (fill >= demand_act - _EPS)
+        hit &= unfrozen
+        rates[hit] = fill
+        unfrozen &= ~hit
     if unfrozen.any():  # pragma: no cover - defensive
         rates[unfrozen] = fill
     if observability.OBS.enabled:
         observability.counter_add("netsim.fairness.calls")
         observability.counter_add("netsim.fairness.rounds", rounds_done)
-        observability.counter_add("netsim.fairness.flows", n_flows)
+        observability.counter_add("netsim.fairness.flows", n_act)
     return rates

@@ -13,6 +13,14 @@ paper's predictions reason about (bandwidth shares of shared links).
 Packet-level effects (latency, protocol overheads) are out of scope; the
 experiments transfer hundreds of megabytes per flow, so bandwidth
 dominates.
+
+Flows live in a CSR :class:`~repro.netsim.batchroute.PathMatrix`
+(``Sequence[np.ndarray]`` inputs are adapted on construction), each
+re-solve passes an ``active`` index set instead of re-slicing paths,
+and every flow whose time-to-completion lands within ``_EPS`` of the
+round's earliest finish retires in that same round — symmetric patterns
+where all flows tie (the bisection pairing) complete in one solve
+instead of one re-solve per flow.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import observability
+from .batchroute import PathMatrix
 from .fairness import max_min_fair_rates
 from .network import LinkNetwork
 
@@ -55,53 +64,96 @@ class FluidSimulation:
     network:
         The capacitated link network.
     paths:
-        Per-flow arrays of directed link ids.
+        A :class:`PathMatrix`, or per-flow arrays of directed link ids.
     volumes:
         Per-flow data volumes (same units as capacity × time).
     demands:
         Optional per-flow injection-rate caps.
+    record_segments:
+        When true, :attr:`segments` collects one ``(dt, flow_indices,
+        rates)`` triple per round — the piecewise-constant rate
+        schedule, used by tests to check volume conservation
+        (``sum of rate × dt`` per flow equals its volume).
+
+    After :meth:`run`, :attr:`rounds_used` holds the number of fairness
+    re-solves the run needed (1 for fully symmetric patterns).
     """
 
     def __init__(
         self,
         network: LinkNetwork,
-        paths: Sequence[np.ndarray],
+        paths: PathMatrix | Sequence[np.ndarray],
         volumes: Sequence[float],
         demands: Sequence[float] | None = None,
+        *,
+        record_segments: bool = False,
     ):
-        if len(paths) != len(volumes):
+        pm = (
+            paths
+            if isinstance(paths, PathMatrix)
+            else PathMatrix.from_paths(paths)
+        )
+        if len(pm) != len(volumes):
             raise ValueError(
-                f"{len(paths)} paths but {len(volumes)} volumes"
+                f"{len(pm)} paths but {len(volumes)} volumes"
             )
         vol = np.asarray(list(volumes), dtype=float)
         if np.any(vol <= 0):
             raise ValueError("all flow volumes must be positive")
         self._net = network
-        self._paths = list(paths)
+        self._pm = pm
         self._volumes = vol
         self._demands = (
             None if demands is None else np.asarray(list(demands), dtype=float)
         )
+        self._record_segments = record_segments
+        self.segments: list[tuple[float, np.ndarray, np.ndarray]] = []
+        self.rounds_used: int | None = None
+
+    @property
+    def path_matrix(self) -> PathMatrix:
+        """The flows' paths in CSR form."""
+        return self._pm
 
     def run(self, max_rounds: int | None = None) -> tuple[float, list[FlowResult]]:
         """Run to completion: returns ``(makespan, per-flow results)``.
 
         *max_rounds* guards against pathological inputs; it defaults to
-        the number of flows (each round finishes at least one flow).
+        the number of flows (each round finishes at least one flow, and
+        grouped retirement usually finishes many).
+        """
+        makespan, completion, initial = self.solve(max_rounds)
+        results = [
+            FlowResult(completion_time=float(completion[i]),
+                       initial_rate=float(initial[i]))
+            for i in range(len(self._pm))
+        ]
+        return makespan, results
+
+    def solve(
+        self, max_rounds: int | None = None
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """Array-shaped :meth:`run`: ``(makespan, completions, rates)``.
+
+        Returns the per-flow completion times and t=0 max-min rates as
+        arrays, skipping the :class:`FlowResult` object construction —
+        the form the experiment drivers consume for large flow counts.
         """
         if observability.OBS.enabled:
             with observability.span(
-                "netsim.fluid.run", flows=len(self._paths)
+                "netsim.fluid.run", flows=len(self._pm)
             ):
                 return self._run(max_rounds)
         return self._run(max_rounds)
 
     def _run(
         self, max_rounds: int | None = None
-    ) -> tuple[float, list[FlowResult]]:
-        n = len(self._paths)
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        n = len(self._pm)
         if n == 0:
-            return 0.0, []
+            self.rounds_used = 0
+            empty = np.empty(0, dtype=float)
+            return 0.0, empty, empty
         remaining = self._volumes.copy()
         active = np.ones(n, dtype=bool)
         completion = np.zeros(n, dtype=float)
@@ -114,30 +166,39 @@ class FluidSimulation:
             if len(idx) == 0:
                 break
             rounds_done += 1
-            sub_paths = [self._paths[i] for i in idx]
-            sub_demands = (
-                None if self._demands is None else self._demands[idx]
-            )
             rates = max_min_fair_rates(
-                sub_paths, self._net.capacities, sub_demands
+                self._pm, self._net.capacities, self._demands, active=idx
             )
             if round_no == 0:
                 initial_rates[idx] = rates
             if np.any(rates <= 0):  # pragma: no cover - defensive
                 raise RuntimeError("fluid simulation produced a zero rate")
-            ttc = remaining[idx] / rates
-            dt = float(ttc.min())
-            now += dt
-            remaining[idx] = remaining[idx] - rates * dt
-            done = idx[remaining[idx] <= _EPS * self._volumes[idx]]
-            for i in done:
-                active[i] = False
-                completion[i] = now
+            # Empty-path flows have rate inf: ttc 0, retired immediately
+            # below (rate × dt would be inf·0 = nan, hence the errstate).
+            with np.errstate(invalid="ignore"):
+                ttc = remaining[idx] / rates
+                dt = float(ttc.min())
+                now += dt
+                if self._record_segments:
+                    self.segments.append((dt, idx.copy(), rates.copy()))
+                new_rem = remaining[idx] - rates * dt
+            # Grouped retirement: every flow finishing within _EPS of the
+            # round's earliest completion retires now, not one-per-solve.
+            done = (ttc <= dt * (1.0 + _EPS)) | (
+                new_rem <= _EPS * self._volumes[idx]
+            )
+            keep = idx[~done]
+            remaining[keep] = new_rem[~done]
+            finished = idx[done]
+            remaining[finished] = 0.0
+            active[finished] = False
+            completion[finished] = now
         if active.any():
             raise RuntimeError(
                 "fluid simulation did not converge within "
                 f"{rounds} rounds ({int(active.sum())} flows unfinished)"
             )
+        self.rounds_used = rounds_done
         if observability.OBS.enabled:
             observability.counter_add("netsim.fluid.runs")
             observability.counter_add("netsim.fluid.rounds", rounds_done)
@@ -145,17 +206,12 @@ class FluidSimulation:
             observability.counter_add(
                 "netsim.fluid.gb_delivered", float(self._volumes.sum())
             )
-        results = [
-            FlowResult(completion_time=float(completion[i]),
-                       initial_rate=float(initial_rates[i]))
-            for i in range(n)
-        ]
-        return now, results
+        return now, completion, initial_rates
 
 
 def simulate_flows(
     network: LinkNetwork,
-    paths: Sequence[np.ndarray],
+    paths: PathMatrix | Sequence[np.ndarray],
     volumes: Sequence[float],
     demands: Sequence[float] | None = None,
 ) -> float:

@@ -48,20 +48,67 @@ class LinkNetwork:
     def __init__(self, topo: Topology, link_bandwidth: float = 1.0):
         bw = check_positive_float(link_bandwidth, "link_bandwidth")
         self._topo = topo
-        self._index: dict[tuple[Vertex, Vertex], int] = {}
-        caps: list[float] = []
-        ends: list[tuple[Vertex, Vertex]] = []
-        for u in topo.vertices():
-            for v, w in topo.neighbors(u):
-                key = (u, v)
-                if key not in self._index:
-                    self._index[key] = len(caps)
-                    caps.append(w * bw)
-                    ends.append(key)
-        self._capacity = np.asarray(caps, dtype=float)
-        self._endpoints = ends
         self._bandwidth = bw
         self._faults: "FaultSet | None" = None
+        # The vertex-tuple index is only needed by vertex-level APIs
+        # (link_id / link_endpoints / path_to_links / with_faults); on a
+        # torus the capacities follow analytically from the dense link
+        # layout, so the O(V·deg) dict build is deferred until a
+        # vertex-level call actually happens.  Batch-routed experiments
+        # never pay for it.
+        self._index: dict[tuple[Vertex, Vertex], int] | None = None
+        self._endpoints: list[tuple[Vertex, Vertex]] | None = None
+        caps = self._analytic_capacities()
+        if caps is None:
+            self._build_index()
+        else:
+            self._capacity = caps
+
+    def _analytic_capacities(self) -> np.ndarray | None:
+        """Per-link capacities without enumerating links, if possible.
+
+        The dense id layout on a torus is ``vertex_rank * degree +
+        slot`` (see :func:`repro.netsim.batchroute.link_layout`), so the
+        capacity array is the per-slot dimension weights tiled over
+        vertices — identical, entry for entry, to what the enumeration
+        loop builds.
+        """
+        from ..topology.torus import Torus
+
+        if type(self._topo) is not Torus:
+            return None
+        from .batchroute import link_layout
+
+        layout = link_layout(self._topo)
+        weights = np.asarray(self._topo.dim_weights, dtype=float)
+        per_slot = weights[np.asarray(layout.slot_dims)] * self._bandwidth
+        return np.tile(per_slot, self._topo.num_vertices)
+
+    def _build_index(self) -> None:
+        """Enumerate links first-seen, building the vertex-tuple index."""
+        index: dict[tuple[Vertex, Vertex], int] = {}
+        caps: list[float] = []
+        ends: list[tuple[Vertex, Vertex]] = []
+        for u in self._topo.vertices():
+            for v, w in self._topo.neighbors(u):
+                key = (u, v)
+                if key not in index:
+                    index[key] = len(caps)
+                    caps.append(w * self._bandwidth)
+                    ends.append(key)
+        if not hasattr(self, "_capacity"):
+            self._capacity = np.asarray(caps, dtype=float)
+        elif len(caps) != len(self._capacity):  # pragma: no cover - defensive
+            raise AssertionError(
+                f"analytic layout produced {len(self._capacity)} links "
+                f"but enumeration found {len(caps)}"
+            )
+        self._index = index
+        self._endpoints = ends
+
+    def _ensure_index(self) -> None:
+        if self._index is None:
+            self._build_index()
 
     @property
     def topology(self) -> Topology:
@@ -71,7 +118,7 @@ class LinkNetwork:
     @property
     def num_links(self) -> int:
         """Number of directed links."""
-        return len(self._endpoints)
+        return len(self._capacity)
 
     @property
     def link_bandwidth(self) -> float:
@@ -101,6 +148,7 @@ class LinkNetwork:
         :func:`repro.netsim.routing.fault_aware_route`); the fairness
         solver rejects flows crossing them.
         """
+        self._ensure_index()
         clone = object.__new__(LinkNetwork)
         clone._topo = self._topo
         clone._index = self._index
@@ -124,6 +172,7 @@ class LinkNetwork:
 
         Raises :class:`KeyError` when ``u`` and ``v`` are not adjacent.
         """
+        self._ensure_index()
         try:
             return self._index[(u, v)]
         except KeyError:
@@ -131,6 +180,7 @@ class LinkNetwork:
 
     def link_endpoints(self, link: int) -> tuple[Vertex, Vertex]:
         """Endpoints ``(u, v)`` of directed link index *link*."""
+        self._ensure_index()
         return self._endpoints[link]
 
     def path_to_links(self, path: Iterable[Vertex]) -> np.ndarray:
@@ -155,6 +205,15 @@ class LinkNetwork:
         """
         load = np.zeros(self.num_links, dtype=float)
         if volumes is None:
+            from .batchroute import PathMatrix
+
+            if isinstance(paths, PathMatrix):
+                # Unweighted loads are pure counts: one bincount over the
+                # flat CSR link-id array (exact — integer accumulation).
+                counts = np.bincount(
+                    paths.link_ids, minlength=self.num_links
+                )
+                return counts.astype(float)
             for p in paths:
                 if len(p):
                     np.add.at(load, p, 1.0)

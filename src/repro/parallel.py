@@ -101,6 +101,28 @@ def _serial_map(fn: Callable[[_T], _R], tasks: Sequence[_T]) -> list[_R]:
     return [fn(t) for t in tasks]
 
 
+def _serial_fallback(
+    fn: Callable[[_T], _R], tasks: Sequence[_T]
+) -> list[_R]:
+    """Serial execution of a sweep that *requested* parallelism.
+
+    Used when the effective worker count resolves to one (single-CPU
+    host) or no process pool can be created.  Keeps the observability
+    contract of the pool path — the ``parallel.sweep`` span and task
+    counters still appear, with ``workers=1`` — so traces show the
+    sweep regardless of where it ran.
+    """
+    with observability.span(
+        "parallel.sweep", tasks=len(tasks), workers=1
+    ):
+        results = _serial_map(fn, tasks)
+    if observability.OBS.enabled:
+        observability.counter_add("parallel.sweeps")
+        observability.counter_add("parallel.tasks", len(tasks))
+        observability.gauge_set("parallel.workers", 1)
+    return results
+
+
 class _SnapshottingTask:
     """Task wrapper: every result carries the worker's metric snapshot.
 
@@ -155,6 +177,9 @@ def sweep_map(
     jobs:
         Worker processes.  ``1`` runs serially in-process; ``None``/``0``
         resolves via :func:`resolve_jobs` (``REPRO_JOBS`` or CPU count).
+        The effective count is additionally capped at the machine's CPU
+        count; when that cap leaves a single worker, the sweep runs
+        serially (a one-worker pool is pure IPC overhead).
     chunksize:
         Tasks handed to a worker per dispatch; defaults to roughly four
         chunks per worker, which amortizes pickling for short tasks
@@ -187,7 +212,14 @@ def sweep_map(
     if jobs == 1 or len(task_list) <= 1:
         return _serial_map(fn, task_list)
 
-    workers = min(jobs, len(task_list))
+    # Parallelism cannot beat the hardware: more workers than CPUs only
+    # adds process churn and pickling (a 1-CPU host ran the parallel
+    # design-search sweep ~2x slower than serial before this cap), so
+    # the effective count is bounded by the CPU count — and a bound of
+    # one means the pool would be pure overhead: run serially instead.
+    workers = min(jobs, len(task_list), os.cpu_count() or 1)
+    if workers <= 1:
+        return _serial_fallback(fn, task_list)
     if chunksize is None:
         chunksize = max(1, -(-len(task_list) // (workers * 4)))
     try:
@@ -202,7 +234,7 @@ def sweep_map(
     except (ImportError, NotImplementedError, OSError, PermissionError):
         # No usable process pool on this platform/sandbox: the sweep
         # still completes, just serially.
-        return _serial_map(fn, task_list)
+        return _serial_fallback(fn, task_list)
     try:
         with observability.span(
             "parallel.sweep", tasks=len(task_list), workers=workers

@@ -54,7 +54,13 @@ import numpy as np
 
 from .. import observability
 from .._validation import check_positive_float, check_positive_int
+from ..caching import memoized
 from ..faults import FaultEvent, FaultReport, FaultSet, PartitionDisconnectedError
+from ..netsim.batchroute import (
+    batch_dimension_ordered_routes,
+    link_layout,
+    vector_enabled,
+)
 from ..netsim.fairness import max_min_fair_rates
 from ..netsim.network import LinkNetwork
 from ..netsim.routing import check_tie, dimension_ordered_route, fault_aware_route
@@ -73,6 +79,24 @@ __all__ = [
 Program = Callable[[int, int], Generator]
 
 _EPS = 1e-12
+
+
+@memoized(maxsize=256, key=lambda torus: torus)
+def _link_dim_table(torus: Torus) -> np.ndarray:
+    """Dimension index of every directed link of *torus* ("link class").
+
+    Follows analytically from the dense link layout — the per-vertex
+    slot-to-dimension map tiled over vertices — and is memoized per
+    torus through :mod:`repro.caching`: engines over equal tori (every
+    rank-program sweep) share one read-only table instead of rebuilding
+    it with a per-link Python loop.
+    """
+    layout = link_layout(torus)
+    table = np.tile(
+        np.asarray(layout.slot_dims), torus.num_vertices
+    )
+    table.flags.writeable = False
+    return table
 
 
 class DeadlockError(RuntimeError):
@@ -216,7 +240,6 @@ class VirtualMpi:
             else self._base_net
         )
         self._route_cache: dict[tuple[int, int], np.ndarray] = {}
-        self._link_dims: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -226,19 +249,76 @@ class VirtualMpi:
     def _link_dim_array(self) -> np.ndarray:
         """Dimension index of every directed link ("link class").
 
-        Built lazily on the first traced flow; only used while tracing
-        is enabled, to attribute moved bytes per torus dimension.
+        Only used while tracing is enabled, to attribute moved bytes per
+        torus dimension.  Memoized per torus (see
+        :func:`_link_dim_table`): repeated engine constructions over the
+        same partition share the table.
         """
-        if self._link_dims is None:
-            net = self._base_net
-            dims = np.empty(net.num_links, dtype=np.int64)
-            for i in range(net.num_links):
-                u, v = net.link_endpoints(i)
-                dims[i] = next(
-                    k for k in range(len(u)) if u[k] != v[k]
+        return _link_dim_table(self._torus)
+
+    def warm_routes(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> int:
+        """Batch-prefetch the route cache for known rank pairs.
+
+        Rank programs with a static communication pattern (the pairing
+        benchmark, halo exchanges) know their peers up front; routing
+        the whole pattern in one vectorized call
+        (:func:`repro.netsim.batchroute.batch_dimension_ordered_routes`)
+        before :meth:`run` turns every in-run ``path_of`` lookup into a
+        cache hit.  On faulted topologies — or under ``REPRO_VECTOR=0``
+        — prefetching falls back to the scalar (fault-aware) router,
+        with identical cached paths.
+
+        Returns the number of routes added (pairs already cached, or
+        given more than once, are skipped; same-node pairs cache an
+        empty path).
+        """
+        size = self.size
+        cache = self._route_cache
+        todo: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if not (0 <= a < size and 0 <= b < size):
+                raise ValueError(
+                    f"rank pair ({a}, {b}) out of range for a "
+                    f"{size}-rank world"
                 )
-            self._link_dims = dims
-        return self._link_dims
+            key = (self._rank_node[a], self._rank_node[b])
+            if key in seen or key in cache:
+                continue
+            seen.add(key)
+            todo.append(key)
+        if not todo:
+            return 0
+        if not self._faults0 and vector_enabled():
+            src = np.asarray([s for s, _ in todo], dtype=np.int64)
+            dst = np.asarray([d for _, d in todo], dtype=np.int64)
+            pm = batch_dimension_ordered_routes(
+                self._torus, src, dst, tie=self._tie
+            )
+            for i, key in enumerate(todo):
+                cache[key] = pm[i]
+        else:
+            for key in todo:
+                s, d = key
+                if self._faults0:
+                    verts = fault_aware_route(
+                        self._torus, self._verts[s], self._verts[d],
+                        self._faults0, tie=self._tie,
+                    )
+                else:
+                    verts = dimension_ordered_route(
+                        self._torus, self._verts[s], self._verts[d],
+                        tie=self._tie,
+                    )
+                cache[key] = self._net0.path_to_links(verts)
+        if observability.OBS.enabled:
+            observability.counter_add(
+                "simmpi.route_cache.warmed", len(todo)
+            )
+        return len(todo)
 
     def _record_flow_trace(self, path: np.ndarray, gb: float) -> None:
         """Traced-mode accounting of one started flow (bytes per class)."""

@@ -76,3 +76,21 @@ class TestSearch:
     def test_custom_sizes(self):
         cands = design_search(8, JUQUEEN, sizes=[4, 8])
         assert all(set(c.bandwidths) == {4, 8} for c in cands)
+
+
+class TestFluidCheck:
+    def test_fluid_check_passes_and_ranking_unchanged(self):
+        plain = design_search(6, JUQUEEN, sizes=[2, 4])
+        checked = design_search(
+            6, JUQUEEN, sizes=[2, 4], fluid_check_top=3
+        )
+        assert checked == plain
+
+    def test_fluid_check_detects_mismatch(self, monkeypatch):
+        import repro.experiments.pairing as pairing_mod
+
+        monkeypatch.setattr(
+            pairing_mod, "fluid_bisection_bandwidth", lambda g: -1.0
+        )
+        with pytest.raises(RuntimeError, match="fluid cross-check"):
+            design_search(6, JUQUEEN, sizes=[2, 4], fluid_check_top=1)

@@ -124,6 +124,27 @@ class TestDegradedBisectionStudy:
         )
         assert all(r.ranking_stable_fraction == 1.0 for r in rows)
 
+    def test_fluid_check_passes_and_rows_unchanged(self):
+        plain = degraded_bisection_study(
+            MIRA, 4, max_failures=1, trials=2, seed=0
+        )
+        checked = degraded_bisection_study(
+            MIRA, 4, max_failures=1, trials=2, seed=0, fluid_check=True
+        )
+        assert checked == plain
+
+    def test_fluid_check_detects_mismatch(self, monkeypatch):
+        import repro.experiments.faultstudy as faultstudy_mod
+        import repro.experiments.pairing as pairing_mod
+
+        monkeypatch.setattr(
+            pairing_mod, "fluid_bisection_bandwidth", lambda g: -1.0
+        )
+        with pytest.raises(RuntimeError, match="fluid cross-check"):
+            faultstudy_mod.degraded_bisection_study(
+                MIRA, 4, max_failures=0, trials=1, fluid_check=True
+            )
+
     def test_validation(self):
         with pytest.raises(ValueError):
             degraded_bisection_study(MIRA, 0)

@@ -8,6 +8,8 @@ from repro.allocation.geometry import PartitionGeometry
 from repro.experiments.pairing import (
     PairingParameters,
     PairingResult,
+    fluid_bisection_bandwidth,
+    pairing_path_matrix,
     run_pairing,
 )
 
@@ -83,3 +85,58 @@ class TestGeometryComparison:
         assert res.num_midplanes == 4
         assert res.num_flows == 2048
         assert res.geometry is mira_4mp_proposed
+
+
+class TestVectorScalarParity:
+    """The batch-routed path (default) and the scalar oracle
+    (``REPRO_VECTOR=0``) must produce bit-identical results."""
+
+    GEOMETRIES = [
+        PartitionGeometry((1, 1, 1, 1)),
+        PartitionGeometry((2, 2, 1, 1)),
+        PartitionGeometry((4, 1, 1, 1)),
+    ]
+
+    @pytest.mark.parametrize(
+        "geometry", GEOMETRIES, ids=lambda g: str(g.dims)
+    )
+    def test_run_pairing_bit_identical(self, monkeypatch, geometry):
+        vector = run_pairing(geometry)
+        monkeypatch.setenv("REPRO_VECTOR", "0")
+        scalar = run_pairing(geometry)
+        assert vector == scalar  # dataclass equality: exact floats
+
+    def test_path_matrix_equals_scalar_routes(self):
+        from repro.netsim.network import LinkNetwork
+        from repro.netsim.routing import dimension_ordered_route
+        from repro.netsim.traffic import bisection_pairing
+        from repro.topology.torus import Torus
+
+        torus = Torus((4, 4, 2))
+        net = LinkNetwork(torus)
+        pm = pairing_path_matrix(torus)
+        scalar = [
+            net.path_to_links(dimension_ordered_route(torus, s, d))
+            for s, d in bisection_pairing(torus)
+        ]
+        assert len(pm) == len(scalar)
+        for got, want in zip(pm, scalar):
+            assert got.tolist() == want.tolist()
+
+
+class TestFluidBisectionBandwidth:
+    @pytest.mark.parametrize(
+        "dims",
+        [(1, 1, 1, 1), (2, 2, 1, 1), (4, 1, 1, 1), (2, 2, 2, 2)],
+    )
+    def test_matches_static_cut_arithmetic(self, dims):
+        geometry = PartitionGeometry(dims)
+        assert fluid_bisection_bandwidth(geometry) == pytest.approx(
+            float(geometry.normalized_bisection_bandwidth), rel=1e-12
+        )
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            fluid_bisection_bandwidth(
+                PartitionGeometry((1, 1, 1, 1)), link_bandwidth=0.0
+            )

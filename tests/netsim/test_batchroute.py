@@ -1,0 +1,219 @@
+"""Unit tests for the CSR path container and the batch router."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.batchroute import (
+    PathMatrix,
+    batch_dimension_ordered_routes,
+    link_layout,
+    vector_enabled,
+    vertex_indices,
+)
+from repro.netsim.fairness import max_min_fair_rates
+from repro.netsim.network import LinkNetwork
+from repro.topology.torus import Torus
+
+
+class TestPathMatrix:
+    def test_from_paths_roundtrip(self):
+        arrays = [[0, 1, 2], [], [5], [3, 4]]
+        pm = PathMatrix.from_paths(arrays)
+        assert len(pm) == 4
+        assert pm.total_links == 6
+        assert [p.tolist() for p in pm] == arrays
+        assert pm.lengths.tolist() == [3, 0, 1, 2]
+
+    def test_from_paths_on_pathmatrix_is_identity(self):
+        pm = PathMatrix.from_paths([[0], [1]])
+        assert PathMatrix.from_paths(pm) is pm
+
+    def test_negative_index_and_bounds(self):
+        pm = PathMatrix.from_paths([[0, 1], [2]])
+        assert pm[-1].tolist() == [2]
+        with pytest.raises(IndexError):
+            pm[2]
+        with pytest.raises(IndexError):
+            pm[-3]
+
+    def test_arrays_are_read_only(self):
+        pm = PathMatrix.from_paths([[0, 1], [2]])
+        with pytest.raises(ValueError):
+            pm.link_ids[0] = 9
+        with pytest.raises(ValueError):
+            pm[0][0] = 9
+
+    def test_flow_ids_align_with_link_ids(self):
+        pm = PathMatrix.from_paths([[7, 8], [], [9]])
+        assert pm.flow_ids().tolist() == [0, 0, 2]
+        assert pm.link_ids.tolist() == [7, 8, 9]
+
+    def test_empty(self):
+        pm = PathMatrix.from_paths([])
+        assert len(pm) == 0 and pm.total_links == 0
+        assert list(pm) == []
+
+    def test_invalid_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            PathMatrix(np.array([1, 2]), np.array([0, 1]))  # wrong tail
+        with pytest.raises(ValueError):
+            PathMatrix(np.array([1, 2]), np.array([0, 2, 1, 2]))
+
+
+class TestVectorEnabled:
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off", "OFF"])
+    def test_falsey_disables(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_VECTOR", raw)
+        assert vector_enabled() is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "yes", "on", ""])
+    def test_other_values_enable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_VECTOR", raw)
+        assert vector_enabled() is True
+
+    def test_unset_enables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VECTOR", raising=False)
+        assert vector_enabled() is True
+
+
+class TestBatchRouterValidation:
+    def test_length_mismatch(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError, match="sources"):
+            batch_dimension_ordered_routes(
+                t, np.array([0, 1]), np.array([2])
+            )
+
+    def test_node_index_bounds(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError, match="node indices"):
+            batch_dimension_ordered_routes(
+                t, np.array([0]), np.array([8])
+            )
+
+    def test_bad_dim_order(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError, match="permutation"):
+            batch_dimension_ordered_routes(
+                t, np.array([0]), np.array([1]), dim_order=[0, 0]
+            )
+
+    def test_bad_tie(self):
+        t = Torus((4, 2))
+        with pytest.raises(ValueError):
+            batch_dimension_ordered_routes(
+                t, np.array([0]), np.array([1]), tie="coin-flip"
+            )
+
+    def test_no_flows(self):
+        t = Torus((4, 2))
+        pm = batch_dimension_ordered_routes(
+            t, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert len(pm) == 0
+
+    def test_same_node_pairs_have_empty_paths(self):
+        t = Torus((4, 2))
+        pm = batch_dimension_ordered_routes(
+            t, np.array([3, 5]), np.array([3, 5])
+        )
+        assert pm.lengths.tolist() == [0, 0]
+
+
+class TestVertexIndices:
+    def test_matches_vertices_order(self):
+        t = Torus((3, 2))
+        verts = list(t.vertices())
+        idx = vertex_indices(t, verts)
+        assert idx.tolist() == list(range(len(verts)))
+
+    def test_rejects_wrong_arity(self):
+        t = Torus((3, 2))
+        with pytest.raises(ValueError):
+            vertex_indices(t, [(1, 1, 1)])
+
+    def test_empty(self):
+        t = Torus((3, 2))
+        assert len(vertex_indices(t, [])) == 0
+
+
+class TestLayoutMemoized:
+    def test_layout_cache_hits(self):
+        link_layout.cache_clear()
+        a = link_layout(Torus((4, 3, 2)))
+        b = link_layout(Torus((4, 3, 2)))
+        assert a is b
+        info = link_layout.cache_info()
+        assert info.hits >= 1
+
+    def test_registered_name(self):
+        from repro.caching import cache_stats
+
+        assert link_layout.cache.name in cache_stats()
+
+
+class TestFairnessPathMatrixParity:
+    """The CSR-native solver must be bit-identical to the list API."""
+
+    def _pairing_case(self, dims):
+        t = Torus(dims)
+        net = LinkNetwork(t, link_bandwidth=2.0)
+        n = t.num_vertices
+        src = np.arange(n, dtype=np.int64)
+        dst = np.array(
+            [
+                int(
+                    vertex_indices(t, [t.antipode(v)])[0]
+                )
+                for v in t.vertices()
+            ],
+            dtype=np.int64,
+        )
+        pm = batch_dimension_ordered_routes(t, src, dst)
+        return net, pm
+
+    @pytest.mark.parametrize("dims", [(8, 4, 2), (4, 4), (5, 3, 2)])
+    def test_pathmatrix_equals_list_of_arrays(self, dims):
+        net, pm = self._pairing_case(dims)
+        as_lists = [pm[i] for i in range(len(pm))]
+        r_pm = max_min_fair_rates(pm, net.capacities)
+        r_list = max_min_fair_rates(as_lists, net.capacities)
+        assert np.array_equal(r_pm, r_list)
+
+    def test_active_subset_matches_sliced_solve(self):
+        net, pm = self._pairing_case((8, 4, 2))
+        keep = np.arange(0, len(pm), 3, dtype=np.int64)
+        r_subset = max_min_fair_rates(pm, net.capacities, active=keep)
+        r_manual = max_min_fair_rates(
+            [pm[int(i)] for i in keep], net.capacities
+        )
+        assert np.array_equal(r_subset, r_manual)
+
+    def test_active_with_demands_uses_global_indexing(self):
+        net, pm = self._pairing_case((4, 4))
+        demands = np.linspace(0.1, 0.5, len(pm))
+        keep = np.array([1, 5, 7], dtype=np.int64)
+        r = max_min_fair_rates(
+            pm, net.capacities, demands, active=keep
+        )
+        # Tiny demands are met exactly for a sparse subset.
+        assert r == pytest.approx(demands[keep])
+
+    def test_active_bounds_checked(self):
+        net, pm = self._pairing_case((4, 4))
+        with pytest.raises(ValueError, match="active"):
+            max_min_fair_rates(
+                pm, net.capacities, active=np.array([len(pm)])
+            )
+
+    def test_zero_capacity_error_names_global_flow(self):
+        pm = PathMatrix.from_paths([[0], [1], [1]])
+        caps = np.array([1.0, 0.0])
+        with pytest.raises(ValueError, match=r"flow 1 crosses failed"):
+            max_min_fair_rates(pm, caps)
+        with pytest.raises(ValueError, match=r"flow 2 crosses failed"):
+            max_min_fair_rates(
+                pm, caps, active=np.array([0, 2])
+            )

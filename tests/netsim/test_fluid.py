@@ -85,6 +85,71 @@ class TestValidation:
             FluidSimulation(net, [p01], [0.0])
 
 
+class TestGroupedCompletion:
+    """All flows finishing within _EPS of each other retire together."""
+
+    def _symmetric_pairing(self, dims):
+        from repro.experiments.pairing import pairing_path_matrix
+
+        t = Torus(dims)
+        net = LinkNetwork(t, link_bandwidth=2.0)
+        return net, pairing_path_matrix(t)
+
+    @pytest.mark.parametrize("dims", [(8, 4, 2), (4, 4), (8, 2)])
+    def test_symmetric_pattern_solves_in_one_round(self, dims):
+        net, pm = self._symmetric_pairing(dims)
+        sim = FluidSimulation(net, pm, [3.0] * len(pm))
+        makespan, results = sim.run()
+        assert sim.rounds_used == 1
+        assert all(
+            r.completion_time == pytest.approx(makespan) for r in results
+        )
+
+    def test_staggered_volumes_still_converge(self):
+        net, pm = self._symmetric_pairing((8, 2))
+        vols = [1.0 + 0.25 * i for i in range(len(pm))]
+        sim = FluidSimulation(net, pm, vols)
+        makespan, results = sim.run()
+        assert sim.rounds_used > 1
+        assert makespan == pytest.approx(
+            max(r.completion_time for r in results)
+        )
+
+    def test_volume_conservation_over_segments(self):
+        """Sum of rate x dt segments equals each flow's volume."""
+        net, pm = self._symmetric_pairing((8, 2))
+        vols = [1.0 + 0.25 * i for i in range(len(pm))]
+        sim = FluidSimulation(net, pm, vols, record_segments=True)
+        sim.run()
+        delivered = np.zeros(len(pm))
+        for dt, idx, rates in sim.segments:
+            delivered[idx] += rates * dt
+        assert delivered == pytest.approx(np.asarray(vols), rel=1e-9)
+
+    def test_empty_path_flow_completes_at_time_zero(self):
+        """A same-node flow (empty path) has rate inf and retires at
+        t=0 instead of poisoning the remaining-volume arithmetic."""
+        net, p01, _ = _net_and_paths()
+        makespan, results = FluidSimulation(
+            net, [np.empty(0, dtype=np.int64), p01], [1.0, 6.0]
+        ).run()
+        assert results[0].completion_time == 0.0
+        assert results[0].initial_rate == np.inf
+        assert makespan == pytest.approx(3.0)
+
+    def test_solve_matches_run(self):
+        net, pm = self._symmetric_pairing((4, 4))
+        vols = [2.0] * len(pm)
+        sim = FluidSimulation(net, pm, vols)
+        makespan, completion, initial = sim.solve()
+        makespan2, results = FluidSimulation(net, pm, vols).run()
+        assert makespan == makespan2
+        assert completion.tolist() == [
+            r.completion_time for r in results
+        ]
+        assert initial.tolist() == [r.initial_rate for r in results]
+
+
 class TestAgainstClosedForm:
     def test_pairing_time_is_volume_over_fair_rate(self):
         """For the symmetric pairing pattern, makespan = volume / rate."""

@@ -1,0 +1,192 @@
+"""Property tests: the batch router against the scalar oracle.
+
+The batch router must agree with ``dimension_ordered_route`` **link for
+link** — same directed link ids, same order — on random tori, for both
+tie-break policies, including the even-length antipodal ties where the
+tie-break actually fires, and on degraded-capacity networks (reduced
+but non-zero capacities do not change dimension-ordered routes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSet
+from repro.netsim.batchroute import (
+    batch_dimension_ordered_routes,
+    link_layout,
+    vertex_indices,
+)
+from repro.netsim.network import LinkNetwork
+from repro.netsim.routing import dimension_ordered_route, fault_aware_route
+from repro.topology.torus import Torus
+
+dims_strategy = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=1, max_size=4
+).map(tuple).filter(lambda d: 2 <= math.prod(d) <= 64)
+
+tie_strategy = st.sampled_from(["parity", "positive"])
+
+
+def _scalar_paths(torus, net, pairs, tie, dim_order=None):
+    verts = list(torus.vertices())
+    return [
+        net.path_to_links(
+            dimension_ordered_route(
+                torus, verts[i], verts[j], dim_order=dim_order, tie=tie
+            )
+        )
+        for i, j in pairs
+    ]
+
+
+@st.composite
+def torus_and_pairs(draw):
+    dims = draw(dims_strategy)
+    torus = Torus(dims)
+    n = torus.num_vertices
+    n_pairs = draw(st.integers(min_value=1, max_value=12))
+    pairs = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(n_pairs)
+    ]
+    return torus, pairs
+
+
+class TestBatchEqualsScalar:
+    @given(torus_and_pairs(), tie_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_random_pairs_link_for_link(self, tp, tie):
+        torus, pairs = tp
+        net = LinkNetwork(torus)
+        src = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        dst = np.asarray([j for _, j in pairs], dtype=np.int64)
+        pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+        expected = _scalar_paths(torus, net, pairs, tie)
+        assert len(pm) == len(expected)
+        for got, want in zip(pm, expected):
+            assert got.tolist() == want.tolist()
+
+    @given(torus_and_pairs(), tie_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_reversed_dim_order(self, tp, tie):
+        torus, pairs = tp
+        net = LinkNetwork(torus)
+        order = list(range(torus.ndim))[::-1]
+        src = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        dst = np.asarray([j for _, j in pairs], dtype=np.int64)
+        pm = batch_dimension_ordered_routes(
+            torus, src, dst, dim_order=order, tie=tie
+        )
+        expected = _scalar_paths(torus, net, pairs, tie, dim_order=order)
+        for got, want in zip(pm, expected):
+            assert got.tolist() == want.tolist()
+
+
+class TestAntipodalTies:
+    """Even-length dimensions put the antipode at exactly half the ring:
+    every hop of the relevant dimension is decided by the tie-break."""
+
+    @given(
+        st.lists(
+            st.sampled_from([2, 4, 6]), min_size=1, max_size=3
+        ).map(tuple).filter(lambda d: math.prod(d) <= 64),
+        tie_strategy,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_antipodal_pairs(self, dims, tie):
+        torus = Torus(dims)
+        net = LinkNetwork(torus)
+        verts = list(torus.vertices())
+        pairs = [
+            (i, vertex_indices(torus, [torus.antipode(v)])[0])
+            for i, v in enumerate(verts)
+        ]
+        src = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        dst = np.asarray([j for _, j in pairs], dtype=np.int64)
+        pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+        expected = _scalar_paths(torus, net, pairs, tie)
+        for got, want in zip(pm, expected):
+            assert got.tolist() == want.tolist()
+
+
+class TestDegradedNetworks:
+    """Degraded (non-zero) capacities leave dimension-ordered routes
+    unchanged, so the batch router must match the fault-aware scalar
+    router on degraded-capacity networks too."""
+
+    @given(torus_and_pairs(), st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_degraded_links_keep_batch_routes(self, tp, factor):
+        torus, pairs = tp
+        net = LinkNetwork(torus)
+        verts = list(torus.vertices())
+        # Degrade the first link of the first pair's natural route (when
+        # it has one) — the most likely link to perturb, if any could.
+        i0, j0 = pairs[0]
+        route0 = dimension_ordered_route(torus, verts[i0], verts[j0])
+        if len(route0) < 2:
+            degraded = FaultSet()
+        else:
+            degraded = FaultSet(
+                degraded_links={(route0[0], route0[1]): factor}
+            )
+        faulted = net.with_faults(degraded)
+        assert not np.any(faulted.capacities == 0)
+        src = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        dst = np.asarray([j for _, j in pairs], dtype=np.int64)
+        pm = batch_dimension_ordered_routes(torus, src, dst)
+        for (i, j), got in zip(pairs, pm):
+            want = faulted.path_to_links(
+                fault_aware_route(
+                    torus, verts[i], verts[j], degraded
+                )
+            )
+            assert got.tolist() == want.tolist()
+
+
+class TestLayoutMatchesLinkNetwork:
+    @given(dims_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_analytic_ids_equal_first_seen_ids(self, dims):
+        torus = Torus(dims)
+        net = LinkNetwork(torus)
+        layout = link_layout(torus)
+        assert net.num_links == torus.num_vertices * layout.degree
+        verts = list(torus.vertices())
+        for rank, u in enumerate(verts):
+            for v, _w in torus.neighbors(u):
+                k = next(i for i in range(len(u)) if u[i] != v[i])
+                a = torus.dims[k]
+                if a == 2:
+                    step = 1
+                else:
+                    step = 1 if (u[k] + 1) % a == v[k] else -1
+                assert layout.link_id(rank, k, step) == net.link_id(u, v)
+
+    @given(dims_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_analytic_capacities_equal_enumerated(self, dims):
+        torus = Torus(dims)
+        net = LinkNetwork(torus, link_bandwidth=2.0)
+        analytic = net.capacities.copy()
+        net._build_index()  # force the enumeration path
+        enumerated = np.asarray(
+            [
+                torus.dim_weights[
+                    next(i for i in range(len(u)) if u[i] != v[i])
+                ]
+                * 2.0
+                for u, v in (
+                    net.link_endpoints(l) for l in range(net.num_links)
+                )
+            ]
+        )
+        assert np.array_equal(analytic, enumerated)

@@ -77,6 +77,109 @@ class TestSweepMap:
         assert sweep_map(square, gen, jobs=1) == [x * x for x in range(6)]
 
 
+class TestCpuCap:
+    """Regression: a jobs>1 sweep on a 1-CPU host must not spawn a pool
+    (the pool was measured ~2x slower than serial there)."""
+
+    def test_single_cpu_runs_serially(self, monkeypatch):
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "ProcessPoolExecutor created despite cpu_count=1"
+            )
+
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        items = list(range(9))
+        assert sweep_map(square, items, jobs=4) == [x * x for x in items]
+
+    def test_workers_capped_at_cpu_count(self, monkeypatch):
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        seen: dict[str, int] = {}
+
+        import concurrent.futures
+
+        real_pool = concurrent.futures.ProcessPoolExecutor
+
+        def _spy_pool(max_workers=None, **kwargs):
+            seen["max_workers"] = max_workers
+            return real_pool(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _spy_pool
+        )
+        items = list(range(9))
+        assert sweep_map(square, items, jobs=8) == [x * x for x in items]
+        assert seen["max_workers"] == 2
+
+    def test_single_cpu_fallback_emits_sweep_metrics(self, monkeypatch):
+        """The serial fallback keeps the observability contract: the
+        parallel.sweep span and task counters appear either way."""
+        import repro.parallel as parallel
+        from repro import observability
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        s = observability.OBS
+        saved = (
+            s.enabled, s.events, s.dropped_events, s.stack,
+            s.span_totals, s.counters, s.gauges, s.origin,
+        )
+        s.enabled = False
+        s.reset()
+        try:
+            observability.enable()
+            sweep_map(square, list(range(5)), jobs=2)
+            assert s.counters["parallel.tasks"] == 5.0
+            assert s.counters["parallel.sweeps"] == 1.0
+            assert "parallel.sweep" in s.span_totals
+            assert s.gauges["parallel.workers"] == 1.0
+        finally:
+            (
+                s.enabled, s.events, s.dropped_events, s.stack,
+                s.span_totals, s.counters, s.gauges, s.origin,
+            ) = saved
+
+    def test_pool_creation_failure_emits_sweep_metrics(self, monkeypatch):
+        import concurrent.futures
+
+        from repro import observability
+
+        def _broken_pool(*args, **kwargs):
+            raise OSError("no process support")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _broken_pool
+        )
+        s = observability.OBS
+        saved = (
+            s.enabled, s.events, s.dropped_events, s.stack,
+            s.span_totals, s.counters, s.gauges, s.origin,
+        )
+        s.enabled = False
+        s.reset()
+        try:
+            observability.enable()
+            items = list(range(6))
+            assert sweep_map(square, items, jobs=4) == [
+                x * x for x in items
+            ]
+            assert s.counters["parallel.tasks"] == 6.0
+            assert "parallel.sweep" in s.span_totals
+        finally:
+            (
+                s.enabled, s.events, s.dropped_events, s.stack,
+                s.span_totals, s.counters, s.gauges, s.origin,
+            ) = saved
+
+
 class TestResolveJobs:
     def test_positive_passthrough(self):
         assert resolve_jobs(3) == 3

@@ -1,0 +1,136 @@
+"""Unit tests for the CI perf-regression guard.
+
+The guard script lives outside the package (``benchmarks/``), so it is
+loaded here by file path.  It compares the newest ``BENCH_perf.json``
+record against the most recent record from an equivalent runner and
+fails on >2x timing regressions.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GUARD_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_perf_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def guard():
+    spec = importlib.util.spec_from_file_location("perfguard", GUARD_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def record(timings, cpu=4, platform="linux-test", ts="2026-01-01T00:00:00Z"):
+    return {
+        "timestamp": ts,
+        "cpu_count": cpu,
+        "platform": platform,
+        "timings": timings,
+    }
+
+
+class TestFindBaseline:
+    def test_empty_history(self, guard):
+        assert guard.find_baseline([]) == (None, None)
+
+    def test_single_record_has_no_baseline(self, guard):
+        current, baseline = guard.find_baseline([record({"a_s": 1.0})])
+        assert current is not None and baseline is None
+
+    def test_skips_incomparable_runners(self, guard):
+        other = record({"a_s": 1.0}, cpu=16)
+        mine_old = record({"a_s": 2.0})
+        mine_new = record({"a_s": 2.1})
+        current, baseline = guard.find_baseline([mine_old, other, mine_new])
+        assert current is mine_new
+        assert baseline is mine_old
+
+    def test_uses_most_recent_comparable(self, guard):
+        older = record({"a_s": 5.0}, ts="2026-01-01T00:00:00Z")
+        newer = record({"a_s": 1.0}, ts="2026-01-02T00:00:00Z")
+        current = record({"a_s": 1.1}, ts="2026-01-03T00:00:00Z")
+        _, baseline = guard.find_baseline([older, newer, current])
+        assert baseline is newer
+
+
+class TestCheck:
+    def test_no_records_passes(self, guard):
+        assert guard.check([]) == []
+
+    def test_no_baseline_passes(self, guard):
+        assert guard.check([record({"a_s": 1.0})]) == []
+
+    def test_within_bounds_passes(self, guard):
+        history = [record({"a_s": 1.0}), record({"a_s": 1.9})]
+        assert guard.check(history) == []
+
+    def test_regression_detected(self, guard):
+        history = [record({"a_s": 1.0}), record({"a_s": 2.5})]
+        failures = guard.check(history)
+        assert len(failures) == 1
+        assert "a_s" in failures[0]
+
+    def test_improvement_passes(self, guard):
+        history = [record({"a_s": 2.0}), record({"a_s": 0.1})]
+        assert guard.check(history) == []
+
+    def test_derived_metrics_skipped(self, guard):
+        history = [
+            record({"pairing_vector_speedup": 20.0, "rate": 0.9}),
+            record({"pairing_vector_speedup": 1.0, "rate": 0.1}),
+        ]
+        assert guard.check(history) == []
+
+    def test_tiny_timings_skipped_as_jitter(self, guard):
+        history = [record({"a_s": 0.001}), record({"a_s": 0.004})]
+        assert guard.check(history) == []
+
+    def test_new_timing_key_passes(self, guard):
+        history = [record({}), record({"new_s": 3.0})]
+        assert guard.check(history) == []
+
+    def test_non_numeric_timing_ignored(self, guard):
+        history = [record({"a_s": "fast"}), record({"a_s": 1.0})]
+        assert guard.check(history) == []
+
+
+class TestMain:
+    def test_passes_on_real_trajectory_format(self, guard, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps([
+            record({"a_s": 1.0}),
+            record({"a_s": 1.2}),
+        ]))
+        assert guard.main(["prog", str(path)]) == 0
+
+    def test_fails_on_regression(self, guard, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps([
+            record({"a_s": 1.0}),
+            record({"a_s": 9.0}),
+        ]))
+        assert guard.main(["prog", str(path)]) == 1
+
+    def test_missing_file_passes(self, guard, tmp_path):
+        assert guard.main(["prog", str(tmp_path / "nope.json")]) == 0
+
+    def test_corrupt_file_passes(self, guard, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("{not json")
+        assert guard.main(["prog", str(path)]) == 0
+
+    def test_checks_repo_trajectory_by_default_path(self, guard):
+        # The committed trajectory itself must pass the guard (records
+        # from different runners are simply incomparable).
+        history = guard.load_history(guard.DEFAULT_BENCH_FILE)
+        assert isinstance(history, list)
+        assert guard.check(history) is not None
