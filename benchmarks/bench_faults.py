@@ -16,14 +16,52 @@ Two claims ride on the fault subsystem:
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.allocation.geometry import PartitionGeometry
 from repro.analysis.report import render_table
-from repro.experiments.faultstudy import degraded_bisection_study
+from repro.experiments.faultstudy import (
+    degraded_bisection_study,
+    fluid_fault_sweep,
+)
 from repro.faults import FaultSet, random_link_failures
 from repro.machines.catalog import JUQUEEN, MIRA
 from repro.simmpi import SendRecv, VirtualMpi
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _append_perf_record(timings: dict) -> None:
+    """Append one record to the BENCH_perf.json trajectory.
+
+    Same record shape as ``bench_perfbaseline.py`` (``benchmarks/`` is
+    not a package, so the helper is duplicated); the per-key regression
+    guard in ``check_perf_regression.py`` pairs each metric with its
+    own previous occurrence, so harnesses can append independently.
+    """
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timings": timings,
+    }
+    history: list[dict] = []
+    if BENCH_FILE.exists():
+        try:
+            history = json.loads(BENCH_FILE.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    BENCH_FILE.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def test_mira_ranking_survives_failures(benchmark, report):
@@ -108,4 +146,43 @@ def test_faulted_pairing_overhead(benchmark, report):
         } for s, t in [("healthy", healthy.time), ("1 link down", faulted.time)]],
         ["scenario", "time_s"],
         title="Pairing on 512 nodes: healthy vs one failed link",
+    ))
+
+
+def test_fluid_fault_sweep_throughput(report):
+    """Scenario throughput of the flow-level fault sweep, guarded in CI.
+
+    Times the fault-masked batch-routing sweep on a 512-node partition
+    and records ``fault_sweep_scenarios_per_s`` in the BENCH_perf.json
+    trajectory, where ``check_perf_regression.py`` fails the build if
+    the rate halves.  Also asserts the sweep's contract: deterministic
+    rows, the healthy ``k = 0`` scenario at full fluid bisection, and
+    no spurious degradation (k <= 4 failures cannot sever a min cut of
+    9 links on this torus).
+    """
+    geo = PartitionGeometry((1, 1, 1, 1))
+    rows = fluid_fault_sweep(geo, max_failures=2, trials=2, seed=0)  # warm
+    t0 = time.perf_counter()
+    rows = fluid_fault_sweep(geo, max_failures=4, trials=5, seed=0)
+    elapsed = time.perf_counter() - t0
+    assert len(rows) == 1 + 4 * 5
+    assert rows[0].failures == 0 and rows[0].bandwidth > 0
+    assert all(r.degraded is None for r in rows)
+    assert all(0 < r.bandwidth <= rows[0].bandwidth for r in rows)
+    # Determinism: a rerun of the same grid is bit-identical.
+    assert fluid_fault_sweep(geo, max_failures=4, trials=5, seed=0) == rows
+
+    rate = len(rows) / max(elapsed, 1e-9)
+    _append_perf_record({"fault_sweep_scenarios_per_s": round(rate, 2)})
+
+    report(render_table(
+        [{
+            "grid": "512 nodes, k<=4, 21 scenarios",
+            "elapsed_s": f"{elapsed:.3f}",
+            "scenarios_per_s": f"{rate:.1f}",
+            "healthy_bw": f"{rows[0].bandwidth:.1f}",
+        }],
+        ["grid", "elapsed_s", "scenarios_per_s", "healthy_bw"],
+        title="Flow-level fault sweep: scenario throughput "
+              "(fault-masked batch routing)",
     ))

@@ -1,23 +1,35 @@
 #!/usr/bin/env python
-"""CI guard: fail when a tracked timing regresses against the trajectory.
+"""CI guard: fail when a tracked metric regresses against the trajectory.
 
-Reads the ``BENCH_perf.json`` trajectory that
-``benchmarks/bench_perfbaseline.py`` appends to, takes the newest record
-and the most recent *comparable* earlier record (same CPU count and
-platform — cross-runner comparisons are noise), and fails when any
-``*_s`` timing regressed by more than the allowed factor.
+Reads the ``BENCH_perf.json`` trajectory that the benchmark harnesses
+(``benchmarks/bench_perfbaseline.py``, ``benchmarks/bench_faults.py``)
+append to.  Different harnesses append different records, so the guard
+works **per key**: for every metric name ever recorded it takes the
+newest record carrying that key and the most recent *comparable*
+earlier record carrying it (same CPU count and platform — cross-runner
+comparisons are noise), and fails when the metric regressed by more
+than the allowed factor.
 
-Derived metrics (``*_speedup``, ``*_pct``, ``*_rate``) are skipped:
-they have their own in-bench assertions.  Timings below an absolute
-floor are skipped too — a 2 ms blip on a 1 ms measurement is jitter,
-not a regression.
+Two metric families are guarded, told apart by suffix:
+
+``*_s``
+    Wall-clock timings — lower is better; a regression is growth by
+    more than ``MAX_REGRESSION_FACTOR``.  Timings below an absolute
+    floor are skipped (a 2 ms blip on a 1 ms measurement is jitter).
+``*_per_s``
+    Throughput rates — higher is better; a regression is a drop below
+    ``baseline / MAX_REGRESSION_FACTOR``.
+
+Anything else (``*_speedup``, ``*_pct``, ``*_rate``, metadata) is
+skipped: derived metrics have their own in-bench assertions.
 
 Usage::
 
     python benchmarks/check_perf_regression.py [path/to/BENCH_perf.json]
 
-Exit status 0 when no comparable baseline exists (first run on a new
-runner), or when every timing is within bounds; 1 on regression.
+Exit status 0 when no comparable baseline exists for any key (first
+run on a new runner), or when every metric is within bounds; 1 on
+regression.
 """
 
 from __future__ import annotations
@@ -26,7 +38,8 @@ import json
 import sys
 from pathlib import Path
 
-#: A timing must grow by more than this factor to count as a regression.
+#: A timing must grow (a rate must shrink) by more than this factor to
+#: count as a regression.
 MAX_REGRESSION_FACTOR = 2.0
 
 #: Timings shorter than this (seconds) are jitter-dominated; skip them.
@@ -54,57 +67,93 @@ def comparable(a: dict, b: dict) -> bool:
     )
 
 
-def find_baseline(history: list[dict]) -> tuple[dict | None, dict | None]:
-    """(current, baseline): newest record and its comparable predecessor."""
-    if not history:
-        return None, None
-    current = history[-1]
-    for record in reversed(history[:-1]):
-        if comparable(current, record):
-            return current, record
+def classify(key: str) -> str | None:
+    """``"rate"`` for ``*_per_s``, ``"timing"`` for ``*_s``, else None."""
+    if key.endswith("_per_s"):
+        return "rate"
+    if key.endswith("_s"):
+        return "timing"
+    return None
+
+
+def tracked_keys(history: list[dict]) -> list[str]:
+    """Every guarded metric name appearing anywhere in the trajectory."""
+    keys: set[str] = set()
+    for rec in history:
+        timings = rec.get("timings")
+        if isinstance(timings, dict):
+            keys.update(k for k in timings if classify(k) is not None)
+    return sorted(keys)
+
+
+def latest_pair(
+    history: list[dict], key: str
+) -> tuple[tuple[dict, float] | None, tuple[dict, float] | None]:
+    """(current, baseline) for one key: each a ``(record, value)`` pair.
+
+    *current* is the newest record carrying a numeric *key*; *baseline*
+    is the next older comparable record carrying it.  Either may be
+    ``None`` when absent.
+    """
+    current: tuple[dict, float] | None = None
+    for rec in reversed(history):
+        timings = rec.get("timings")
+        if not isinstance(timings, dict):
+            continue
+        val = timings.get(key)
+        if isinstance(val, bool) or not isinstance(val, (int, float)):
+            continue
+        if current is None:
+            current = (rec, float(val))
+        elif comparable(current[0], rec):
+            return current, (rec, float(val))
     return current, None
 
 
 def check(history: list[dict]) -> list[str]:
     """Return a list of failure messages (empty = pass)."""
-    current, baseline = find_baseline(history)
-    if current is None:
+    if not history:
         print("perf guard: no bench records yet; nothing to check")
-        return []
-    if baseline is None:
-        print(
-            "perf guard: no comparable baseline "
-            f"(cpu_count={current.get('cpu_count')}, "
-            f"platform={current.get('platform')!r}); first run passes"
-        )
         return []
 
     failures: list[str] = []
     checked = 0
-    for key, now in sorted(current.get("timings", {}).items()):
-        if not key.endswith("_s"):
+    for key in tracked_keys(history):
+        kind = classify(key)
+        current, baseline = latest_pair(history, key)
+        if current is None:
             continue
-        before = baseline.get("timings", {}).get(key)
-        if before is None or not isinstance(before, (int, float)):
+        if baseline is None:
+            print(f"perf guard: {key}: no comparable baseline; skipped")
             continue
-        if not isinstance(now, (int, float)):
-            continue
-        if before < ABSOLUTE_FLOOR_S and now < ABSOLUTE_FLOOR_S:
-            continue
-        checked += 1
-        limit = max(before * MAX_REGRESSION_FACTOR, ABSOLUTE_FLOOR_S)
+        now = current[1]
+        before = baseline[1]
+        if kind == "timing":
+            if before < ABSOLUTE_FLOOR_S and now < ABSOLUTE_FLOOR_S:
+                continue
+            checked += 1
+            limit = max(before * MAX_REGRESSION_FACTOR, ABSOLUTE_FLOOR_S)
+            regressed = now > limit
+            unit, bound = "s", f"> x{MAX_REGRESSION_FACTOR} limit {limit:.4f}s"
+            arrow = f"{before:.4f}s -> {now:.4f}s"
+        else:  # rate: higher is better
+            if before <= 0:
+                continue
+            checked += 1
+            limit = before / MAX_REGRESSION_FACTOR
+            regressed = now < limit
+            unit = "/s"
+            bound = f"< baseline/{MAX_REGRESSION_FACTOR} limit {limit:.2f}/s"
+            arrow = f"{before:.2f}/s -> {now:.2f}/s"
         status = "ok"
-        if now > limit:
+        if regressed:
             status = "REGRESSED"
             failures.append(
-                f"{key}: {now:.4f}s vs baseline {before:.4f}s "
-                f"(> x{MAX_REGRESSION_FACTOR} limit {limit:.4f}s)"
+                f"{key}: {now:.4f}{unit} vs baseline {before:.4f}{unit} "
+                f"({bound})"
             )
-        print(f"perf guard: {key}: {before:.4f}s -> {now:.4f}s [{status}]")
-    print(
-        f"perf guard: {checked} timing(s) checked against baseline "
-        f"{baseline.get('timestamp', '?')}"
-    )
+        print(f"perf guard: {key}: {arrow} [{status}]")
+    print(f"perf guard: {checked} metric(s) checked against baselines")
     return failures
 
 

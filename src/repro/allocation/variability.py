@@ -150,6 +150,7 @@ def simulate_job_streams(
     selections: Sequence[str] = SELECTION_RULES,
     seed: int = 0,
     jobs: int | None = 1,
+    checkpoint=None,
 ) -> list[VariabilityReport]:
     """One :func:`simulate_job_stream` per selection rule, optionally in
     parallel.
@@ -157,6 +158,8 @@ def simulate_job_streams(
     Every rule's stream uses the *same* base seed (matching what a
     serial loop over :func:`simulate_job_stream` would do), so the
     reports are bit-identical to the serial path regardless of *jobs*.
+    *checkpoint* (a JSONL path) journals completed rule streams and
+    resumes a killed sweep from them (see :mod:`repro.resilience`).
     """
     with observability.span(
         "experiment.variability", rules=len(selections)
@@ -165,4 +168,5 @@ def simulate_job_streams(
             _stream_task,
             [(policy, job, num_jobs, rule, seed) for rule in selections],
             jobs=jobs,
+            checkpoint=checkpoint,
         )

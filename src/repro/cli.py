@@ -33,7 +33,15 @@ process count.
 The same sweep subcommands accept ``--trace PATH`` to record a JSONL
 trace of the run (spans, counters, merged worker cache stats; see
 :mod:`repro.observability`), equivalent to setting ``REPRO_TRACE=PATH``
-in the environment.
+in the environment, and ``--checkpoint PATH`` to journal completed
+tasks to a JSONL checkpoint: a killed sweep re-run with the same
+arguments and checkpoint resumes from the completed tasks and produces
+bit-identical output (see :mod:`repro.resilience`).
+
+``faults --fluid-sweep`` runs the flow-level fault scenario sweep on
+the optimal geometry instead of the cut-arithmetic ranking table;
+scenarios whose failures sever some antipodal pair are printed as
+DEGRADED rows (with the disconnect witness) instead of aborting.
 """
 
 from __future__ import annotations
@@ -50,6 +58,15 @@ def _add_trace_flag(p: argparse.ArgumentParser) -> None:
         "--trace", metavar="PATH", default=None,
         help="record a JSONL observability trace of this run to PATH "
         "(same as REPRO_TRACE=PATH; inspect with 'trace summarize')",
+    )
+
+
+def _add_checkpoint_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal completed sweep tasks to a JSONL checkpoint at "
+        "PATH and resume from it on restart (bit-identical to an "
+        "uninterrupted run)",
     )
 
 
@@ -90,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --sweep (0 = auto; default: 1)",
     )
     _add_trace_flag(p)
+    _add_checkpoint_flag(p)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("number", type=int, choices=range(1, 8))
@@ -109,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for candidate scoring (0 = auto)",
     )
     _add_trace_flag(p)
+    _add_checkpoint_flag(p)
 
     p = sub.add_parser(
         "variability",
@@ -127,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes, one selection rule each (0 = auto)",
     )
     _add_trace_flag(p)
+    _add_checkpoint_flag(p)
 
     p = sub.add_parser(
         "faults",
@@ -153,7 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the trial grid (0 = auto)",
     )
+    p.add_argument(
+        "--fluid-sweep", action="store_true",
+        help="run the flow-level fault scenario sweep on the optimal "
+        "geometry (batch fault-masked routing); disconnected "
+        "scenarios appear as DEGRADED rows instead of aborting",
+    )
     _add_trace_flag(p)
+    _add_checkpoint_flag(p)
 
     p = sub.add_parser(
         "trace",
@@ -260,14 +287,18 @@ def _cmd_geometry(dims: Sequence[int]) -> int:
 
 
 def _cmd_pairing(
-    dims: Sequence[int], rounds: int, sweep: str | None, jobs: int
+    dims: Sequence[int],
+    rounds: int,
+    sweep: str | None,
+    jobs: int,
+    checkpoint: str | None = None,
 ) -> int:
     from .allocation.geometry import PartitionGeometry
     from .experiments.pairing import PairingParameters, run_pairing
 
     params = PairingParameters(rounds=rounds)
     if sweep is not None:
-        return _cmd_pairing_sweep(sweep, params, jobs)
+        return _cmd_pairing_sweep(sweep, params, jobs, checkpoint)
     if not dims:
         raise ValueError(
             "pairing needs a geometry (midplane dims) or --sweep MACHINE"
@@ -281,7 +312,9 @@ def _cmd_pairing(
     return 0
 
 
-def _cmd_pairing_sweep(machine_name: str, params, jobs: int) -> int:
+def _cmd_pairing_sweep(
+    machine_name: str, params, jobs: int, checkpoint: str | None = None
+) -> int:
     from .allocation.optimizer import best_worst_table
     from .analysis.report import render_table
     from .experiments.pairing import run_pairing_sweep
@@ -293,7 +326,9 @@ def _cmd_pairing_sweep(machine_name: str, params, jobs: int) -> int:
     for r in comparisons:
         geometries.append(r.current)
         geometries.append(r.proposed)
-    results = run_pairing_sweep(geometries, params, jobs=jobs)
+    results = run_pairing_sweep(
+        geometries, params, jobs=jobs, checkpoint=checkpoint
+    )
     rows = []
     for r, worst_res, best_res in zip(
         comparisons, results[0::2], results[1::2]
@@ -393,6 +428,8 @@ def _cmd_faults(
     trials: int,
     seed: int,
     jobs: int,
+    fluid_sweep: bool = False,
+    checkpoint: str | None = None,
 ) -> int:
     from .analysis.report import render_table
     from .experiments.faultstudy import (
@@ -405,6 +442,10 @@ def _cmd_faults(
     machine = get_machine(machine_name)
     default = default_geometry_for_machine(machine, size)
     optimal = best_geometry_for_machine(machine, size)
+    if fluid_sweep:
+        return _cmd_faults_fluid(
+            machine, optimal, max_failures, trials, seed, jobs, checkpoint
+        )
     rows = [
         {
             "failures": r.failures,
@@ -417,7 +458,7 @@ def _cmd_faults(
         }
         for r in degraded_bisection_study(
             machine, size, max_failures=max_failures, trials=trials,
-            seed=seed, jobs=jobs,
+            seed=seed, jobs=jobs, checkpoint=checkpoint,
         )
     ]
     print(render_table(
@@ -433,15 +474,65 @@ def _cmd_faults(
     return 0
 
 
+def _cmd_faults_fluid(
+    machine, geometry, max_failures: int, trials: int, seed: int,
+    jobs: int, checkpoint: str | None,
+) -> int:
+    from .analysis.report import render_table
+    from .experiments.faultstudy import fluid_fault_sweep
+
+    results = fluid_fault_sweep(
+        geometry, max_failures=max_failures, trials=trials, seed=seed,
+        jobs=jobs, checkpoint=checkpoint,
+    )
+    rows = []
+    degraded_count = 0
+    for r in results:
+        if r.degraded is not None:
+            degraded_count += 1
+            w_src, w_dst = r.degraded.witness
+            rows.append({
+                "failures": r.failures,
+                "trial": r.trial,
+                "seed": r.seed,
+                "bandwidth": f"{r.bandwidth:.3f}",
+                "status": (
+                    f"DEGRADED ({r.degraded.disconnected_flows} flows "
+                    f"cut, witness {tuple(w_src)}-{tuple(w_dst)})"
+                ),
+            })
+        else:
+            rows.append({
+                "failures": r.failures,
+                "trial": r.trial,
+                "seed": r.seed,
+                "bandwidth": f"{r.bandwidth:.3f}",
+                "status": "ok",
+            })
+    print(render_table(
+        rows,
+        ["failures", "trial", "seed", "bandwidth", "status"],
+        title=(
+            f"{machine.name} optimal geometry {geometry.label()}: "
+            f"flow-level surviving bisection under sampled link "
+            f"failures (seed {seed}, {degraded_count} degraded)"
+        ),
+    ))
+    return 0
+
+
 def _cmd_design_search(
-    baseline: str, max_midplanes: int, top: int, jobs: int
+    baseline: str, max_midplanes: int, top: int, jobs: int,
+    checkpoint: str | None = None,
 ) -> int:
     from .analysis.report import render_table
     from .experiments.designsearch import design_search
     from .machines.catalog import get_machine
 
     machine = get_machine(baseline)
-    search = design_search(max_midplanes, machine, jobs=jobs)
+    search = design_search(
+        max_midplanes, machine, jobs=jobs, checkpoint=checkpoint
+    )
     rows = [
         {
             "geometry": c.machine.midplane_dims,
@@ -469,6 +560,7 @@ def _cmd_variability(
     runtime: float,
     seed: int,
     jobs: int,
+    checkpoint: str | None = None,
 ) -> int:
     from .allocation.advisor import JobRequest
     from .allocation.policy import FreeCuboidPolicy
@@ -484,7 +576,8 @@ def _cmd_variability(
         contention_fraction=fraction,
     )
     reports = simulate_job_streams(
-        policy, job, num_jobs, SELECTION_RULES, seed=seed, jobs=jobs
+        policy, job, num_jobs, SELECTION_RULES, seed=seed, jobs=jobs,
+        checkpoint=checkpoint,
     )
     rows = [
         {
@@ -594,7 +687,7 @@ def _dispatch(args, trace_path, observability) -> int:
             code = _cmd_geometry(args.dims)
         elif args.command == "pairing":
             code = _cmd_pairing(args.dims, args.rounds, args.sweep,
-                                args.jobs)
+                                args.jobs, args.checkpoint)
         elif args.command == "table":
             code = _cmd_table(args.number)
         elif args.command == "figure":
@@ -602,16 +695,17 @@ def _dispatch(args, trace_path, observability) -> int:
         elif args.command == "faults":
             code = _cmd_faults(
                 args.machine, args.size, args.max_failures, args.trials,
-                args.seed, args.jobs,
+                args.seed, args.jobs, args.fluid_sweep, args.checkpoint,
             )
         elif args.command == "design-search":
             code = _cmd_design_search(
-                args.baseline, args.max_midplanes, args.top, args.jobs
+                args.baseline, args.max_midplanes, args.top, args.jobs,
+                args.checkpoint,
             )
         elif args.command == "variability":
             code = _cmd_variability(
                 args.machine, args.size, args.num_jobs, args.fraction,
-                args.runtime, args.seed, args.jobs,
+                args.runtime, args.seed, args.jobs, args.checkpoint,
             )
         elif args.command == "trace":
             code = _cmd_trace(args.action, args.path)

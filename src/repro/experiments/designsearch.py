@@ -90,6 +90,7 @@ def design_search(
     min_midplanes: int = 1,
     jobs: int | None = 1,
     fluid_check_top: int = 0,
+    checkpoint=None,
 ) -> list[DesignCandidate]:
     """Enumerate and rank machine geometries against a baseline.
 
@@ -116,6 +117,10 @@ def design_search(
         (:func:`repro.experiments.pairing.fluid_bisection_bandwidth`),
         else a :class:`RuntimeError` is raised.  ``0`` (default) skips
         the check; the ranking itself is unchanged either way.
+    checkpoint:
+        Optional JSONL path: completed candidate scores are journaled
+        and a killed search resumes from them (see
+        :mod:`repro.resilience`).
 
     Returns
     -------
@@ -156,6 +161,7 @@ def design_search(
             _score_candidate,
             [(dims, size_key) for dims in shapes],
             jobs=jobs,
+            checkpoint=checkpoint,
         )
 
     candidates: list[DesignCandidate] = []

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import observability
 from .._validation import check_nonnegative_int, check_positive_int
 from ..allocation.geometry import PartitionGeometry
@@ -34,16 +36,22 @@ from ..allocation.optimizer import (
     worst_geometry_for_machine,
 )
 from ..allocation.policy import PredefinedListPolicy, mira_policy
-from ..faults import FaultSet, random_link_failures
+from ..faults import DegradedResult, FaultSet, random_link_failures
+from ..kernels.costmodel import LINK_BANDWIDTH_GB_PER_S
 from ..machines.bgq import BlueGeneQMachine
+from ..netsim.batchroute import batch_fault_aware_routes
+from ..netsim.fairness import max_min_fair_rates
+from ..netsim.network import LinkNetwork
 from ..parallel import sweep_map
 from ..topology.torus import Torus
 
 __all__ = [
     "DegradedBisectionRow",
+    "FaultScenarioRow",
     "surviving_bisection_bandwidth",
     "default_geometry_for_machine",
     "degraded_bisection_study",
+    "fluid_fault_sweep",
 ]
 
 
@@ -189,6 +197,154 @@ def _paired_trial(
     return d_bw, o_bw
 
 
+@dataclass(frozen=True)
+class FaultScenarioRow:
+    """One flow-level fault scenario of :func:`fluid_fault_sweep`.
+
+    Attributes
+    ----------
+    failures:
+        Number of failed (undirected) links, ``k``.
+    trial:
+        Trial index within the failure count.
+    seed:
+        The scenario's failure-draw seed.
+    bandwidth:
+        Normalized *surviving* bisection bandwidth measured through the
+        flow model (aggregate max-min rate of the still-connected
+        antipodal flows over twice the link bandwidth).  Equals the
+        healthy fluid bisection at ``k = 0``.
+    degraded:
+        ``None`` for a fully connected scenario; otherwise the
+        :class:`repro.faults.DegradedResult` naming the fault set, a
+        severed witness pair, and the disconnected-flow count.  The
+        scenario still contributes its surviving bandwidth — a severed
+        pair degrades the row, it does not abort the sweep.
+    """
+
+    failures: int
+    trial: int
+    seed: int
+    bandwidth: float
+    degraded: DegradedResult | None = None
+
+
+# Worker-side memo for the fluid scenario tasks: geometry dims ->
+# (bgq torus, LinkNetwork, undirected edges, antipodal src/dst arrays).
+_FLUID_CACHE: dict[tuple, tuple] = {}
+
+
+def _fluid_net_for(dims: tuple[int, ...], link_bandwidth: float) -> tuple:
+    key = (dims, link_bandwidth)
+    entry = _FLUID_CACHE.get(key)
+    if entry is None:
+        torus = PartitionGeometry(dims).bgq_network()
+        net = LinkNetwork(torus, link_bandwidth=link_bandwidth)
+        edges = [(u, v) for u, v, _ in torus.edges()]
+        n = torus.num_vertices
+        src = np.arange(n, dtype=np.int64)
+        coords = np.stack(np.unravel_index(src, torus.dims), axis=1)
+        d = np.asarray(torus.dims, dtype=np.int64)
+        anti = (coords + d[None, :] // 2) % d[None, :]
+        dst = np.ravel_multi_index(tuple(anti.T), torus.dims).astype(
+            np.int64
+        )
+        entry = (torus, net, edges, src, dst)
+        _FLUID_CACHE[key] = entry
+    return entry
+
+
+def _fluid_scenario(
+    task: tuple[tuple[int, ...], int, int, int, float, str],
+) -> FaultScenarioRow:
+    """Flow-level surviving bandwidth of one seeded failure draw."""
+    dims, k, trial, trial_seed, link_bandwidth, tie = task
+    torus, net, edges, src, dst = _fluid_net_for(dims, link_bandwidth)
+    faults = random_link_failures(torus, k, seed=trial_seed, edges=edges)
+    pm, disconnected = batch_fault_aware_routes(
+        torus, src, dst, faults, tie=tie
+    )
+    fnet = net.with_faults(faults) if faults else net
+    active = None
+    if disconnected.size:
+        active = np.setdiff1d(
+            np.arange(len(pm), dtype=np.int64),
+            disconnected,
+            assume_unique=True,
+        )
+    if active is not None and active.size == 0:
+        surviving = 0.0
+    else:
+        rates = max_min_fair_rates(pm, fnet.capacities, active=active)
+        surviving = float(rates.sum()) / (2.0 * link_bandwidth)
+    degraded = None
+    if disconnected.size:
+        i = int(disconnected[0])
+        verts = list(torus.vertices())
+        degraded = DegradedResult(
+            scenario=(k, trial),
+            faults=faults,
+            witness=(verts[int(src[i])], verts[int(dst[i])]),
+            disconnected_flows=int(disconnected.size),
+        )
+    return FaultScenarioRow(
+        failures=k,
+        trial=trial,
+        seed=trial_seed,
+        bandwidth=surviving,
+        degraded=degraded,
+    )
+
+
+def fluid_fault_sweep(
+    geometry: PartitionGeometry,
+    max_failures: int = 4,
+    trials: int = 10,
+    seed: int = 0,
+    jobs: int | None = 1,
+    checkpoint=None,
+    link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S,
+    tie: str = "parity",
+) -> list[FaultScenarioRow]:
+    """Flow-level fault scenarios on one geometry, degraded not aborted.
+
+    For every ``k = 0..max_failures`` and trial, fails ``k`` seeded
+    links of the geometry's node-level torus, routes the full antipodal
+    pairing through the fault-masked batch router
+    (:func:`repro.netsim.batchroute.batch_fault_aware_routes`), and
+    measures the surviving flows' aggregate max-min bandwidth.  A
+    scenario whose fault set severs some pair yields a row carrying a
+    :class:`repro.faults.DegradedResult` — the sweep never raises
+    :class:`~repro.faults.PartitionDisconnectedError`.
+
+    The ``(k, trial)`` grid runs through :func:`repro.parallel.sweep_map`
+    with the same pairing of seeds as :func:`degraded_bisection_study`
+    (``seed + 1000·k + t``), so rows are bit-identical across ``jobs``;
+    *checkpoint* (a JSONL path) enables resumable execution via
+    :mod:`repro.resilience`.
+    """
+    check_nonnegative_int(max_failures, "max_failures")
+    check_positive_int(trials, "trials")
+    counts = [1 if k == 0 else trials for k in range(max_failures + 1)]
+    tasks = [
+        (geometry.dims, k, t, seed + 1000 * k + t, link_bandwidth, tie)
+        for k, n_trials in enumerate(counts)
+        for t in range(n_trials)
+    ]
+    with observability.span(
+        "experiment.faultstudy.fluid", scenarios=len(tasks)
+    ):
+        rows = sweep_map(
+            _fluid_scenario, tasks, jobs=jobs, checkpoint=checkpoint
+        )
+    if observability.OBS.enabled:
+        observability.counter_add(
+            "faultstudy.degraded_scenarios",
+            sum(1 for r in rows if r.degraded is not None),
+        )
+    return rows
+
+
 def degraded_bisection_study(
     machine: BlueGeneQMachine,
     num_midplanes: int,
@@ -197,6 +353,7 @@ def degraded_bisection_study(
     seed: int = 0,
     jobs: int | None = 1,
     fluid_check: bool = False,
+    checkpoint=None,
 ) -> list[DegradedBisectionRow]:
     """Default-vs-optimal bisection under ``k = 0..max_failures`` failures.
 
@@ -216,6 +373,9 @@ def degraded_bisection_study(
     (:func:`repro.experiments.pairing.fluid_bisection_bandwidth`) must
     reproduce both geometries' cut-arithmetic bandwidths, else a
     :class:`RuntimeError` is raised.  The rows themselves are unchanged.
+
+    *checkpoint* (a JSONL path) journals completed trials and resumes a
+    killed run from them (see :mod:`repro.resilience`).
     """
     check_positive_int(num_midplanes, "num_midplanes")
     check_nonnegative_int(max_failures, "max_failures")
@@ -232,7 +392,9 @@ def degraded_bisection_study(
     with observability.span(
         "experiment.faultstudy", trials=len(tasks)
     ):
-        results = sweep_map(_paired_trial, tasks, jobs=jobs)
+        results = sweep_map(
+            _paired_trial, tasks, jobs=jobs, checkpoint=checkpoint
+        )
 
     if fluid_check:
         from .pairing import fluid_bisection_bandwidth

@@ -217,6 +217,7 @@ def run_pairing_sweep(
     geometries: Sequence[PartitionGeometry],
     params: PairingParameters | None = None,
     jobs: int | None = 1,
+    checkpoint=None,
 ) -> list[PairingResult]:
     """Run the pairing benchmark over many geometries.
 
@@ -225,6 +226,8 @@ def run_pairing_sweep(
     geometry, no shared state.  With ``jobs > 1`` the simulations run in
     worker processes via :func:`repro.parallel.sweep_map`; results come
     back in *geometries* order and are bit-identical to the serial path.
+    *checkpoint* (a JSONL path) journals completed geometries and
+    resumes a killed sweep from them (see :mod:`repro.resilience`).
     """
     if params is None:
         params = PairingParameters()
@@ -232,5 +235,8 @@ def run_pairing_sweep(
         "experiment.pairing.sweep", geometries=len(geometries)
     ):
         return sweep_map(
-            _pairing_task, [(g, params) for g in geometries], jobs=jobs
+            _pairing_task,
+            [(g, params) for g in geometries],
+            jobs=jobs,
+            checkpoint=checkpoint,
         )

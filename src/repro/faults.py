@@ -45,7 +45,9 @@ from .topology.torus import Torus
 __all__ = [
     "FaultSet",
     "FaultEvent",
+    "RepairEvent",
     "FaultReport",
+    "DegradedResult",
     "PartitionDisconnectedError",
     "random_link_failures",
     "dimension_outage",
@@ -224,6 +226,48 @@ class FaultSet:
     def __or__(self, other: "FaultSet") -> "FaultSet":
         return self.union(other)
 
+    def restore(
+        self,
+        links: Iterable[_Link] = (),
+        nodes: Iterable[Vertex] = (),
+        undirected: bool = True,
+    ) -> "FaultSet":
+        """Fault set with the named links/nodes repaired (removed).
+
+        The inverse of :meth:`union` for failures: a repaired link or
+        node must currently be failed — repairing something that never
+        failed is a modelling error (a mistyped coordinate, a repair
+        event ordered before its fault) and raises :class:`ValueError`
+        naming the offender.  With ``undirected=True`` (default,
+        matching the constructor) both directions of each link are
+        repaired, and both must be failed.
+
+        Degradations are untouched: a repaired link returns to *full*
+        capacity only if it was failed, not merely degraded.
+        """
+        repaired: set[_Link] = set()
+        for u, v in links:
+            for link in ((u, v), (v, u)) if undirected else ((u, v),):
+                if link not in self._links:
+                    raise ValueError(
+                        f"cannot repair link {link!r}: it is not "
+                        f"failed (failed links: "
+                        f"{sorted(map(repr, self._links))[:8]})"
+                    )
+                repaired.add(link)
+        node_set = set(nodes)
+        for n in node_set:
+            if n not in self._nodes:
+                raise ValueError(
+                    f"cannot repair node {n!r}: it is not failed"
+                )
+        return FaultSet(
+            failed_links=self._links - repaired,
+            failed_nodes=self._nodes - node_set,
+            degraded_links=self._degraded,
+            undirected=False,
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FaultSet):
             return NotImplemented
@@ -257,6 +301,67 @@ class FaultEvent:
             raise ValueError(
                 f"fault event time must be >= 0, got {self.time}"
             )
+
+
+@dataclass(frozen=True)
+class RepairEvent:
+    """Named links/nodes come back up at virtual time *time*.
+
+    The other half of the :class:`FaultEvent` lifecycle: a transient
+    link flap is a ``FaultEvent`` followed by a ``RepairEvent`` for the
+    same links.  The engine validates the whole event timeline at
+    construction — a repair naming a link that is not failed at that
+    point in the timeline is rejected (see :meth:`FaultSet.restore`).
+
+    With ``undirected=True`` (default) each link entry repairs both
+    directions, mirroring the ``FaultSet`` constructor default.
+    """
+
+    time: float
+    links: tuple[_Link, ...] = ()
+    nodes: tuple[Vertex, ...] = ()
+    undirected: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.time >= 0.0:
+            raise ValueError(
+                f"repair event time must be >= 0, got {self.time}"
+            )
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if not self.links and not self.nodes:
+            raise ValueError(
+                "repair event must name at least one link or node"
+            )
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Typed stand-in result for a scenario severed by its fault set.
+
+    Sweep runners return this instead of letting
+    :class:`PartitionDisconnectedError` abort the whole sweep: the
+    scenario is recorded as *degraded* — with the fault set and one
+    severed ``(src, dst)`` witness pair — and the remaining scenarios
+    proceed.
+
+    Attributes
+    ----------
+    scenario:
+        Hashable scenario identifier chosen by the sweep (e.g.
+        ``(num_failures, trial)``).
+    faults:
+        The fault set that severed the partition.
+    witness:
+        One ``(src, dst)`` endpoint pair with no surviving route.
+    disconnected_flows:
+        How many of the scenario's flows were disconnected.
+    """
+
+    scenario: tuple
+    faults: FaultSet
+    witness: tuple[Vertex, Vertex]
+    disconnected_flows: int = 1
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,8 @@ __all__ = [
     "TorusLinkLayout",
     "link_layout",
     "batch_dimension_ordered_routes",
+    "batch_fault_aware_routes",
+    "fault_link_mask",
     "vertex_indices",
     "vector_enabled",
 ]
@@ -466,6 +468,171 @@ def batch_dimension_ordered_routes(
     coord = (c0 + s * hop_idx) % aa
     link_ids = (base + coord * strd) * layout.degree + slot
     return PathMatrix(link_ids, offsets)
+
+
+def fault_link_mask(torus: Torus, faults) -> np.ndarray:
+    """Boolean unusable-link mask over the dense link-id space.
+
+    Entry ``mask[link_id]`` is true when the directed link is failed
+    outright or either endpoint node is down — the same links for which
+    :meth:`repro.faults.FaultSet.blocks` is true.  Degraded (reduced
+    but non-zero capacity) links stay false: they still carry traffic
+    and do not change dimension-ordered routes.
+
+    Fault entries that are not edges/vertices of *torus* are ignored —
+    a link that does not exist cannot be crossed — matching
+    ``LinkNetwork.with_faults``, which also only consults the fault set
+    for links the network actually has.
+
+    Fault sets are small (a handful of failures against thousands of
+    links), so this is a Python loop over the faults, not over the
+    links.
+    """
+    layout = link_layout(torus)
+    mask = np.zeros(torus.num_vertices * layout.degree, dtype=bool)
+    if faults is None or faults.is_empty():
+        return mask
+    dims = torus.dims
+    ndim = torus.ndim
+    strides = layout.strides
+
+    def in_torus(v) -> bool:
+        return len(v) == ndim and all(
+            0 <= v[k] < dims[k] for k in range(ndim)
+        )
+
+    def rank_of(v) -> int:
+        return int(
+            sum(int(v[k]) * int(strides[k]) for k in range(ndim))
+        )
+
+    def slot_of(u, v) -> int | None:
+        diff = [k for k in range(ndim) if u[k] != v[k]]
+        if len(diff) != 1:
+            return None
+        k = diff[0]
+        a = dims[k]
+        if (u[k] + 1) % a == v[k]:
+            slot = layout.slot_up[k]
+        elif (v[k] + 1) % a == u[k]:
+            slot = layout.slot_down[k]
+        else:
+            return None
+        return int(slot) if slot >= 0 else None
+
+    for u, v in faults.failed_links:
+        if not (in_torus(u) and in_torus(v)):
+            continue
+        slot = slot_of(u, v)
+        if slot is not None:
+            mask[rank_of(u) * layout.degree + slot] = True
+    for n in faults.failed_nodes:
+        if not in_torus(n):
+            continue
+        r = rank_of(n)
+        mask[r * layout.degree : (r + 1) * layout.degree] = True
+        for v, _w in torus.neighbors(n):
+            slot = slot_of(v, n)
+            if slot is not None:
+                mask[rank_of(v) * layout.degree + slot] = True
+    return mask
+
+
+def _route_links(
+    layout: TorusLinkLayout, torus: Torus, route: Sequence[tuple[int, ...]]
+) -> np.ndarray:
+    """Directed link ids of a vertex-list route, via the analytic layout.
+
+    Bit-identical to ``LinkNetwork.path_to_links(route)`` (the layout
+    mirrors the network's id assignment; property-tested).
+    """
+    m = len(route) - 1
+    if m <= 0:
+        return np.empty(0, dtype=np.int64)
+    ndim = torus.ndim
+    dims = torus.dims
+    strides = layout.strides
+    out = np.empty(m, dtype=np.int64)
+    for j in range(m):
+        u, v = route[j], route[j + 1]
+        k = next(i for i in range(ndim) if u[i] != v[i])
+        step = 1 if (u[k] + 1) % dims[k] == v[k] else -1
+        rank = sum(int(u[i]) * int(strides[i]) for i in range(ndim))
+        out[j] = layout.link_id(rank, k, step)
+    return out
+
+
+def batch_fault_aware_routes(
+    torus: Torus,
+    src: np.ndarray,
+    dst: np.ndarray,
+    faults=None,
+    tie: str = "parity",
+) -> tuple[PathMatrix, np.ndarray]:
+    """Fault-masked batch routing: vectorized where healthy, degraded
+    per-flow where not.
+
+    All flows are first routed by the vectorized
+    :func:`batch_dimension_ordered_routes`; only flows whose natural
+    path crosses a blocked link (or whose endpoint node is down) fall
+    back to the scalar :func:`~repro.netsim.routing.fault_aware_route`.
+    A flow with *no* surviving route does not raise — it gets an empty
+    path and its index is reported, so one severed pair degrades that
+    flow, not the whole batch (per-scenario degradation, the sweep
+    callers turn these into :class:`repro.faults.DegradedResult` rows).
+
+    Returns
+    -------
+    (PathMatrix, np.ndarray)
+        The path matrix (connected flow ``i`` matches
+        ``net.path_to_links(fault_aware_route(...))`` link for link;
+        disconnected flows have empty paths) and the sorted int64 array
+        of disconnected flow indices.
+    """
+    from ..faults import PartitionDisconnectedError
+    from .routing import fault_aware_route
+
+    pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+    none_disconnected = np.empty(0, dtype=np.int64)
+    if faults is None or faults.is_empty():
+        return pm, none_disconnected
+    src = np.ascontiguousarray(src, dtype=np.int64).ravel()
+    dst = np.ascontiguousarray(dst, dtype=np.int64).ravel()
+    mask = fault_link_mask(torus, faults)
+
+    hit = np.zeros(len(pm), dtype=bool)
+    hit_entries = mask[pm.link_ids]
+    if hit_entries.any():
+        hit[np.unique(pm.flow_ids()[hit_entries])] = True
+    # A down endpoint disconnects a flow regardless of its path —
+    # including zero-hop src == dst flows, which have no links to hit.
+    node_down = np.zeros(torus.num_vertices, dtype=bool)
+    dead = [n for n in faults.failed_nodes if torus.contains(n)]
+    if dead:
+        node_down[vertex_indices(torus, dead)] = True
+    need = np.flatnonzero(hit | node_down[src] | node_down[dst])
+    if need.size == 0:
+        return pm, none_disconnected
+
+    layout = link_layout(torus)
+    verts = list(torus.vertices())
+    paths: list[np.ndarray] = [pm[i] for i in range(len(pm))]
+    empty = np.empty(0, dtype=np.int64)
+    disconnected: list[int] = []
+    for i in need.tolist():
+        try:
+            route = fault_aware_route(
+                torus, verts[src[i]], verts[dst[i]], faults, tie=tie
+            )
+        except PartitionDisconnectedError:
+            disconnected.append(i)
+            paths[i] = empty
+            continue
+        paths[i] = _route_links(layout, torus, route)
+    return (
+        PathMatrix.from_paths(paths),
+        np.asarray(disconnected, dtype=np.int64),
+    )
 
 
 def _check_layout_consistency(torus: Torus, num_links: int) -> None:

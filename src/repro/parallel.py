@@ -163,6 +163,9 @@ def sweep_map(
     tasks: Iterable[_T],
     jobs: int | None = 1,
     chunksize: int | None = None,
+    *,
+    policy: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> list[_R]:
     """Map *fn* over *tasks*, optionally across worker processes.
 
@@ -184,6 +187,18 @@ def sweep_map(
         Tasks handed to a worker per dispatch; defaults to roughly four
         chunks per worker, which amortizes pickling for short tasks
         while keeping the pool load-balanced.
+    policy:
+        Optional :class:`repro.resilience.ResiliencePolicy`.  When set
+        (or when *checkpoint* is set) the sweep runs through
+        :func:`repro.resilience.resilient_sweep_map`, which adds
+        bounded retries, per-task timeouts, worker-crash recovery, and
+        poison-task quarantine while preserving this function's
+        ordering and determinism contract.
+    checkpoint:
+        Optional JSONL checkpoint path (or
+        :class:`repro.resilience.SweepCheckpoint`): completed task
+        results are journaled as they finish and a restarted sweep
+        resumes from them instead of recomputing.
 
     Returns
     -------
@@ -205,6 +220,12 @@ def sweep_map(
     counters and span totals reflect worker-side activity.  The merge
     never changes results.
     """
+    if policy is not None or checkpoint is not None:
+        from .resilience import resilient_sweep_map
+
+        return resilient_sweep_map(
+            fn, tasks, jobs, policy=policy, checkpoint=checkpoint
+        )
     task_list = list(tasks)
     jobs = resolve_jobs(jobs)
     if chunksize is not None:
@@ -231,9 +252,17 @@ def sweep_map(
         executor = ProcessPoolExecutor(
             max_workers=workers, initializer=observability.reset_worker
         )
-    except (ImportError, NotImplementedError, OSError, PermissionError):
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
         # No usable process pool on this platform/sandbox: the sweep
-        # still completes, just serially.
+        # still completes, just serially — but never invisibly.
+        warnings.warn(
+            f"cannot create a process pool "
+            f"({type(exc).__name__}: {exc}); running the sweep "
+            f"serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        observability.counter_add("parallel.fallback_serial")
         return _serial_fallback(fn, task_list)
     try:
         with observability.span(

@@ -1,0 +1,628 @@
+"""Fault-tolerant sweep execution: retries, timeouts, checkpoint/resume.
+
+:func:`repro.parallel.sweep_map` treats every task failure as fatal:
+one hung worker, one ``BrokenProcessPool``, or one crashing task aborts
+the whole sweep and discards every completed result.  That is the right
+default for unit-sized grids, but the fault-study and design-search
+sweeps run hundreds of scenarios for hours — the execution layer must
+survive partial failure the way the simulated network survives link
+failures.  This module provides that layer:
+
+* **bounded retries** with exponential backoff — a task that raises is
+  re-executed up to ``max_retries`` times with its *original* arguments
+  (per-task seeds travel inside the task tuple, so a retry is
+  deterministically re-seeded, never re-randomized);
+* **per-task wall-clock timeouts** — a task that exceeds
+  ``task_timeout`` seconds is treated like a failed attempt and the
+  pool is rebuilt (the stuck worker cannot be reclaimed);
+* **worker-crash detection** — a ``BrokenProcessPool`` rebuilds the
+  pool and resubmits every unfinished task, up to
+  ``max_pool_rebuilds`` times, after which the sweep degrades to
+  serial in-process execution with a warning;
+* **poison-task quarantine** — with ``quarantine=True`` a task that
+  exhausts its retries is recorded as a structured :class:`TaskFailure`
+  result at its slot instead of raising, so one poison scenario cannot
+  sink the other N-1;
+* **checkpoint/resume** — completed ``(task_key, result)`` records are
+  appended to a JSONL file as they finish; a restarted sweep skips
+  every task whose key hash is already on disk and recomputes the rest,
+  producing results bit-identical to an uninterrupted run.
+
+Determinism is preserved throughout: results are assembled in task
+order, retries re-run identical arguments, and resumed tasks are
+verified by a SHA-256 hash of their pickled task tuple — a checkpoint
+from a *different* grid simply misses and recomputes.
+
+All activity is surfaced through :mod:`repro.observability` counters
+(``resilience.retries``, ``resilience.timeouts``,
+``resilience.quarantined``, ``resilience.pool_rebuilds``,
+``resilience.resumed_tasks``, ``resilience.fallback_serial``) and the
+``resilience.sweep`` span.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, TypeVar
+
+from . import observability
+from ._validation import check_nonnegative_int
+
+__all__ = [
+    "ResiliencePolicy",
+    "TaskFailure",
+    "SweepCheckpoint",
+    "resilient_sweep_map",
+    "task_key",
+]
+
+_T = TypeVar("_T")
+
+#: Test hook: set to a task index to make the wrapped task call
+#: ``os._exit`` *before* executing — a deterministic stand-in for a
+#: worker SIGKILL.  In the pool path this kills one worker (exercising
+#: ``BrokenProcessPool`` recovery); in the serial path it kills the
+#: driver process itself (exercising checkpoint/resume).  With
+#: ``REPRO_RESILIENCE_TEST_KILL_MARKER`` set to a file path the kill
+#: fires only while the marker file does not exist (it is created just
+#: before exiting), so a rebuilt pool or resumed run proceeds normally.
+_KILL_ENV = "REPRO_RESILIENCE_TEST_KILL"
+_KILL_MARKER_ENV = "REPRO_RESILIENCE_TEST_KILL_MARKER"
+
+#: Exit code used by the kill hook, distinctive in CI logs.
+TEST_KILL_EXIT_CODE = 43
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for :func:`resilient_sweep_map`.
+
+    Attributes
+    ----------
+    max_retries:
+        Additional attempts after the first failure of a task.  ``0``
+        disables retries (a failing task immediately quarantines or
+        raises).
+    task_timeout:
+        Per-task wall-clock budget in seconds, measured from when the
+        parent starts waiting on that task's result.  ``None`` disables
+        timeouts.  A timeout counts as a failed attempt *and* forces a
+        pool rebuild — a stuck worker cannot be interrupted any other
+        way.
+    backoff_base:
+        First retry delay in seconds; attempt *k* sleeps
+        ``backoff_base * 2**(k-1)``, capped at ``backoff_max``.
+    backoff_max:
+        Upper bound on any single backoff sleep.
+    quarantine:
+        When true, a task that exhausts its retries yields a
+        :class:`TaskFailure` at its result slot instead of raising.
+        When false (the default), the sweep raises the task's last
+        exception — matching plain ``sweep_map`` semantics.
+    max_pool_rebuilds:
+        How many times a broken/stuck pool is rebuilt before the sweep
+        degrades to serial execution for the remaining tasks.
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    quarantine: bool = False
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        check_nonnegative_int(self.max_retries, "max_retries")
+        check_nonnegative_int(self.max_pool_rebuilds, "max_pool_rebuilds")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got "
+                f"{self.task_timeout!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry *attempt* (1-based)."""
+        return min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of a quarantined (poison) task.
+
+    Appears at the failed task's slot in the result list, so downstream
+    code can count/report failures without losing positional alignment
+    with the task grid.  ``error_type`` is the exception class name
+    (``"TimeoutError"`` for per-task timeouts), ``attempts`` the total
+    number of executions tried.
+    """
+
+    index: int
+    task: str
+    error_type: str
+    error: str
+    attempts: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"TaskFailure(#{self.index} {self.task}: "
+            f"{self.error_type}: {self.error} after {self.attempts} "
+            f"attempt(s))"
+        )
+
+
+def task_key(task: Any) -> str:
+    """Stable content hash of a task tuple (checkpoint record key).
+
+    SHA-256 over the pickle of the task.  Pickle output is a pure
+    function of the task's structure for the plain tuples/dataclasses
+    the experiment drivers use, so the same grid reproduces the same
+    keys across processes and sessions.
+    """
+    return hashlib.sha256(
+        pickle.dumps(task, protocol=4)
+    ).hexdigest()
+
+
+def _fn_name(fn: Callable[..., Any]) -> str:
+    mod = getattr(fn, "__module__", "?")
+    qual = getattr(fn, "__qualname__", repr(fn))
+    return f"{mod}.{qual}"
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep tasks.
+
+    Line 1 is a header ``{"type": "header", "version": 1, "fn": ...,
+    "tasks": N}``; every subsequent line is ``{"type": "task", "key":
+    sha256-hex, "index": i, "result": base64-pickle}``.  Records are
+    flushed as they are written, so a killed run loses at most the line
+    being written; a truncated or corrupt trailing line is ignored on
+    load.  Failures are never checkpointed — a resumed run retries
+    them.
+
+    Resume is *best-effort but always correct*: tasks are matched by
+    content hash, so a checkpoint written for a different grid (or a
+    stale file) simply misses and the task is recomputed.  A checkpoint
+    written by a *different task function* is rejected outright — same
+    grid keys with a different ``fn`` would silently return the wrong
+    results.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+        self._handle: Any = None
+        self._header_written = False
+
+    # -- loading ----------------------------------------------------
+
+    def load(self, fn_name: str) -> dict[str, Any]:
+        """Completed ``{key: result}`` records, validating *fn_name*."""
+        completed: dict[str, Any] = {}
+        if not self.path.exists():
+            return completed
+        with self.path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn final write from a killed run: ignore.
+                    continue
+                if rec.get("type") == "header":
+                    got = rec.get("fn")
+                    if got != fn_name:
+                        raise ValueError(
+                            f"checkpoint {self.path} was written for "
+                            f"task function {got!r}, not {fn_name!r}; "
+                            f"refusing to resume (delete the file or "
+                            f"pass a different --checkpoint path)"
+                        )
+                    continue
+                if rec.get("type") != "task":
+                    continue
+                try:
+                    result = pickle.loads(
+                        base64.b64decode(rec["result"])
+                    )
+                except Exception:
+                    # Corrupt record: recompute that task.
+                    continue
+                completed[rec["key"]] = result
+        return completed
+
+    # -- writing ----------------------------------------------------
+
+    def open_for_append(self, fn_name: str, num_tasks: int) -> None:
+        is_new = not self.path.exists() or self.path.stat().st_size == 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        if is_new:
+            self._write(
+                {
+                    "type": "header",
+                    "version": self.VERSION,
+                    "fn": fn_name,
+                    "tasks": num_tasks,
+                }
+            )
+
+    def record(self, key: str, index: int, result: Any) -> None:
+        if self._handle is None:
+            return
+        payload = base64.b64encode(
+            pickle.dumps(result, protocol=4)
+        ).decode("ascii")
+        self._write(
+            {"type": "task", "key": key, "index": index,
+             "result": payload}
+        )
+
+    def _write(self, rec: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ----------------------------------------------------------------------
+# Worker-side task wrapper
+
+
+def _maybe_test_kill(index: int) -> None:
+    """Deterministic crash injection (see ``_KILL_ENV``)."""
+    raw = os.environ.get(_KILL_ENV)
+    if raw is None:
+        return
+    try:
+        target = int(raw)
+    except ValueError:
+        return
+    if index != target:
+        return
+    marker = os.environ.get(_KILL_MARKER_ENV)
+    if marker:
+        if os.path.exists(marker):
+            return  # already killed once; behave normally now
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write(str(index))
+    os._exit(TEST_KILL_EXIT_CODE)
+
+
+class _ResilientTask:
+    """Picklable per-submit wrapper: kill hook + metric snapshot."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable[[_T], Any]):
+        self._fn = fn
+
+    def __call__(
+        self, index: int, task: _T
+    ) -> tuple[Any, observability.TraceSnapshot]:
+        _maybe_test_kill(index)
+        return self._fn(task), observability.worker_snapshot()
+
+
+# ----------------------------------------------------------------------
+# Execution paths
+
+
+class _PoolRestart(Exception):
+    """Internal: unwind to the pool-rebuild loop."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+@dataclass
+class _SweepState:
+    """Mutable bookkeeping shared by the pool and serial paths."""
+
+    fn: Callable[[Any], Any]
+    tasks: Sequence[Any]
+    results: list[Any]
+    policy: ResiliencePolicy
+    ckpt: SweepCheckpoint | None
+    keys: Sequence[str] | None
+    attempts: dict[int, int] = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+
+    def pending(self) -> list[int]:
+        return [
+            i for i, r in enumerate(self.results) if r is _PENDING
+        ]
+
+    def complete(self, index: int, value: Any) -> None:
+        self.results[index] = value
+        if self.ckpt is not None and self.keys is not None:
+            self.ckpt.record(self.keys[index], index, value)
+
+    def fail(self, index: int, exc: BaseException) -> None:
+        """A task exhausted its retries: quarantine or raise."""
+        if not self.policy.quarantine:
+            raise exc
+        self.quarantined += 1
+        observability.counter_add("resilience.quarantined")
+        self.results[index] = TaskFailure(
+            index=index,
+            task=_short_repr(self.tasks[index]),
+            error_type=type(exc).__name__,
+            error=str(exc),
+            attempts=self.attempts.get(index, 0),
+        )
+
+    def note_attempt_failed(self, index: int) -> bool:
+        """Record a failed attempt; True if the task may retry."""
+        self.attempts[index] = self.attempts.get(index, 0) + 1
+        if self.attempts[index] > self.policy.max_retries:
+            return False
+        self.retries += 1
+        observability.counter_add("resilience.retries")
+        time.sleep(self.policy.backoff(self.attempts[index]))
+        return True
+
+
+_PENDING = object()
+
+
+def _short_repr(task: Any, limit: int = 120) -> str:
+    text = repr(task)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _run_serial(state: _SweepState, indices: Sequence[int]) -> None:
+    """In-process execution with the same retry/quarantine semantics.
+
+    The kill hook fires here too — in the serial path it terminates the
+    driver process itself, which is exactly what the checkpoint/resume
+    chaos tests want: a deterministic mid-sweep death.
+    """
+    runner = _ResilientTask(state.fn)
+    for i in indices:
+        while True:
+            try:
+                value, _snap = runner(i, state.tasks[i])
+            except Exception as exc:
+                if state.note_attempt_failed(i):
+                    continue
+                state.fail(i, exc)
+                break
+            else:
+                state.complete(i, value)
+                break
+
+
+def _run_pool(state: _SweepState, workers: int) -> None:
+    """Pool execution with timeout, crash recovery, and rebuilds."""
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=observability.reset_worker,
+        )
+
+    try:
+        executor = make_pool()
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"no usable process pool "
+            f"({type(exc).__name__}: {exc}); running the resilient "
+            f"sweep serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        observability.counter_add("resilience.fallback_serial")
+        _run_serial(state, state.pending())
+        return
+
+    snapshots: dict[int, observability.TraceSnapshot] = {}
+
+    def harvest(snap: observability.TraceSnapshot) -> None:
+        cur = snapshots.get(snap.pid)
+        if cur is None or snap.seq > cur.seq:
+            snapshots[snap.pid] = snap
+
+    try:
+        while True:
+            pending = state.pending()
+            if not pending:
+                break
+            try:
+                futures = {
+                    i: executor.submit(
+                        _ResilientTask(state.fn), i, state.tasks[i]
+                    )
+                    for i in pending
+                }
+                for i in pending:
+                    if state.results[i] is not _PENDING:
+                        continue
+                    while True:
+                        try:
+                            value, snap = futures[i].result(
+                                timeout=state.policy.task_timeout
+                            )
+                        except FuturesTimeout:
+                            state.timeouts += 1
+                            observability.counter_add(
+                                "resilience.timeouts"
+                            )
+                            if not state.note_attempt_failed(i):
+                                state.fail(
+                                    i,
+                                    TimeoutError(
+                                        f"task exceeded "
+                                        f"{state.policy.task_timeout}s "
+                                        f"wall-clock budget"
+                                    ),
+                                )
+                            # Either way the worker is stuck on this
+                            # task: the pool must be rebuilt.
+                            raise _PoolRestart(
+                                f"task {i} timed out"
+                            ) from None
+                        except BrokenProcessPool:
+                            raise _PoolRestart(
+                                "worker process died"
+                            ) from None
+                        except Exception as exc:
+                            if state.note_attempt_failed(i):
+                                futures[i] = executor.submit(
+                                    _ResilientTask(state.fn),
+                                    i,
+                                    state.tasks[i],
+                                )
+                                continue
+                            state.fail(i, exc)
+                            break
+                        else:
+                            harvest(snap)
+                            state.complete(i, value)
+                            break
+            except (_PoolRestart, BrokenProcessPool) as err:
+                # BrokenProcessPool can also surface from submit()
+                # itself when the pool died between result waits.
+                restart = (
+                    err
+                    if isinstance(err, _PoolRestart)
+                    else _PoolRestart("worker process died")
+                )
+                state.pool_rebuilds += 1
+                observability.counter_add("resilience.pool_rebuilds")
+                executor.shutdown(wait=False, cancel_futures=True)
+                if state.pool_rebuilds > state.policy.max_pool_rebuilds:
+                    warnings.warn(
+                        f"process pool irrecoverable after "
+                        f"{state.policy.max_pool_rebuilds} rebuild(s) "
+                        f"(last: {restart.reason}); degrading to "
+                        f"serial execution for the remaining "
+                        f"{len(state.pending())} task(s)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    observability.counter_add(
+                        "resilience.fallback_serial"
+                    )
+                    _run_serial(state, state.pending())
+                    return
+                warnings.warn(
+                    f"rebuilding worker pool "
+                    f"({restart.reason}); resubmitting "
+                    f"{len(state.pending())} unfinished task(s)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                executor = make_pool()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    for snap in snapshots.values():
+        observability.merge_snapshot(snap)
+
+
+def resilient_sweep_map(
+    fn: Callable[[_T], Any],
+    tasks: Iterable[_T],
+    jobs: int | None = 1,
+    *,
+    policy: ResiliencePolicy | None = None,
+    checkpoint: str | os.PathLike[str] | SweepCheckpoint | None = None,
+) -> list[Any]:
+    """Fault-tolerant :func:`repro.parallel.sweep_map`.
+
+    Identical contract — one result per task, in task order,
+    bit-identical across ``jobs`` — plus the retry/timeout/quarantine
+    semantics of *policy* and optional checkpoint/resume via
+    *checkpoint* (a JSONL path or :class:`SweepCheckpoint`).
+
+    With ``policy.quarantine`` the result list may contain
+    :class:`TaskFailure` entries; callers that opt in must be prepared
+    to see them.  Failures are never written to the checkpoint, so a
+    resumed run retries them.
+    """
+    from .parallel import resolve_jobs  # late: avoid import cycle
+
+    task_list = list(tasks)
+    if policy is None:
+        policy = ResiliencePolicy()
+    jobs = resolve_jobs(jobs)
+
+    results: list[Any] = [_PENDING] * len(task_list)
+    keys: list[str] | None = None
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint)
+        )
+        name = _fn_name(fn)
+        keys = [task_key(t) for t in task_list]
+        completed = ckpt.load(name)
+        resumed = 0
+        for i, key in enumerate(keys):
+            if key in completed:
+                results[i] = completed[key]
+                resumed += 1
+        if resumed:
+            observability.counter_add(
+                "resilience.resumed_tasks", resumed
+            )
+        ckpt.open_for_append(name, len(task_list))
+
+    state = _SweepState(
+        fn=fn,
+        tasks=task_list,
+        results=results,
+        policy=policy,
+        ckpt=ckpt,
+        keys=keys,
+    )
+    try:
+        pending = state.pending()
+        with observability.span(
+            "resilience.sweep",
+            tasks=len(task_list),
+            pending=len(pending),
+        ):
+            if pending:
+                workers = min(
+                    jobs, len(pending), os.cpu_count() or 1
+                )
+                if workers <= 1:
+                    _run_serial(state, pending)
+                else:
+                    _run_pool(state, workers)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+    if observability.OBS.enabled:
+        observability.counter_add("resilience.sweeps")
+        observability.counter_add(
+            "resilience.tasks", len(task_list)
+        )
+    assert all(r is not _PENDING for r in results)
+    return results

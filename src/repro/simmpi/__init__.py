@@ -23,6 +23,7 @@ from ..faults import (
     FaultReport,
     FaultSet,
     PartitionDisconnectedError,
+    RepairEvent,
 )
 from .collectives import allgather_ring, alltoall_pairwise, broadcast_ring
 from .engine import (
@@ -42,6 +43,7 @@ __all__ = [
     "EventBudgetError",
     "FaultSet",
     "FaultEvent",
+    "RepairEvent",
     "FaultReport",
     "PartitionDisconnectedError",
     "Compute",

@@ -55,7 +55,13 @@ import numpy as np
 from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..caching import memoized
-from ..faults import FaultEvent, FaultReport, FaultSet, PartitionDisconnectedError
+from ..faults import (
+    FaultEvent,
+    FaultReport,
+    FaultSet,
+    PartitionDisconnectedError,
+    RepairEvent,
+)
 from ..netsim.batchroute import (
     batch_dimension_ordered_routes,
     link_layout,
@@ -157,12 +163,17 @@ class RunResult:
         Degraded-capacity exposure: virtual flow·seconds spent by
         transfers whose path crossed at least one degraded (reduced but
         non-zero capacity) link.
+    restores:
+        Number of in-flight transfers switched back to a shorter route
+        after a mid-run :class:`~repro.faults.RepairEvent` (the second
+        half of a fail→reroute→repair→restore cycle).
     """
 
     time: float
     ranks: tuple[RankStats, ...]
     reroutes: int = 0
     degraded_flow_seconds: float = 0.0
+    restores: int = 0
 
     @property
     def total_gb_sent(self) -> float:
@@ -192,8 +203,13 @@ class VirtualMpi:
         Faults present from virtual time 0 (failed/degraded links,
         drained nodes).  Routes avoid them from the first message.
     fault_events:
-        Faults striking mid-run, each at its virtual ``time``.  Applied
-        in time order; simultaneous events apply in the given order.
+        :class:`~repro.faults.FaultEvent` and
+        :class:`~repro.faults.RepairEvent` entries striking mid-run,
+        each at its virtual ``time``.  Applied in time order;
+        simultaneous events apply in the given order.  The whole
+        timeline is validated here at construction: a repair event
+        naming a link or node that is not failed at its point in the
+        timeline raises :class:`ValueError` immediately, not mid-run.
     max_events:
         Event budget guarding against runaway programs; exceeded budgets
         raise :class:`EventBudgetError` naming the virtual time and the
@@ -207,7 +223,7 @@ class VirtualMpi:
         link_bandwidth: float = 2.0,
         tie: str = "parity",
         faults: FaultSet | None = None,
-        fault_events: Sequence[FaultEvent] = (),
+        fault_events: Sequence[FaultEvent | RepairEvent] = (),
         max_events: int = 10_000_000,
     ):
         check_positive_float(link_bandwidth, "link_bandwidth")
@@ -227,12 +243,27 @@ class VirtualMpi:
         self._tie = tie
         self._faults0 = faults if faults is not None else FaultSet()
         for ev in fault_events:
-            if not isinstance(ev, FaultEvent):
+            if not isinstance(ev, (FaultEvent, RepairEvent)):
                 raise TypeError(
-                    f"fault_events entries must be FaultEvent, got "
-                    f"{type(ev).__name__}"
+                    f"fault_events entries must be FaultEvent or "
+                    f"RepairEvent, got {type(ev).__name__}"
                 )
         self._events = tuple(sorted(fault_events, key=lambda e: e.time))
+        # Statically replay the timeline so an invalid repair (a link
+        # or node never failed at that point) fails fast with context.
+        replay = self._faults0
+        for ev in self._events:
+            if isinstance(ev, FaultEvent):
+                replay = replay | ev.faults
+            else:
+                try:
+                    replay = replay.restore(
+                        ev.links, ev.nodes, undirected=ev.undirected
+                    )
+                except ValueError as exc:
+                    raise ValueError(
+                        f"invalid repair event at time {ev.time}: {exc}"
+                    ) from None
         self._max_events = check_positive_int(max_events, "max_events")
         self._net0 = (
             self._base_net.with_faults(self._faults0)
@@ -362,6 +393,7 @@ class VirtualMpi:
         msgs = [0] * size
         comp_secs = [0.0] * size
         reroutes = 0
+        restores = 0
         degraded_exposure = 0.0
 
         # Fault state.  The instance route cache is valid for the
@@ -453,9 +485,34 @@ class VirtualMpi:
                 self._rank_node[src], self._rank_node[dst], gb, group
             )
 
-        def apply_event(ev: FaultEvent) -> None:
-            """Merge *ev* into the live fault state and reroute flows."""
-            nonlocal cur_faults, net, cache, degr_mask, reroutes
+        def apply_event(ev: FaultEvent | RepairEvent) -> None:
+            """Merge *ev* into the live fault state and re-path flows."""
+            nonlocal cur_faults, net, cache, degr_mask, reroutes, restores
+            if isinstance(ev, RepairEvent):
+                if obs.enabled:
+                    observability.counter_add("simmpi.repair_events")
+                cur_faults = cur_faults.restore(
+                    ev.links, ev.nodes, undirected=ev.undirected
+                )
+                net = (
+                    self._base_net.with_faults(cur_faults)
+                    if cur_faults
+                    else self._base_net
+                )
+                cache = {}
+                degr_mask = self._degraded_mask(net)
+                # A repair never severs anything: every in-flight path
+                # stays usable.  Flows whose preferred route just came
+                # back switch over (restore), completing the
+                # fail→reroute→repair→restore cycle.
+                for f in flows:
+                    new_path = path_of(f.src_node, f.dst_node)
+                    if len(new_path) != len(f.path) or not np.array_equal(
+                        new_path, f.path
+                    ):
+                        f.path = new_path
+                        restores += 1
+                return
             if obs.enabled:
                 observability.counter_add("simmpi.fault_events")
             cur_faults = cur_faults | ev.faults
@@ -698,6 +755,10 @@ class VirtualMpi:
                 observability.counter_add(
                     "simmpi.fault_reroutes", reroutes
                 )
+            if restores:
+                observability.counter_add(
+                    "simmpi.fault_restores", restores
+                )
         return RunResult(
             time=max(finish, default=0.0),
             ranks=tuple(
@@ -711,4 +772,5 @@ class VirtualMpi:
             ),
             reroutes=reroutes,
             degraded_flow_seconds=degraded_exposure,
+            restores=restores,
         )

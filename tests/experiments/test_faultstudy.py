@@ -160,3 +160,89 @@ def test_random_degradations_integrate_with_study_metric():
     bw = surviving_bisection_bandwidth(torus, faults)
     healthy = surviving_bisection_bandwidth(torus, FaultSet())
     assert 0.0 < bw <= healthy
+
+
+class TestFluidFaultSweep:
+    """Flow-level fault scenarios: degraded rows, never aborts."""
+
+    GEO = PartitionGeometry((1, 1, 1, 1))
+
+    def test_healthy_row_equals_fluid_bisection(self):
+        from repro.experiments.faultstudy import fluid_fault_sweep
+        from repro.experiments.pairing import fluid_bisection_bandwidth
+
+        rows = fluid_fault_sweep(self.GEO, max_failures=1, trials=1)
+        assert rows[0].failures == 0
+        assert rows[0].degraded is None
+        assert rows[0].bandwidth == pytest.approx(
+            fluid_bisection_bandwidth(self.GEO)
+        )
+
+    def test_grid_shape_and_seed_pairing(self):
+        from repro.experiments.faultstudy import fluid_fault_sweep
+
+        rows = fluid_fault_sweep(
+            self.GEO, max_failures=2, trials=3, seed=5
+        )
+        assert [(r.failures, r.trial) for r in rows] == [
+            (0, 0), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1), (2, 2),
+        ]
+        # Same seed arithmetic as degraded_bisection_study.
+        assert [r.seed for r in rows] == [
+            5, 1005, 1006, 1007, 2005, 2006, 2007,
+        ]
+
+    def test_deterministic_and_bounded(self):
+        from repro.experiments.faultstudy import fluid_fault_sweep
+
+        a = fluid_fault_sweep(self.GEO, max_failures=2, trials=2, seed=1)
+        b = fluid_fault_sweep(self.GEO, max_failures=2, trials=2, seed=1)
+        assert a == b
+        healthy = a[0].bandwidth
+        assert all(0.0 < r.bandwidth <= healthy for r in a)
+
+    def test_disconnecting_scenario_degrades_not_raises(self, monkeypatch):
+        """Isolate a vertex: its flows land in a DegradedResult row."""
+        from repro.experiments import faultstudy as fs
+
+        torus = self.GEO.bgq_network()
+        v = next(iter(torus.vertices()))
+        incident = [(u, w) for u, w, _ in torus.edges()
+                    if u == v or w == v]
+        isolating = FaultSet(failed_links=incident)
+        monkeypatch.setattr(
+            fs, "random_link_failures",
+            lambda topo, k, seed=0, edges=None:
+                isolating if k > 0 else FaultSet(),
+        )
+        rows = fs.fluid_fault_sweep(self.GEO, max_failures=1, trials=1)
+        assert rows[0].degraded is None
+        hit = rows[1]
+        assert hit.degraded is not None
+        # Both the isolated vertex's flow and its antipode's flow died.
+        assert hit.degraded.disconnected_flows == 2
+        assert v in hit.degraded.witness
+        assert hit.degraded.scenario == (1, 0)
+        assert hit.degraded.faults is isolating
+        # The surviving flows still contribute bandwidth.
+        assert 0.0 < hit.bandwidth < rows[0].bandwidth
+
+    def test_checkpoint_resume_matches(self, tmp_path):
+        from repro.experiments.faultstudy import fluid_fault_sweep
+
+        ckpt = tmp_path / "fluid.jsonl"
+        first = fluid_fault_sweep(
+            self.GEO, max_failures=1, trials=2, checkpoint=ckpt
+        )
+        second = fluid_fault_sweep(
+            self.GEO, max_failures=1, trials=2, checkpoint=ckpt
+        )
+        assert first == second
+
+    def test_validation(self):
+        from repro.experiments.faultstudy import fluid_fault_sweep
+
+        with pytest.raises(ValueError):
+            fluid_fault_sweep(self.GEO, max_failures=-1)
+        with pytest.raises(ValueError):
+            fluid_fault_sweep(self.GEO, trials=0)

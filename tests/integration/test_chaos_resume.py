@@ -1,0 +1,113 @@
+"""Chaos integration: a sweep killed mid-run resumes bit-identically.
+
+Drives the real CLI in subprocesses: a ``faults`` sweep is hard-killed
+mid-task via the deterministic ``REPRO_RESILIENCE_TEST_KILL`` hook
+(``os._exit`` — no cleanup, no atexit, exactly like a SIGKILL), then
+re-run against its ``--checkpoint`` journal.  The resumed run must skip
+the completed tasks, produce stdout bit-identical to an uninterrupted
+run, and surface the resume in the observability trace.  This is the
+same scenario the chaos-resilience CI leg exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import TEST_KILL_EXIT_CODE
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: A small but multi-row faults grid: 1 + 2*3 = 7 sweep tasks.
+FAULTS_ARGS = [
+    "faults", "--machine", "mira", "--size", "16",
+    "--max-failures", "2", "--trials", "3", "--seed", "0",
+]
+
+#: Task index the kill hook fires at (must be < number of tasks).
+KILL_AT = 3
+
+
+def _run_cli(args, cwd, extra_env=None):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env.pop("REPRO_RESILIENCE_TEST_KILL", None)
+    env.pop("REPRO_RESILIENCE_TEST_KILL_MARKER", None)
+    env.pop("REPRO_TRACE", None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=280,
+    )
+
+
+@pytest.fixture(scope="module")
+def killed_and_resumed(tmp_path_factory):
+    """Run the clean / killed / resumed triple once for all asserts."""
+    tmp = tmp_path_factory.mktemp("chaos")
+    clean = _run_cli(FAULTS_ARGS, tmp)
+    assert clean.returncode == 0, clean.stderr
+
+    killed = _run_cli(
+        FAULTS_ARGS + ["--checkpoint", "ckpt.jsonl"],
+        tmp,
+        extra_env={
+            "REPRO_RESILIENCE_TEST_KILL": str(KILL_AT),
+            "REPRO_RESILIENCE_TEST_KILL_MARKER": str(tmp / "kill.marker"),
+        },
+    )
+    resumed = _run_cli(
+        FAULTS_ARGS
+        + ["--checkpoint", "ckpt.jsonl", "--trace", "trace.jsonl"],
+        tmp,
+    )
+    return tmp, clean, killed, resumed
+
+
+class TestKillAndResume:
+    def test_kill_hook_fires_with_its_exit_code(self, killed_and_resumed):
+        tmp, _, killed, _ = killed_and_resumed
+        assert killed.returncode == TEST_KILL_EXIT_CODE
+        assert (tmp / "kill.marker").exists()
+
+    def test_checkpoint_holds_the_completed_prefix(
+        self, killed_and_resumed
+    ):
+        tmp, _, _, _ = killed_and_resumed
+        lines = (tmp / "ckpt.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "header"
+        task_records = [r for r in records if r["type"] == "task"]
+        # Tasks 0..KILL_AT-1 completed before the kill; the resumed run
+        # appended the rest to the same journal.
+        indices = [r["index"] for r in task_records]
+        assert indices[:KILL_AT] == list(range(KILL_AT))
+        assert sorted(indices) == list(range(7))
+
+    def test_resumed_output_bit_identical_to_clean_run(
+        self, killed_and_resumed
+    ):
+        _, clean, _, resumed = killed_and_resumed
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout
+
+    def test_trace_shows_resumed_tasks(self, killed_and_resumed):
+        tmp, _, _, resumed = killed_and_resumed
+        assert resumed.returncode == 0
+        summary = _run_cli(["trace", "summarize", "trace.jsonl"], tmp)
+        assert summary.returncode == 0, summary.stderr
+        line = next(
+            ln for ln in summary.stdout.splitlines()
+            if "resilience.resumed_tasks" in ln
+        )
+        assert line.split()[-1] == str(KILL_AT)

@@ -190,3 +190,85 @@ class TestLayoutMatchesLinkNetwork:
             ]
         )
         assert np.array_equal(analytic, enumerated)
+
+
+class TestFaultMaskedParity:
+    """The fault-masked batch path agrees with the scalar fault-aware
+    router even when the fault set severs *some* pairs: connected flows
+    match link for link, severed flows land in the disconnected index
+    array with an empty path row — per-scenario degradation, never a
+    raised :class:`PartitionDisconnectedError`."""
+
+    @st.composite
+    @staticmethod
+    def torus_pairs_faults(draw):
+        dims = draw(dims_strategy.filter(lambda d: math.prod(d) >= 4))
+        torus = Torus(dims)
+        edges = [(u, v) for u, v, _ in torus.edges()]
+        k = draw(st.integers(min_value=0, max_value=min(len(edges), 10)))
+        picks = draw(st.lists(
+            st.integers(min_value=0, max_value=len(edges) - 1),
+            min_size=k, max_size=k, unique=True,
+        ))
+        verts = list(torus.vertices())
+        n_nodes = draw(st.integers(min_value=0, max_value=1))
+        nodes = [
+            verts[draw(st.integers(min_value=0, max_value=len(verts) - 1))]
+            for _ in range(n_nodes)
+        ]
+        faults = FaultSet(
+            failed_links=[edges[i] for i in picks], failed_nodes=nodes
+        )
+        n = torus.num_vertices
+        n_pairs = draw(st.integers(min_value=1, max_value=10))
+        pairs = [
+            (
+                draw(st.integers(min_value=0, max_value=n - 1)),
+                draw(st.integers(min_value=0, max_value=n - 1)),
+            )
+            for _ in range(n_pairs)
+        ]
+        return torus, pairs, faults
+
+    @given(torus_pairs_faults(), tie_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_partial_disconnection_parity(self, tpf, tie):
+        from repro.faults import PartitionDisconnectedError
+        from repro.netsim.batchroute import batch_fault_aware_routes
+
+        torus, pairs, faults = tpf
+        net = LinkNetwork(torus)
+        verts = list(torus.vertices())
+        src = np.asarray([i for i, _ in pairs], dtype=np.int64)
+        dst = np.asarray([j for _, j in pairs], dtype=np.int64)
+        pm, disconnected = batch_fault_aware_routes(
+            torus, src, dst, faults, tie=tie
+        )
+        assert len(pm) == len(pairs)
+
+        expected_cut = set()
+        for f, (i, j) in enumerate(pairs):
+            try:
+                want = net.path_to_links(fault_aware_route(
+                    torus, verts[i], verts[j], faults, tie=tie
+                ))
+            except PartitionDisconnectedError:
+                expected_cut.add(f)
+                assert pm[f].size == 0  # severed flows get empty rows
+                continue
+            assert pm[f].tolist() == want.tolist()
+        assert set(disconnected.tolist()) == expected_cut
+
+    @given(torus_pairs_faults())
+    @settings(max_examples=40, deadline=None)
+    def test_mask_marks_exactly_the_faulted_links(self, tpf):
+        from repro.netsim.batchroute import fault_link_mask
+
+        torus, _pairs, faults = tpf
+        net = LinkNetwork(torus)
+        mask = fault_link_mask(torus, faults)
+        layout = link_layout(torus)
+        assert mask.shape == (torus.num_vertices * layout.degree,)
+        for link in range(net.num_links):
+            u, v = net.link_endpoints(link)
+            assert mask[link] == bool(faults.blocks(u, v))

@@ -188,3 +188,85 @@ class TestZeroRankWorld:
         assert res.total_gb_sent == 0.0
         assert res.max_compute_seconds == 0.0
         assert res.ranks == ()
+
+
+class TestRepairEvents:
+    def _world(self, events):
+        from repro.simmpi import RepairEvent  # noqa: F401 (re-export)
+
+        return VirtualMpi(
+            Torus((8,)), link_bandwidth=2.0, fault_events=events
+        )
+
+    def test_fail_then_repair_restores_natural_route(self):
+        from repro.simmpi import RepairEvent
+
+        link = (((2,), (3,)),)
+        world = self._world([
+            FaultEvent(time=0.25, faults=FaultSet(failed_links=link)),
+            RepairEvent(time=0.75, links=link),
+        ])
+        res = world.run(transfer)
+        # The flow reroutes the long way at t=0.25 and snaps back to
+        # the short arc when the link returns at t=0.75.
+        assert res.reroutes == 1
+        assert res.restores == 1
+        # Both arcs of the 8-ring are 4 hops at full rate, so the
+        # detour and the snap-back leave the makespan at 8 GB / 2 GB/s.
+        assert res.time == pytest.approx(4.0)
+
+    def test_repair_after_finish_is_ignored(self):
+        from repro.simmpi import RepairEvent
+
+        link = (((2,), (3,)),)
+        world = self._world([
+            FaultEvent(time=0.25, faults=FaultSet(failed_links=link)),
+            RepairEvent(time=10_000.0, links=link),
+        ])
+        res = world.run(transfer)
+        assert res.reroutes == 1
+        assert res.restores == 0
+
+    def test_repair_run_is_deterministic(self):
+        from repro.simmpi import RepairEvent
+
+        link = (((5,), (6,)),)
+        events = [
+            FaultEvent(time=0.5, faults=FaultSet(failed_links=link)),
+            RepairEvent(time=1.5, links=link),
+        ]
+        a = self._world(events).run(transfer)
+        b = self._world(events).run(transfer)
+        assert a == b
+
+    def test_repair_of_never_failed_link_rejected_at_construction(self):
+        from repro.simmpi import RepairEvent
+
+        with pytest.raises(ValueError, match="invalid repair event"):
+            self._world([
+                FaultEvent(
+                    time=0.25,
+                    faults=FaultSet(failed_links=[((2,), (3,))]),
+                ),
+                RepairEvent(time=0.75, links=[((5,), (6,))]),
+            ])
+
+    def test_repair_before_any_failure_rejected(self):
+        from repro.simmpi import RepairEvent
+
+        with pytest.raises(ValueError, match="invalid repair event"):
+            self._world([RepairEvent(time=0.1, links=[((0,), (1,))])])
+
+    def test_node_repair_restores_drained_rank(self):
+        from repro.simmpi import RepairEvent
+
+        # Fail a node far from the 0 -> 4 flow, then bring it back.
+        world = self._world([
+            FaultEvent(time=0.5, faults=FaultSet(failed_nodes=[(6,)])),
+            RepairEvent(time=1.0, nodes=[(6,)]),
+        ])
+        res = world.run(transfer)
+        # The transfer reroutes off the drained node's links at t=0.5
+        # (its natural path 0->1->2->3->4 does not touch (6,), so no
+        # reroute), and the repair restores the pristine network.
+        assert res.time == pytest.approx(4.0)

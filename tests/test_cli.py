@@ -178,3 +178,71 @@ class TestAdvise:
 
     def test_bad_size(self, capsys):
         assert main(["advise", "juqueen", "11", "11", "1", "1", "1"]) == 2
+
+
+class TestCheckpointFlag:
+    @pytest.mark.parametrize("argv", [
+        ["pairing", "--sweep", "mira", "--checkpoint", "c.jsonl"],
+        ["design-search", "juqueen", "--checkpoint", "c.jsonl"],
+        ["variability", "mira", "16", "--checkpoint", "c.jsonl"],
+        ["faults", "--checkpoint", "c.jsonl"],
+    ])
+    def test_all_sweep_commands_accept_checkpoint(self, argv):
+        args = build_parser().parse_args(argv)
+        assert args.checkpoint == "c.jsonl"
+
+    def test_checkpoint_defaults_to_none(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.checkpoint is None
+
+    def test_faults_checkpoint_resume_same_output(self, tmp_path, capsys):
+        argv = [
+            "faults", "--machine", "mira", "--size", "16",
+            "--max-failures", "1", "--trials", "2",
+            "--checkpoint", str(tmp_path / "ck.jsonl"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "ck.jsonl").exists()
+
+
+class TestFaultsFluidSweep:
+    def test_fluid_sweep_renders_rows(self, capsys):
+        assert main([
+            "faults", "--machine", "mira", "--size", "4",
+            "--max-failures", "1", "--trials", "1", "--fluid-sweep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow-level surviving bisection" in out
+        assert "ok" in out
+
+    def test_degraded_rows_render_witness(self, capsys, monkeypatch):
+        from repro.experiments import faultstudy as fs
+        from repro.experiments.faultstudy import FaultScenarioRow
+        from repro.faults import DegradedResult, FaultSet
+
+        rows = [
+            FaultScenarioRow(failures=0, trial=0, seed=0, bandwidth=16.0),
+            FaultScenarioRow(
+                failures=1, trial=0, seed=1000, bandwidth=12.0,
+                degraded=DegradedResult(
+                    scenario=(1, 0),
+                    faults=FaultSet(failed_links=[((0, 0), (0, 1))]),
+                    witness=((0, 0), (2, 0)),
+                    disconnected_flows=2,
+                ),
+            ),
+        ]
+        monkeypatch.setattr(
+            fs, "fluid_fault_sweep", lambda *a, **k: rows
+        )
+        assert main([
+            "faults", "--machine", "mira", "--size", "16",
+            "--fluid-sweep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED (2 flows cut" in out
+        assert "(0, 0)-(2, 0)" in out
+        assert "1 degraded" in out

@@ -205,3 +205,105 @@ class TestPartitionDisconnectedError:
         f = FaultSet(failed_nodes=[(3,)])
         err = PartitionDisconnectedError((0,), (3,), f)
         assert "failed nodes" in str(err)
+
+
+class TestFaultSetRestore:
+    def test_restore_failed_link_both_directions(self):
+        f = FaultSet(failed_links=[((0,), (1,)), ((2,), (3,))])
+        r = f.restore(links=[((0,), (1,))])
+        assert not r.is_failed_link((0,), (1,))
+        assert not r.is_failed_link((1,), (0,))
+        assert r.is_failed_link((2,), (3,))
+
+    def test_restore_reverse_orientation(self):
+        f = FaultSet(failed_links=[((0,), (1,))])
+        assert f.restore(links=[((1,), (0,))]).is_empty()
+
+    def test_restore_failed_node(self):
+        f = FaultSet(failed_nodes=[(1,), (2,)])
+        r = f.restore(nodes=[(1,)])
+        assert not r.blocks((0,), (1,))
+        assert r.blocks((2,), (3,))
+
+    def test_restore_everything_yields_empty_set(self):
+        f = FaultSet(failed_links=[((0,), (1,))], failed_nodes=[(5,)])
+        r = f.restore(links=[((0,), (1,))], nodes=[(5,)])
+        assert r.is_empty()
+        assert not r
+
+    def test_restore_preserves_degradations(self):
+        f = FaultSet(
+            failed_links=[((0,), (1,))],
+            degraded_links={((2,), (3,)): 0.5},
+        )
+        r = f.restore(links=[((0,), (1,))])
+        assert r.capacity_factor((2,), (3,)) == 0.5
+
+    def test_restore_never_failed_link_rejected(self):
+        f = FaultSet(failed_links=[((0,), (1,))])
+        with pytest.raises(ValueError, match="not failed"):
+            f.restore(links=[((4,), (5,))])
+
+    def test_restore_never_failed_node_rejected(self):
+        with pytest.raises(ValueError, match="not failed"):
+            FaultSet(failed_nodes=[(1,)]).restore(nodes=[(9,)])
+
+    def test_directed_restore_of_undirected_failure_rejected(self):
+        # An undirected failure stores both directions; restoring only
+        # one direction of a purely directed failure must not succeed
+        # against the opposite direction.
+        f = FaultSet(failed_links=[((0,), (1,))], undirected=False)
+        with pytest.raises(ValueError, match="not failed"):
+            f.restore(links=[((1,), (0,))], undirected=False)
+
+    def test_restore_does_not_mutate_original(self):
+        f = FaultSet(failed_links=[((0,), (1,))])
+        f.restore(links=[((0,), (1,))])
+        assert f.is_failed_link((0,), (1,))
+
+
+class TestRepairEvent:
+    def test_fields_coerced_to_tuples(self):
+        from repro.faults import RepairEvent
+
+        ev = RepairEvent(time=1.0, links=[((0,), (1,))], nodes=[(2,)])
+        assert ev.links == (((0,), (1,)),)
+        assert ev.nodes == ((2,),)
+        assert ev.undirected
+
+    def test_negative_time_rejected(self):
+        from repro.faults import RepairEvent
+
+        with pytest.raises(ValueError):
+            RepairEvent(time=-0.5, links=[((0,), (1,))])
+
+    def test_empty_repair_rejected(self):
+        from repro.faults import RepairEvent
+
+        with pytest.raises(ValueError):
+            RepairEvent(time=1.0)
+
+
+class TestDegradedResult:
+    def test_carries_witness_and_faults(self):
+        from repro.faults import DegradedResult
+
+        faults = FaultSet(failed_links=[((0,), (1,))])
+        d = DegradedResult(
+            scenario=(3, 1),
+            faults=faults,
+            witness=((0,), (4,)),
+            disconnected_flows=2,
+        )
+        assert d.scenario == (3, 1)
+        assert d.faults is faults
+        assert d.witness == ((0,), (4,))
+        assert d.disconnected_flows == 2
+
+    def test_default_single_flow(self):
+        from repro.faults import DegradedResult
+
+        d = DegradedResult(
+            scenario=(1, 0), faults=FaultSet(), witness=((0,), (1,))
+        )
+        assert d.disconnected_flows == 1

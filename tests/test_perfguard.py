@@ -1,9 +1,10 @@
 """Unit tests for the CI perf-regression guard.
 
 The guard script lives outside the package (``benchmarks/``), so it is
-loaded here by file path.  It compares the newest ``BENCH_perf.json``
-record against the most recent record from an equivalent runner and
-fails on >2x timing regressions.
+loaded here by file path.  It compares, per metric key, the newest
+``BENCH_perf.json`` record carrying the key against the most recent
+comparable earlier record carrying it, and fails on >2x regressions —
+timing growth for ``*_s`` keys, throughput drop for ``*_per_s`` keys.
 """
 
 from __future__ import annotations
@@ -38,28 +39,73 @@ def record(timings, cpu=4, platform="linux-test", ts="2026-01-01T00:00:00Z"):
     }
 
 
-class TestFindBaseline:
+class TestClassify:
+    def test_rate_key(self, guard):
+        assert guard.classify("fault_sweep_scenarios_per_s") == "rate"
+
+    def test_timing_key(self, guard):
+        assert guard.classify("designsearch_serial_s") == "timing"
+
+    def test_per_s_not_mistaken_for_timing(self, guard):
+        # *_per_s also ends with _s; the rate class must win.
+        assert guard.classify("x_per_s") == "rate"
+
+    def test_derived_metrics_unclassified(self, guard):
+        assert guard.classify("pairing_vector_speedup") is None
+        assert guard.classify("trace_overhead_pct") is None
+        assert guard.classify("extremes_memo_hit_rate") is None
+
+
+class TestLatestPair:
     def test_empty_history(self, guard):
-        assert guard.find_baseline([]) == (None, None)
+        assert guard.latest_pair([], "a_s") == (None, None)
 
     def test_single_record_has_no_baseline(self, guard):
-        current, baseline = guard.find_baseline([record({"a_s": 1.0})])
+        current, baseline = guard.latest_pair([record({"a_s": 1.0})], "a_s")
         assert current is not None and baseline is None
+        assert current[1] == 1.0
 
     def test_skips_incomparable_runners(self, guard):
         other = record({"a_s": 1.0}, cpu=16)
         mine_old = record({"a_s": 2.0})
         mine_new = record({"a_s": 2.1})
-        current, baseline = guard.find_baseline([mine_old, other, mine_new])
-        assert current is mine_new
-        assert baseline is mine_old
+        current, baseline = guard.latest_pair(
+            [mine_old, other, mine_new], "a_s"
+        )
+        assert current[0] is mine_new
+        assert baseline[0] is mine_old
 
     def test_uses_most_recent_comparable(self, guard):
         older = record({"a_s": 5.0}, ts="2026-01-01T00:00:00Z")
         newer = record({"a_s": 1.0}, ts="2026-01-02T00:00:00Z")
         current = record({"a_s": 1.1}, ts="2026-01-03T00:00:00Z")
-        _, baseline = guard.find_baseline([older, newer, current])
-        assert baseline is newer
+        _, baseline = guard.latest_pair([older, newer, current], "a_s")
+        assert baseline[0] is newer
+
+    def test_key_found_across_interleaved_harness_records(self, guard):
+        # bench_faults and bench_perfbaseline append separate records;
+        # each key pairs with its own previous occurrence, not with
+        # whatever record happens to be last.
+        history = [
+            record({"a_s": 1.0}),
+            record({"r_per_s": 50.0}),
+            record({"a_s": 1.1}),
+            record({"r_per_s": 48.0}),
+        ]
+        (cur_a, now_a), (base_a, before_a) = guard.latest_pair(
+            history, "a_s"
+        )
+        assert (now_a, before_a) == (1.1, 1.0)
+        (cur_r, now_r), (base_r, before_r) = guard.latest_pair(
+            history, "r_per_s"
+        )
+        assert (now_r, before_r) == (48.0, 50.0)
+
+    def test_non_numeric_values_skipped(self, guard):
+        history = [record({"a_s": 1.0}), record({"a_s": "fast"})]
+        current, baseline = guard.latest_pair(history, "a_s")
+        assert current[1] == 1.0
+        assert baseline is None
 
 
 class TestCheck:
@@ -73,14 +119,37 @@ class TestCheck:
         history = [record({"a_s": 1.0}), record({"a_s": 1.9})]
         assert guard.check(history) == []
 
-    def test_regression_detected(self, guard):
+    def test_timing_regression_detected(self, guard):
         history = [record({"a_s": 1.0}), record({"a_s": 2.5})]
         failures = guard.check(history)
         assert len(failures) == 1
         assert "a_s" in failures[0]
 
-    def test_improvement_passes(self, guard):
+    def test_timing_improvement_passes(self, guard):
         history = [record({"a_s": 2.0}), record({"a_s": 0.1})]
+        assert guard.check(history) == []
+
+    def test_rate_regression_detected(self, guard):
+        history = [
+            record({"sweep_per_s": 100.0}),
+            record({"sweep_per_s": 40.0}),
+        ]
+        failures = guard.check(history)
+        assert len(failures) == 1
+        assert "sweep_per_s" in failures[0]
+
+    def test_rate_within_bounds_passes(self, guard):
+        history = [
+            record({"sweep_per_s": 100.0}),
+            record({"sweep_per_s": 60.0}),
+        ]
+        assert guard.check(history) == []
+
+    def test_rate_improvement_passes(self, guard):
+        history = [
+            record({"sweep_per_s": 100.0}),
+            record({"sweep_per_s": 400.0}),
+        ]
         assert guard.check(history) == []
 
     def test_derived_metrics_skipped(self, guard):
@@ -102,13 +171,27 @@ class TestCheck:
         history = [record({"a_s": "fast"}), record({"a_s": 1.0})]
         assert guard.check(history) == []
 
+    def test_mixed_harness_records_each_key_guarded(self, guard):
+        # A faults-bench record appended after the baseline record must
+        # not hide baseline timing regressions, and vice versa.
+        history = [
+            record({"a_s": 1.0}),
+            record({"r_per_s": 100.0}),
+            record({"a_s": 5.0}),       # timing regressed x5
+            record({"r_per_s": 10.0}),  # rate regressed x10
+        ]
+        failures = guard.check(history)
+        assert len(failures) == 2
+        assert any("a_s" in f for f in failures)
+        assert any("r_per_s" in f for f in failures)
+
 
 class TestMain:
     def test_passes_on_real_trajectory_format(self, guard, tmp_path):
         path = tmp_path / "BENCH_perf.json"
         path.write_text(json.dumps([
             record({"a_s": 1.0}),
-            record({"a_s": 1.2}),
+            record({"a_s": 1.2, "sweep_per_s": 80.0}),
         ]))
         assert guard.main(["prog", str(path)]) == 0
 
