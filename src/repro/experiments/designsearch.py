@@ -26,9 +26,14 @@ from .._validation import check_positive_int
 from ..allocation.enumeration import factorizations_into_dims
 from ..allocation.optimizer import best_geometry_for_machine
 from ..machines.bgq import BlueGeneQMachine
-from ..parallel import sweep_map
+from ..parallel import register_block_runner, sweep_map
 
-__all__ = ["DesignCandidate", "score_machine", "design_search"]
+__all__ = [
+    "DesignCandidate",
+    "score_machine",
+    "design_search",
+    "fluid_check",
+]
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,29 @@ def _score_candidate(
     dims, sizes = task
     machine = BlueGeneQMachine(f"candidate-{'x'.join(map(str, dims))}", dims)
     return score_machine(machine, list(sizes))
+
+
+def _score_candidate_block(
+    tasks: list[tuple[tuple[int, ...], tuple[int, ...]]],
+) -> list[dict[int, int]]:
+    """Block form of :func:`_score_candidate`: plain chunking.
+
+    Candidate scoring has no stacked numpy kernel — the win here is
+    dispatch economics: registering a block form routes small design
+    searches through :func:`repro.parallel.sweep_map`'s serial blocked
+    path (no pool startup for sweeps the pool made *slower*, the
+    BENCH_perf.json crossover seam) and hands big searches to workers
+    as a few large blocks instead of many small pickles.
+    """
+    return [_score_candidate(t) for t in tasks]
+
+
+register_block_runner(
+    _score_candidate,
+    _score_candidate_block,
+    min_block_tasks=2,
+    max_block_tasks=64,
+)
 
 
 def design_search(
@@ -198,16 +226,26 @@ def design_search(
         )
     )
     if fluid_check_top > 0:
-        _fluid_check(candidates[:fluid_check_top])
+        fluid_check(candidates[:fluid_check_top])
     return candidates
 
 
-def _fluid_check(candidates: list[DesignCandidate]) -> None:
-    """Cross-check candidates' headline scores via the flow simulator."""
+def fluid_check(candidates: list[DesignCandidate]) -> list[dict]:
+    """Cross-check candidates' headline scores via the flow simulator.
+
+    For each candidate, simulates the antipodal pairing on the winning
+    partition of its largest allocatable size and compares the
+    flow-level bisection to the cut arithmetic; raises
+    :class:`RuntimeError` on mismatch.  Returns one record per checked
+    candidate — ``{"dims", "size", "static_bw", "fluid_bw"}`` — so the
+    golden-fixture tests can pin the exact set of checks (and their
+    float values) the stacked rewrite must preserve.
+    """
     import math
 
     from .pairing import fluid_bisection_bandwidth
 
+    records: list[dict] = []
     for cand in candidates:
         checkable = [
             (s, bw) for s, bw in cand.bandwidths.items() if bw > 0
@@ -224,3 +262,12 @@ def _fluid_check(candidates: list[DesignCandidate]) -> None:
                 f"flow-level bisection {fluid_bw} vs cut arithmetic "
                 f"{static_bw}"
             )
+        records.append(
+            {
+                "dims": list(cand.machine.midplane_dims),
+                "size": int(size),
+                "static_bw": float(static_bw),
+                "fluid_bw": float(fluid_bw),
+            }
+        )
+    return records

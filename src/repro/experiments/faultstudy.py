@@ -39,10 +39,15 @@ from ..allocation.policy import PredefinedListPolicy, mira_policy
 from ..faults import DegradedResult, FaultSet, random_link_failures
 from ..kernels.costmodel import LINK_BANDWIDTH_GB_PER_S
 from ..machines.bgq import BlueGeneQMachine
-from ..netsim.batchroute import batch_fault_aware_routes
-from ..netsim.fairness import max_min_fair_rates
+from ..netsim.batchroute import (
+    batch_dimension_ordered_routes,
+    batch_fault_aware_routes,
+    fault_capacity_plane,
+)
+from ..netsim.fairness import max_min_fair_rates, stacked_max_min_fair_rates
 from ..netsim.network import LinkNetwork
-from ..parallel import sweep_map
+from ..netsim.stacked import StackedPathMatrix
+from ..parallel import register_block_runner, sweep_map
 from ..topology.torus import Torus
 
 __all__ = [
@@ -294,6 +299,103 @@ def _fluid_scenario(
         bandwidth=surviving,
         degraded=degraded,
     )
+
+
+def _fluid_scenario_block(
+    tasks: list[tuple[tuple[int, ...], int, int, int, float, str]],
+) -> list[FaultScenarioRow]:
+    """Stacked form of :func:`_fluid_scenario`: one numpy water-fill.
+
+    Groups the block's scenarios by ``(dims, link_bandwidth, tie)``
+    (one group per geometry in practice), routes the healthy antipodal
+    pairing once per group, builds each scenario's fault-masked paths
+    and capacity plane, stacks them into a
+    :class:`~repro.netsim.stacked.StackedPathMatrix`, and solves every
+    scenario's max-min rates in a single
+    :func:`~repro.netsim.fairness.stacked_max_min_fair_rates` pass.
+    Rows are **bit-identical** to ``[_fluid_scenario(t) for t in
+    tasks]`` (differential-tested) — the per-scenario sums index the
+    compacted active rates so even float summation order matches.
+    """
+    rows: list[FaultScenarioRow | None] = [None] * len(tasks)
+    groups: dict[tuple, list[int]] = {}
+    for i, task in enumerate(tasks):
+        dims, _k, _trial, _seed, link_bandwidth, tie = task
+        groups.setdefault((dims, link_bandwidth, tie), []).append(i)
+    for (dims, link_bandwidth, tie), idxs in groups.items():
+        torus, net, edges, src, dst = _fluid_net_for(
+            dims, link_bandwidth
+        )
+        healthy = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+        verts = list(torus.vertices())
+        scenarios = []
+        metas = []
+        for i in idxs:
+            _, k, trial, trial_seed, _, _ = tasks[i]
+            faults = random_link_failures(
+                torus, k, seed=trial_seed, edges=edges
+            )
+            pm, disconnected = batch_fault_aware_routes(
+                torus, src, dst, faults, tie=tie, healthy=healthy
+            )
+            caps = (
+                fault_capacity_plane(torus, net.capacities, faults)
+                if faults
+                else net.capacities
+            )
+            active = None
+            if disconnected.size:
+                active = np.setdiff1d(
+                    np.arange(len(pm), dtype=np.int64),
+                    disconnected,
+                    assume_unique=True,
+                )
+            scenarios.append((pm, caps, active))
+            metas.append((i, k, trial, trial_seed, faults,
+                          disconnected, active))
+        stack = StackedPathMatrix.from_scenarios(scenarios)
+        flat_rates = stacked_max_min_fair_rates(stack)
+        for s, (i, k, trial, trial_seed, faults, disconnected,
+                active) in enumerate(metas):
+            rates_s = flat_rates[stack.flow_slice(s)]
+            if active is not None and active.size == 0:
+                surviving = 0.0
+            elif active is not None:
+                # Compact before summing: same values in the same
+                # order as the scalar path's active-rate vector, so
+                # the pairwise float sum is bit-identical.
+                surviving = float(rates_s[active].sum()) / (
+                    2.0 * link_bandwidth
+                )
+            else:
+                surviving = float(rates_s.sum()) / (2.0 * link_bandwidth)
+            degraded = None
+            if disconnected.size:
+                j = int(disconnected[0])
+                degraded = DegradedResult(
+                    scenario=(k, trial),
+                    faults=faults,
+                    witness=(
+                        verts[int(src[j])], verts[int(dst[j])]
+                    ),
+                    disconnected_flows=int(disconnected.size),
+                )
+            rows[i] = FaultScenarioRow(
+                failures=k,
+                trial=trial,
+                seed=trial_seed,
+                bandwidth=surviving,
+                degraded=degraded,
+            )
+    return rows  # type: ignore[return-value]
+
+
+register_block_runner(
+    _fluid_scenario,
+    _fluid_scenario_block,
+    min_block_tasks=2,
+    max_block_tasks=256,
+)
 
 
 def fluid_fault_sweep(

@@ -15,7 +15,11 @@ from .batchroute import (
     PathMatrix,
     TorusLinkLayout,
     batch_dimension_ordered_routes,
+    batch_fault_aware_routes,
+    fault_capacity_plane,
+    fault_link_mask,
     link_layout,
+    masked_bfs_links,
     vector_enabled,
     vertex_indices,
 )
@@ -26,8 +30,13 @@ from .collectives import (
     ring_pass,
 )
 from .embedding import RankEmbedding, block_embedding, node_enumeration
-from .fairness import max_min_fair_rates
-from .fluid import FlowResult, FluidSimulation, simulate_flows
+from .fairness import max_min_fair_rates, stacked_max_min_fair_rates
+from .fluid import (
+    FlowResult,
+    FluidSimulation,
+    StackedFluidSimulation,
+    simulate_flows,
+)
 from .network import LinkNetwork
 from .routing import (
     PartitionDisconnectedError,
@@ -38,6 +47,7 @@ from .routing import (
     route,
 )
 from .schedule import RouteCache, TransferRound, simulate_rounds
+from .stacked import StackedPathMatrix, segment_min
 from .traffic import (
     all_pairs_uniform,
     bisection_pairing,
@@ -51,9 +61,15 @@ __all__ = [
     "PathMatrix",
     "TorusLinkLayout",
     "batch_dimension_ordered_routes",
+    "batch_fault_aware_routes",
+    "fault_capacity_plane",
+    "fault_link_mask",
     "link_layout",
+    "masked_bfs_links",
     "vector_enabled",
     "vertex_indices",
+    "StackedPathMatrix",
+    "segment_min",
     "dimension_ordered_route",
     "bfs_route",
     "route",
@@ -61,7 +77,9 @@ __all__ = [
     "check_tie",
     "PartitionDisconnectedError",
     "max_min_fair_rates",
+    "stacked_max_min_fair_rates",
     "FluidSimulation",
+    "StackedFluidSimulation",
     "FlowResult",
     "simulate_flows",
     "bisection_pairing",

@@ -53,6 +53,8 @@ __all__ = [
     "batch_dimension_ordered_routes",
     "batch_fault_aware_routes",
     "fault_link_mask",
+    "fault_capacity_plane",
+    "masked_bfs_links",
     "vertex_indices",
     "vector_enabled",
 ]
@@ -538,6 +540,170 @@ def fault_link_mask(torus: Torus, faults) -> np.ndarray:
     return mask
 
 
+def _directed_link_id(torus: Torus, u, v) -> int | None:
+    """Dense id of the directed link ``u -> v``, or ``None`` if absent.
+
+    Accepts arbitrary vertex tuples: entries that are not vertices of
+    *torus* or not torus edges yield ``None`` (a fault naming a
+    non-existent link cannot affect any real link).
+    """
+    layout = link_layout(torus)
+    dims = torus.dims
+    ndim = torus.ndim
+    if len(u) != ndim or len(v) != ndim:
+        return None
+    if any(not 0 <= u[k] < dims[k] for k in range(ndim)):
+        return None
+    if any(not 0 <= v[k] < dims[k] for k in range(ndim)):
+        return None
+    diff = [k for k in range(ndim) if u[k] != v[k]]
+    if len(diff) != 1:
+        return None
+    k = diff[0]
+    a = dims[k]
+    if (u[k] + 1) % a == v[k]:
+        slot = layout.slot_up[k]
+    elif (v[k] + 1) % a == u[k]:
+        slot = layout.slot_down[k]
+    else:
+        return None
+    if slot < 0:
+        return None
+    rank = int(
+        sum(int(u[i]) * int(layout.strides[i]) for i in range(ndim))
+    )
+    return rank * layout.degree + int(slot)
+
+
+def fault_capacity_plane(
+    torus: Torus, capacities: np.ndarray, faults
+) -> np.ndarray:
+    """Per-link capacities of *torus* with *faults* applied.
+
+    The vectorized equivalent of
+    ``LinkNetwork.with_faults(faults).capacities`` for a network built
+    over *torus* with base *capacities*: degraded links are multiplied
+    by their factor exactly as ``with_faults`` does (same float op, so
+    the result is bit-identical), blocked links — failed outright or
+    with a down endpoint — go to ``0.0``.  Fault sets are small, so the
+    degraded/blocked bookkeeping loops over the faults, never over the
+    links.
+    """
+    caps = np.array(capacities, dtype=float, copy=True)
+    if faults is None or faults.is_empty():
+        return caps
+    expected = torus.num_vertices * link_layout(torus).degree
+    if len(caps) != expected:
+        raise ValueError(
+            f"capacity plane has {len(caps)} slots but the analytic "
+            f"layout of {torus.name} expects {expected}"
+        )
+    mask = fault_link_mask(torus, faults)
+    for (u, v), factor in faults.degraded_links.items():
+        lid = _directed_link_id(torus, u, v)
+        # A degraded link that is also blocked ends at zero either way
+        # (``capacity_factor`` lets the block win); skip the multiply so
+        # the arithmetic below matches ``with_faults`` exactly.
+        if lid is None or mask[lid]:
+            continue
+        caps[lid] *= factor
+    caps[mask] = 0.0
+    return caps
+
+
+@memoized(maxsize=256, key=lambda torus: torus)
+def _neighbor_table(torus: Torus) -> np.ndarray:
+    """``(num_vertices, degree)`` neighbor ranks in slot order (memoized).
+
+    Row ``u``, column ``s`` is the rank of the vertex reached through
+    vertex ``u``'s slot ``s`` — the same neighbor enumeration order as
+    ``Torus.neighbors`` (dimensions ascending, + before −, one merged
+    slot for length-2 dimensions), which is what makes the vectorized
+    BFS tie-breaks below identical to the scalar
+    :func:`repro.netsim.routing.bfs_route`.
+    """
+    layout = link_layout(torus)
+    n = torus.num_vertices
+    ranks = np.arange(n, dtype=np.int64)
+    coords = np.stack(np.unravel_index(ranks, torus.dims), axis=1)
+    out = np.empty((n, layout.degree), dtype=np.int64)
+    for s in range(layout.degree):
+        k = int(layout.slot_dims[s])
+        step = 1 if s == int(layout.slot_up[k]) else -1
+        c = coords.copy()
+        c[:, k] = (c[:, k] + step) % torus.dims[k]
+        out[:, s] = np.ravel_multi_index(tuple(c.T), torus.dims)
+    out.flags.writeable = False
+    return out
+
+
+def masked_bfs_links(
+    torus: Torus, src_rank: int, dst_rank: int, mask: np.ndarray
+) -> np.ndarray | None:
+    """Vectorized masked BFS: directed link ids of the fallback route.
+
+    Explores the torus level by level with all frontier expansions done
+    as array operations, skipping links where ``mask`` is true (the
+    :func:`fault_link_mask` of the fault set).  Discovery order — and
+    therefore every tie-break — matches the scalar
+    :func:`repro.netsim.routing.bfs_route` over
+    :func:`repro.faults.surviving_topology` exactly: candidates are
+    enumerated in (frontier position × slot) order and
+    ``np.unique(..., return_index=True)`` keeps the *first* occurrence
+    per vertex, which is precisely the scalar loop's ``v not in prev``
+    rule.  Returns the link ids of the BFS path (empty for
+    ``src == dst``), or ``None`` when *dst* is unreachable.
+
+    The caller is responsible for endpoint liveness (a down endpoint
+    disconnects the flow before routing is attempted).
+    """
+    if src_rank == dst_rank:
+        return np.empty(0, dtype=np.int64)
+    layout = link_layout(torus)
+    degree = layout.degree
+    if degree == 0:
+        return None
+    nbr = _neighbor_table(torus)
+    visited = np.zeros(torus.num_vertices, dtype=bool)
+    visited[src_rank] = True
+    via_link = np.full(torus.num_vertices, -1, dtype=np.int64)
+    frontier = np.asarray([src_rank], dtype=np.int64)
+    slots = np.arange(degree, dtype=np.int64)
+    # Reused scatter buffer for the per-level first-occurrence dedup.
+    order = np.full(torus.num_vertices, -1, dtype=np.int64)
+    while frontier.size:
+        links = (frontier[:, None] * degree + slots[None, :]).ravel()
+        v = nbr[frontier].ravel()
+        ok = ~(mask[links] | visited[v])
+        v_ok = v[ok]
+        if not v_ok.size:
+            return None
+        link_ok = links[ok]
+        # First occurrence per vertex in enumeration order — what
+        # ``np.unique(v_ok, return_index=True)`` computes, but via a
+        # linear reverse scatter (last write wins → smallest index
+        # survives) instead of a sort.
+        order[v_ok[::-1]] = np.arange(
+            v_ok.size - 1, -1, -1, dtype=np.int64
+        )
+        uniq = np.flatnonzero(order >= 0)
+        first = order[uniq]
+        order[uniq] = -1  # reset only the touched slots
+        visited[uniq] = True
+        via_link[uniq] = link_ok[first]
+        if visited[dst_rank]:
+            out: list[int] = []
+            cur = dst_rank
+            while cur != src_rank:
+                lk = int(via_link[cur])
+                out.append(lk)
+                cur = lk // degree
+            out.reverse()
+            return np.asarray(out, dtype=np.int64)
+        frontier = v_ok[np.sort(first)]
+    return None  # pragma: no cover - loop exits via v_ok.size above
+
+
 def _route_links(
     layout: TorusLinkLayout, torus: Torus, route: Sequence[tuple[int, ...]]
 ) -> np.ndarray:
@@ -568,6 +734,7 @@ def batch_fault_aware_routes(
     dst: np.ndarray,
     faults=None,
     tie: str = "parity",
+    healthy: PathMatrix | None = None,
 ) -> tuple[PathMatrix, np.ndarray]:
     """Fault-masked batch routing: vectorized where healthy, degraded
     per-flow where not.
@@ -575,11 +742,22 @@ def batch_fault_aware_routes(
     All flows are first routed by the vectorized
     :func:`batch_dimension_ordered_routes`; only flows whose natural
     path crosses a blocked link (or whose endpoint node is down) fall
-    back to the scalar :func:`~repro.netsim.routing.fault_aware_route`.
+    back to a BFS reroute on the surviving links — the vectorized
+    :func:`masked_bfs_links` normally, or the scalar
+    :func:`~repro.netsim.routing.fault_aware_route` oracle under
+    ``REPRO_VECTOR=0`` (both produce identical links; property-tested).
     A flow with *no* surviving route does not raise — it gets an empty
     path and its index is reported, so one severed pair degrades that
     flow, not the whole batch (per-scenario degradation, the sweep
     callers turn these into :class:`repro.faults.DegradedResult` rows).
+
+    Parameters
+    ----------
+    healthy:
+        Optional pre-computed healthy route matrix — exactly
+        ``batch_dimension_ordered_routes(torus, src, dst, tie=tie)`` —
+        so sweep callers evaluating many fault sets over one traffic
+        pattern route the healthy pattern once.
 
     Returns
     -------
@@ -589,15 +767,20 @@ def batch_fault_aware_routes(
         disconnected flows have empty paths) and the sorted int64 array
         of disconnected flow indices.
     """
-    from ..faults import PartitionDisconnectedError
-    from .routing import fault_aware_route
-
-    pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
+    src = np.ascontiguousarray(src, dtype=np.int64).ravel()
+    dst = np.ascontiguousarray(dst, dtype=np.int64).ravel()
+    if healthy is not None:
+        if len(healthy) != len(src):
+            raise ValueError(
+                f"healthy PathMatrix has {len(healthy)} flows for "
+                f"{len(src)} (src, dst) pairs"
+            )
+        pm = healthy
+    else:
+        pm = batch_dimension_ordered_routes(torus, src, dst, tie=tie)
     none_disconnected = np.empty(0, dtype=np.int64)
     if faults is None or faults.is_empty():
         return pm, none_disconnected
-    src = np.ascontiguousarray(src, dtype=np.int64).ravel()
-    dst = np.ascontiguousarray(dst, dtype=np.int64).ravel()
     mask = fault_link_mask(torus, faults)
 
     hit = np.zeros(len(pm), dtype=bool)
@@ -614,25 +797,76 @@ def batch_fault_aware_routes(
     if need.size == 0:
         return pm, none_disconnected
 
-    layout = link_layout(torus)
-    verts = list(torus.vertices())
-    paths: list[np.ndarray] = [pm[i] for i in range(len(pm))]
     empty = np.empty(0, dtype=np.int64)
+    replacements: dict[int, np.ndarray] = {}
     disconnected: list[int] = []
-    for i in need.tolist():
-        try:
-            route = fault_aware_route(
-                torus, verts[src[i]], verts[dst[i]], faults, tie=tie
+    if vector_enabled():
+        for i in need.tolist():
+            if node_down[src[i]] or node_down[dst[i]]:
+                disconnected.append(i)
+                replacements[i] = empty
+                continue
+            links = masked_bfs_links(
+                torus, int(src[i]), int(dst[i]), mask
             )
-        except PartitionDisconnectedError:
-            disconnected.append(i)
-            paths[i] = empty
-            continue
-        paths[i] = _route_links(layout, torus, route)
+            if links is None:
+                disconnected.append(i)
+                replacements[i] = empty
+            else:
+                replacements[i] = links
+    else:
+        from ..faults import PartitionDisconnectedError
+        from .routing import fault_aware_route
+
+        layout = link_layout(torus)
+        verts = list(torus.vertices())
+        for i in need.tolist():
+            try:
+                route = fault_aware_route(
+                    torus, verts[src[i]], verts[dst[i]], faults, tie=tie
+                )
+            except PartitionDisconnectedError:
+                disconnected.append(i)
+                replacements[i] = empty
+                continue
+            replacements[i] = _route_links(layout, torus, route)
     return (
-        PathMatrix.from_paths(paths),
+        _splice_paths(pm, replacements),
         np.asarray(disconnected, dtype=np.int64),
     )
+
+
+def _splice_paths(
+    pm: PathMatrix, replacements: dict[int, np.ndarray]
+) -> PathMatrix:
+    """A new :class:`PathMatrix` with some flows' paths replaced.
+
+    Fault sweeps reroute a handful of flows per scenario; rebuilding
+    the whole matrix from per-flow arrays costs O(flows) Python work
+    per scenario.  Splicing copies the untouched flows' CSR entries in
+    one vectorized scatter and writes only the replaced segments
+    individually — identical content to ``PathMatrix.from_paths`` over
+    the patched path list.
+    """
+    n = len(pm)
+    old_offsets = pm.offsets
+    new_lengths = np.diff(old_offsets)
+    for i, links in replacements.items():
+        new_lengths[i] = len(links)
+    new_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(new_lengths, out=new_offsets[1:])
+    out = np.empty(new_offsets[-1], dtype=np.int64)
+    changed = np.zeros(n, dtype=bool)
+    changed[list(replacements)] = True
+    fid = pm.flow_ids()
+    keep = ~changed[fid]
+    dest = new_offsets[:-1][fid] + (
+        np.arange(pm.total_links, dtype=np.int64) - old_offsets[:-1][fid]
+    )
+    out[dest[keep]] = pm.link_ids[keep]
+    for i, links in replacements.items():
+        out[new_offsets[i] : new_offsets[i] + len(links)] = links
+    return PathMatrix(out, new_offsets)
 
 
 def _check_layout_consistency(torus: Torus, num_links: int) -> None:

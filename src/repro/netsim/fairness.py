@@ -26,8 +26,9 @@ import numpy as np
 
 from .. import observability
 from .batchroute import PathMatrix
+from .stacked import StackedPathMatrix, segment_min
 
-__all__ = ["max_min_fair_rates"]
+__all__ = ["max_min_fair_rates", "stacked_max_min_fair_rates"]
 
 _EPS = 1e-12
 
@@ -38,7 +39,8 @@ def max_min_fair_rates(
     demands: Sequence[float] | None = None,
     *,
     active: np.ndarray | None = None,
-) -> np.ndarray:
+    return_bottlenecks: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Max-min fair rates for flows with the given link paths.
 
     Parameters
@@ -60,13 +62,19 @@ def max_min_fair_rates(
         treated as absent (no link usage).  The fluid engine uses this
         to re-solve shrinking flow sets without re-slicing the
         :class:`PathMatrix`.  Default: all flows.
+    return_bottlenecks:
+        When true, additionally return the sorted int64 ids of the
+        *bottleneck links* — links that saturated while still carrying
+        an unfrozen flow during the water-fill.  Used by the
+        stacked≡scalar differential suite.
 
     Returns
     -------
     numpy.ndarray
         Per-flow rates, aligned with *active* when given (else with
         *paths*).  Water-filling terminates in at most ``len(active)``
-        rounds; typical symmetric patterns take one.
+        rounds; typical symmetric patterns take one.  With
+        *return_bottlenecks* the return is ``(rates, bottleneck_ids)``.
     """
     pm = paths if isinstance(paths, PathMatrix) else PathMatrix.from_paths(paths)
     capacities = np.asarray(capacities, dtype=float)
@@ -85,7 +93,10 @@ def max_min_fair_rates(
             )
     n_act = len(act)
     rates = np.zeros(n_act, dtype=float)
+    bottle = np.zeros(n_links, dtype=bool)
     if n_act == 0:
+        if return_bottlenecks:
+            return rates, np.flatnonzero(bottle)
         return rates
 
     # CSR compaction: gather the active flows' link entries once.
@@ -156,6 +167,7 @@ def max_min_fair_rates(
         cap_rem = cap_rem - counts * inc
         # Freeze flows crossing a saturated link (or hitting their demand).
         saturated = used & (cap_rem <= _EPS * capacities)
+        bottle |= saturated
         hit_entries = entry_live & saturated[sub_links]
         hit = np.bincount(sub_fids[hit_entries], minlength=n_act) > 0
         if caps:
@@ -169,4 +181,173 @@ def max_min_fair_rates(
         observability.counter_add("netsim.fairness.calls")
         observability.counter_add("netsim.fairness.rounds", rounds_done)
         observability.counter_add("netsim.fairness.flows", n_act)
+    if return_bottlenecks:
+        return rates, np.flatnonzero(bottle)
+    return rates
+
+
+def stacked_max_min_fair_rates(
+    stack: StackedPathMatrix,
+    demands: np.ndarray | None = None,
+    *,
+    active: np.ndarray | None = None,
+    return_bottlenecks: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Water-fill every scenario of *stack* in one numpy pass.
+
+    The stacked generalization of :func:`max_min_fair_rates`: because
+    scenarios occupy disjoint regions of the flat link space, the
+    per-round bincount/saturation/freeze updates of all scenarios are
+    computed by the same elementwise operations the scalar solver uses,
+    and per-scenario increments come from exact segment minima
+    (:func:`~repro.netsim.stacked.segment_min`).  Scenarios at
+    different water-fill depths coexist: a finished scenario's
+    increment is zero, a bit-preserving no-op on its fill and
+    capacities.  The result is **bit-for-bit** what solving every
+    scenario separately produces (the contract of
+    ``tests/properties/test_stacked_equivalence.py``).
+
+    Parameters
+    ----------
+    stack:
+        The stacked scenarios (paths + capacity planes + active mask).
+    demands:
+        Optional per-flow rate caps over *all* stacked flows.
+    active:
+        Optional boolean mask over all flows further restricting
+        ``stack.active`` (the stacked fluid engine's shrinking set).
+    return_bottlenecks:
+        When true, additionally return the sorted *global* link ids
+        that saturated under an unfrozen flow (subtract ``link_base[s]``
+        for scenario-local ids).
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-flow rates aligned with the stacked flow rows; inactive
+        flows get ``0.0``.  Slicing scenario ``s``'s rows and selecting
+        its active flows reproduces the scalar solver's output array
+        exactly.
+    """
+    if not isinstance(stack, StackedPathMatrix):
+        raise TypeError(
+            f"expected a StackedPathMatrix, got {type(stack).__name__}"
+        )
+    n_flows = stack.num_flows
+    n_links = stack.num_links
+    capacities = stack.capacities
+    if np.any(capacities < 0):
+        raise ValueError("link capacities must be non-negative")
+
+    act = stack.active
+    if active is not None:
+        extra = np.ascontiguousarray(active, dtype=bool)
+        if extra.shape != (n_flows,):
+            raise ValueError(
+                f"active mask has shape {extra.shape}, expected "
+                f"({n_flows},)"
+            )
+        act = act & extra
+
+    rates = np.zeros(n_flows, dtype=float)
+    bottle = np.zeros(n_links, dtype=bool)
+    flow_scn = stack.flow_scenarios
+    n_scen = stack.num_scenarios
+
+    lengths = stack.lengths
+    entry_fid = np.repeat(np.arange(n_flows, dtype=np.int64), lengths)
+    entry_links = stack.link_ids
+
+    # Scalar parity: a flow crossing a zero-capacity (failed) link must
+    # have been rerouted before rates are solved.
+    if np.any(capacities == 0):
+        entry_dead = (capacities[entry_links] == 0) & act[entry_fid]
+        if entry_dead.any():
+            fid = int(entry_fid[entry_dead].min())
+            scen = int(flow_scn[fid])
+            local = fid - int(stack.flow_base[scen])
+            dead_links = sorted(
+                (
+                    entry_links[entry_dead & (entry_fid == fid)]
+                    - stack.link_base[scen]
+                ).tolist()
+            )
+            raise ValueError(
+                f"flow {local} of scenario {scen} crosses failed "
+                f"(zero-capacity) link(s) {dead_links}; "
+                "reroute around faults before solving rates"
+            )
+
+    caps = demands is not None
+    if caps:
+        demand_arr = np.asarray(demands, dtype=float).ravel()
+        if len(demand_arr) != n_flows:
+            raise ValueError(
+                f"demands has {len(demand_arr)} entries for "
+                f"{n_flows} flows"
+            )
+        if np.any(demand_arr <= 0):
+            raise ValueError("all demands must be positive")
+
+    # Flows that traverse no link are unconstrained (or demand-capped).
+    empty = lengths == 0
+    unfrozen = act & ~empty
+    free = act & empty
+    rates[free] = np.inf if not caps else demand_arr[free]
+
+    cap_rem = capacities.copy()
+    fill = np.zeros(n_scen, dtype=float)
+    rounds_done = 0
+    ratio = np.empty(n_links, dtype=float)
+    link_scn = np.repeat(
+        np.arange(n_scen, dtype=np.int64), np.diff(stack.link_base)
+    )
+    # Guard: each round freezes at least one flow per live scenario.
+    for _round in range(n_flows + 1):
+        if not unfrozen.any():
+            break
+        rounds_done += 1
+        entry_live = unfrozen[entry_fid]
+        counts = np.bincount(entry_links[entry_live], minlength=n_links)
+        used = counts > 0
+        # Per-link headroom ratio; unused links are +inf so the segment
+        # minimum sees exactly the scalar solver's cap_rem/counts set.
+        ratio.fill(np.inf)
+        np.divide(cap_rem, counts, out=ratio, where=used)
+        inc = segment_min(ratio, stack.link_base)
+        if caps:
+            head = np.where(unfrozen, demand_arr - fill[flow_scn], np.inf)
+            inc = np.minimum(inc, segment_min(head, stack.flow_base))
+        # Scenarios with no unfrozen flows see only +inf: their
+        # increment is zero, so fill += 0.0 and cap_rem - 0 are exact
+        # no-ops and the scenario stays bit-frozen.
+        inc[~np.isfinite(inc)] = 0.0
+        fill += inc
+        cap_rem = cap_rem - counts * inc[link_scn]
+        saturated = used & (cap_rem <= _EPS * capacities)
+        bottle |= saturated
+        hit_entries = entry_live & saturated[entry_links]
+        hit = np.bincount(entry_fid[hit_entries], minlength=n_flows) > 0
+        if caps:
+            hit |= unfrozen & (
+                fill[flow_scn] >= demand_arr - _EPS
+            )
+        hit &= unfrozen
+        rates[hit] = fill[flow_scn][hit]
+        unfrozen &= ~hit
+    if unfrozen.any():  # pragma: no cover - defensive
+        rates[unfrozen] = fill[flow_scn][unfrozen]
+    if observability.OBS.enabled:
+        observability.counter_add("netsim.fairness.stacked_calls")
+        observability.counter_add(
+            "netsim.fairness.stacked_scenarios", n_scen
+        )
+        observability.counter_add(
+            "netsim.fairness.rounds", rounds_done
+        )
+        observability.counter_add(
+            "netsim.fairness.flows", int(act.sum())
+        )
+    if return_bottlenecks:
+        return rates, np.flatnonzero(bottle)
     return rates

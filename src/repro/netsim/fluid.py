@@ -32,10 +32,16 @@ import numpy as np
 
 from .. import observability
 from .batchroute import PathMatrix
-from .fairness import max_min_fair_rates
+from .fairness import max_min_fair_rates, stacked_max_min_fair_rates
 from .network import LinkNetwork
+from .stacked import StackedPathMatrix, segment_min
 
-__all__ = ["FlowResult", "FluidSimulation", "simulate_flows"]
+__all__ = [
+    "FlowResult",
+    "FluidSimulation",
+    "StackedFluidSimulation",
+    "simulate_flows",
+]
 
 _EPS = 1e-12
 
@@ -205,6 +211,166 @@ class FluidSimulation:
             observability.counter_add("netsim.fluid.flows", n)
             observability.counter_add(
                 "netsim.fluid.gb_delivered", float(self._volumes.sum())
+            )
+        return now, completion, initial_rates
+
+
+class StackedFluidSimulation:
+    """Fluid simulation of many scenarios advanced by one numpy loop.
+
+    The stacked counterpart of :class:`FluidSimulation`: volumes,
+    completion times, and rates live in flat flow-aligned arrays over a
+    :class:`~repro.netsim.stacked.StackedPathMatrix`, each round solves
+    one :func:`~repro.netsim.fairness.stacked_max_min_fair_rates` pass,
+    and every scenario advances by *its own* earliest completion time —
+    scenarios retire flows independently, exactly as if each ran its
+    own :class:`FluidSimulation`.  Because all per-flow updates are
+    elementwise and all per-scenario reductions are exact minima, the
+    completion times, makespans, and initial rates are **bit-for-bit**
+    those of the per-scenario engine (differential-tested).
+
+    Flows inactive in the stack (e.g. disconnected by faults) are
+    never simulated: their completion time and initial rate stay 0.
+
+    Parameters
+    ----------
+    stack:
+        The stacked scenario paths/capacities.
+    volumes:
+        Flat per-flow data volumes (all stacked flows, including
+        inactive ones; those values are ignored but must be positive).
+    demands:
+        Optional flat per-flow injection caps.
+    """
+
+    def __init__(
+        self,
+        stack: StackedPathMatrix,
+        volumes: np.ndarray,
+        demands: np.ndarray | None = None,
+    ):
+        if not isinstance(stack, StackedPathMatrix):
+            raise TypeError(
+                f"expected a StackedPathMatrix, got "
+                f"{type(stack).__name__}"
+            )
+        vol = np.asarray(volumes, dtype=float).ravel()
+        if len(vol) != stack.num_flows:
+            raise ValueError(
+                f"{stack.num_flows} stacked flows but {len(vol)} volumes"
+            )
+        if np.any(vol <= 0):
+            raise ValueError("all flow volumes must be positive")
+        self._stack = stack
+        self._volumes = vol
+        self._demands = (
+            None
+            if demands is None
+            else np.asarray(demands, dtype=float).ravel()
+        )
+        self.rounds_used: int | None = None
+
+    @property
+    def stack(self) -> StackedPathMatrix:
+        return self._stack
+
+    def solve(
+        self, max_rounds: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run all scenarios: ``(makespans, completions, initial_rates)``.
+
+        *makespans* has one entry per scenario; *completions* and
+        *initial_rates* are flow-aligned flat arrays.  Scenario ``s``'s
+        slice of each equals what ``FluidSimulation.solve`` returns for
+        that scenario alone.
+        """
+        if observability.OBS.enabled:
+            with observability.span(
+                "netsim.fluid.stacked_run",
+                scenarios=self._stack.num_scenarios,
+                flows=self._stack.num_flows,
+            ):
+                return self._run(max_rounds)
+        return self._run(max_rounds)
+
+    def _run(
+        self, max_rounds: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        stack = self._stack
+        n = stack.num_flows
+        n_scen = stack.num_scenarios
+        flow_scn = stack.flow_scenarios
+        remaining = self._volumes.copy()
+        active = stack.active.copy()
+        completion = np.zeros(n, dtype=float)
+        initial_rates = np.zeros(n, dtype=float)
+        now = np.zeros(n_scen, dtype=float)
+        rounds_done = 0
+        # The scalar guard is per scenario (flows + 1 rounds); the
+        # stacked loop runs until the *deepest* scenario converges.
+        per_scen_flows = np.diff(stack.flow_base)
+        rounds = (
+            max_rounds
+            if max_rounds is not None
+            else int(per_scen_flows.max(initial=0)) + 1
+        )
+        ttc = np.empty(n, dtype=float)
+        for round_no in range(rounds):
+            if not active.any():
+                break
+            rounds_done += 1
+            rates = stacked_max_min_fair_rates(
+                stack, self._demands, active=active
+            )
+            if round_no == 0:
+                initial_rates[active] = rates[active]
+            if np.any(rates[active] <= 0):  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "stacked fluid simulation produced a zero rate"
+                )
+            # Empty-path flows have rate inf: ttc 0, retired this round
+            # (rate × dt would be inf·0 = nan, hence the errstate) —
+            # identical to the scalar engine's handling.
+            with np.errstate(invalid="ignore"):
+                ttc.fill(np.inf)
+                np.divide(remaining, rates, out=ttc, where=active)
+                dt = segment_min(ttc, stack.flow_base)
+                # A scenario with no live flows left sees only +inf:
+                # its clock must not advance.
+                dt[~np.isfinite(dt)] = 0.0
+                now += dt
+                dt_b = dt[flow_scn]
+                new_rem = remaining - rates * dt_b
+            done = active & (
+                (ttc <= dt_b * (1.0 + _EPS))
+                | (new_rem <= _EPS * self._volumes)
+            )
+            keep = active & ~done
+            remaining[keep] = new_rem[keep]
+            remaining[done] = 0.0
+            active &= ~done
+            completion[done] = now[flow_scn][done]
+        if active.any():
+            bad = np.unique(flow_scn[active]).tolist()
+            raise RuntimeError(
+                "stacked fluid simulation did not converge within "
+                f"{rounds} rounds (scenario(s) {bad} unfinished)"
+            )
+        self.rounds_used = rounds_done
+        if observability.OBS.enabled:
+            observability.counter_add("netsim.fluid.stacked_runs")
+            observability.counter_add(
+                "netsim.fluid.stacked_scenarios", n_scen
+            )
+            observability.counter_add(
+                "netsim.fluid.rounds", rounds_done
+            )
+            observability.counter_add(
+                "netsim.fluid.flows", int(stack.active.sum())
+            )
+            observability.counter_add(
+                "netsim.fluid.gb_delivered",
+                float(self._volumes[stack.active].sum()),
             )
         return now, completion, initial_rates
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import warnings
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 from typing import Any, TypeVar
 
 import numpy as np
@@ -34,7 +35,15 @@ import numpy as np
 from . import observability
 from ._validation import check_nonnegative_int, check_positive_int
 
-__all__ = ["sweep_map", "split_seeds", "resolve_jobs"]
+__all__ = [
+    "sweep_map",
+    "split_seeds",
+    "resolve_jobs",
+    "BlockRunner",
+    "register_block_runner",
+    "unregister_block_runner",
+    "block_runner_for",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -158,6 +167,219 @@ def _merge_worker_snapshots(
         observability.merge_snapshot(snap)
 
 
+# ----------------------------------------------------------------------
+# Block dispatch: batchable task families
+#
+# Some task functions have a *block form* — a module-level callable that
+# evaluates a whole list of tasks in one vectorized pass (e.g. the
+# stacked fluid solver advancing hundreds of fault scenarios in one
+# numpy water-fill) and returns one result per task, bit-identical to
+# ``[fn(t) for t in tasks]``.  Registering that block form lets
+# :func:`sweep_map` dispatch scenario *blocks* instead of single tasks:
+# the per-scenario python overhead amortizes across the block, and the
+# pool moves far fewer (bigger) pickles.  The scalar path remains the
+# oracle: ``REPRO_VECTOR=0`` disables block dispatch entirely, and the
+# differential suite pins block results to the scalar ones.
+
+#: Sweeps at or below this many tasks run their blocks serially
+#: in-process — pool startup + pickling costs more than it saves at
+#: this size (the designsearch crossover seam in BENCH_perf.json).
+#: Applies only to block-dispatched families; plain task sweeps keep
+#: their existing pool behavior.
+_SMALL_SWEEP_TASKS = 32
+
+
+@dataclass(frozen=True)
+class BlockRunner:
+    """A registered block form of a task function.
+
+    Attributes
+    ----------
+    block_fn:
+        Module-level callable mapping a list of tasks to a list of
+        results (one per task, in order, bit-identical to the scalar
+        task function applied per task).
+    min_block_tasks:
+        Smallest sweep size worth block dispatch; smaller sweeps use
+        the plain per-task path.
+    max_block_tasks:
+        Upper bound on tasks per block — caps peak memory of the
+        stacked solve.
+    """
+
+    block_fn: Callable[[Sequence[Any]], Sequence[Any]]
+    min_block_tasks: int = 2
+    max_block_tasks: int = 256
+
+
+_BLOCK_RUNNERS: dict[Callable[..., Any], BlockRunner] = {}
+
+
+def register_block_runner(
+    task_fn: Callable[[_T], _R],
+    block_fn: Callable[[Sequence[_T]], Sequence[_R]],
+    *,
+    min_block_tasks: int = 2,
+    max_block_tasks: int = 256,
+) -> None:
+    """Register *block_fn* as the batched form of *task_fn*.
+
+    Both callables must be module-level (picklable) functions.  The
+    contract is strict: ``block_fn(tasks)`` must return exactly
+    ``[task_fn(t) for t in tasks]`` — the differential test suite
+    enforces bit-identity, and :func:`sweep_map` validates the result
+    count of every block.
+    """
+    check_positive_int(min_block_tasks, "min_block_tasks")
+    check_positive_int(max_block_tasks, "max_block_tasks")
+    if max_block_tasks < min_block_tasks:
+        raise ValueError(
+            f"max_block_tasks ({max_block_tasks}) < min_block_tasks "
+            f"({min_block_tasks})"
+        )
+    _BLOCK_RUNNERS[task_fn] = BlockRunner(
+        block_fn=block_fn,
+        min_block_tasks=min_block_tasks,
+        max_block_tasks=max_block_tasks,
+    )
+
+
+def unregister_block_runner(task_fn: Callable[..., Any]) -> None:
+    """Remove *task_fn*'s block registration (test hygiene)."""
+    _BLOCK_RUNNERS.pop(task_fn, None)
+
+
+def block_runner_for(
+    fn: Callable[..., Any]
+) -> BlockRunner | None:
+    """The active block runner for *fn*, or ``None``.
+
+    Returns ``None`` when no block form is registered **or** when
+    ``REPRO_VECTOR=0`` disables the vector paths — callers need no
+    separate knob check.
+    """
+    reg = _BLOCK_RUNNERS.get(fn)
+    if reg is None:
+        return None
+    from .netsim.batchroute import vector_enabled
+
+    return reg if vector_enabled() else None
+
+
+def _block_size(n: int, workers: int, runner: BlockRunner) -> int:
+    """Chunk-adaptive block size for *n* tasks on *workers* workers.
+
+    Serial dispatch wants one maximal block (the stacked solve's
+    amortization is the whole point); pool dispatch aims for roughly
+    four blocks per worker so stragglers load-balance.  Both are capped
+    by the runner's ``max_block_tasks``.
+    """
+    size = max(1, -(-n // (workers * 4))) if workers > 1 else n
+    return max(1, min(size, runner.max_block_tasks))
+
+
+def _check_block_results(
+    values: Sequence[Any], chunk: Sequence[Any], runner: BlockRunner
+) -> None:
+    if len(values) != len(chunk):
+        raise RuntimeError(
+            f"block runner "
+            f"{getattr(runner.block_fn, '__qualname__', runner.block_fn)!r}"
+            f" returned {len(values)} results for a block of "
+            f"{len(chunk)} tasks"
+        )
+
+
+class _SnapshottingBlock:
+    """Block wrapper: runs a whole chunk, returns values + snapshot."""
+
+    __slots__ = ("_block_fn",)
+
+    def __init__(self, block_fn: Callable[[Sequence[_T]], Sequence[_R]]):
+        self._block_fn = block_fn
+
+    def __call__(
+        self, chunk: Sequence[_T]
+    ) -> tuple[list[_R], observability.TraceSnapshot]:
+        with observability.span("parallel.block", tasks=len(chunk)):
+            values = list(self._block_fn(chunk))
+        return values, observability.worker_snapshot()
+
+
+def _block_sweep(
+    runner: BlockRunner, task_list: Sequence[_T], jobs: int
+) -> list[Any]:
+    """Execute a sweep through its registered block runner."""
+    n = len(task_list)
+    workers = min(jobs, os.cpu_count() or 1)
+    if n <= _SMALL_SWEEP_TASKS:
+        workers = 1  # pool overhead beats the savings at this size
+    size = _block_size(n, workers, runner)
+    chunks = [task_list[s : s + size] for s in range(0, n, size)]
+    workers = min(workers, len(chunks))
+
+    if workers <= 1:
+        results: list[Any] = []
+        with observability.span(
+            "parallel.sweep", tasks=n, workers=1, blocks=len(chunks)
+        ):
+            for chunk in chunks:
+                with observability.span(
+                    "parallel.block", tasks=len(chunk)
+                ):
+                    values = list(runner.block_fn(chunk))
+                _check_block_results(values, chunk, runner)
+                results.extend(values)
+        if observability.OBS.enabled:
+            observability.counter_add("parallel.sweeps")
+            observability.counter_add("parallel.tasks", n)
+            observability.counter_add("parallel.blocks", len(chunks))
+            observability.gauge_set("parallel.workers", 1)
+        return results
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        executor = ProcessPoolExecutor(
+            max_workers=workers, initializer=observability.reset_worker
+        )
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"cannot create a process pool "
+            f"({type(exc).__name__}: {exc}); running the blocked sweep "
+            f"serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        observability.counter_add("parallel.fallback_serial")
+        return _block_sweep(runner, task_list, 1)
+    try:
+        with observability.span(
+            "parallel.sweep", tasks=n, workers=workers,
+            blocks=len(chunks),
+        ):
+            pairs = list(
+                executor.map(
+                    _SnapshottingBlock(runner.block_fn),
+                    chunks,
+                    chunksize=1,
+                )
+            )
+    finally:
+        executor.shutdown()
+    _merge_worker_snapshots(snap for _, snap in pairs)
+    results = []
+    for (values, _snap), chunk in zip(pairs, chunks):
+        _check_block_results(values, chunk, runner)
+        results.extend(values)
+    if observability.OBS.enabled:
+        observability.counter_add("parallel.sweeps")
+        observability.counter_add("parallel.tasks", n)
+        observability.counter_add("parallel.blocks", len(chunks))
+        observability.gauge_set("parallel.workers", workers)
+    return results
+
+
 def sweep_map(
     fn: Callable[[_T], _R],
     tasks: Iterable[_T],
@@ -212,6 +434,16 @@ def sweep_map(
     to the serial path.  Exceptions raised by *fn* itself always
     propagate — a failing task is a bug, not a reason to fall back.
 
+    When *fn* has a registered block runner (see
+    :func:`register_block_runner`) and ``REPRO_VECTOR`` is not disabled,
+    the sweep dispatches scenario *blocks* through the runner's
+    vectorized block function instead of single tasks — same results,
+    bit-identical, but hundreds of scenarios advance in one numpy pass.
+    Sweeps of at most ``_SMALL_SWEEP_TASKS`` tasks run their blocks
+    serially in-process, where pool startup would dominate.
+    *chunksize* is ignored on the block path (block sizing is
+    chunk-adaptive).
+
     Each parallel task result additionally carries the worker's
     cumulative metric snapshot (:mod:`repro.observability`); the final
     snapshot per worker is merged into this process at sweep
@@ -230,6 +462,13 @@ def sweep_map(
     jobs = resolve_jobs(jobs)
     if chunksize is not None:
         check_positive_int(chunksize, "chunksize")
+    # Batchable task family: dispatch scenario blocks through the
+    # registered vector runner (even at jobs=1 — the stacked solve's
+    # amortization does not need a pool).  REPRO_VECTOR=0 makes
+    # block_runner_for return None, restoring the scalar path below.
+    runner = block_runner_for(fn)
+    if runner is not None and len(task_list) >= runner.min_block_tasks:
+        return _block_sweep(runner, task_list, jobs)
     if jobs == 1 or len(task_list) <= 1:
         return _serial_map(fn, task_list)
 

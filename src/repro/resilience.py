@@ -321,6 +321,30 @@ class _ResilientTask:
         return self._fn(task), observability.worker_snapshot()
 
 
+class _ResilientBlock:
+    """Picklable block wrapper: kill hook per contained scenario.
+
+    The kill hook fires for *every* index the block contains, so a
+    chaos test targeting scenario ``i`` kills the worker (or, serially,
+    the driver) no matter how the sweep was blocked — exactly the
+    mid-block death the checkpoint/resume tests simulate.
+    """
+
+    __slots__ = ("_block_fn",)
+
+    def __init__(self, block_fn: Callable[[Sequence[_T]], Sequence[Any]]):
+        self._block_fn = block_fn
+
+    def __call__(
+        self, indices: Sequence[int], chunk: Sequence[_T]
+    ) -> tuple[list[Any], observability.TraceSnapshot]:
+        for i in indices:
+            _maybe_test_kill(i)
+        with observability.span("parallel.block", tasks=len(chunk)):
+            values = list(self._block_fn(chunk))
+        return values, observability.worker_snapshot()
+
+
 # ----------------------------------------------------------------------
 # Execution paths
 
@@ -411,6 +435,168 @@ def _run_serial(state: _SweepState, indices: Sequence[int]) -> None:
             else:
                 state.complete(i, value)
                 break
+
+
+def _plan_blocks(
+    pending: Sequence[int], workers: int, runner: Any
+) -> list[list[int]]:
+    """Chunk the pending index list into contiguous blocks."""
+    from .parallel import _block_size
+
+    size = _block_size(len(pending), workers, runner)
+    return [
+        list(pending[s : s + size])
+        for s in range(0, len(pending), size)
+    ]
+
+
+def _run_block_serial(
+    state: _SweepState, indices: Sequence[int], runner: Any
+) -> None:
+    """In-process block execution with per-scenario checkpointing.
+
+    A block that raises falls back to per-task :func:`_run_serial` for
+    exactly that chunk — the scalar task function with full
+    retry/quarantine semantics — so one poison scenario degrades its
+    block, never the sweep.  The kill hook fires per contained index
+    (terminating the driver, as the serial chaos tests expect).
+    """
+    from .parallel import _check_block_results
+
+    blocks = _plan_blocks(indices, 1, runner)
+    block_runner = _ResilientBlock(runner.block_fn)
+    for blk in blocks:
+        chunk = [state.tasks[i] for i in blk]
+        try:
+            values, _snap = block_runner(blk, chunk)
+            _check_block_results(values, chunk, runner)
+        except Exception:
+            observability.counter_add("resilience.block_fallbacks")
+            _run_serial(state, blk)
+            continue
+        for i, v in zip(blk, values):
+            state.complete(i, v)
+        observability.counter_add("resilience.blocks")
+
+
+def _run_block_pool(
+    state: _SweepState, workers: int, runner: Any
+) -> None:
+    """Pool block execution with crash recovery and rebuilds.
+
+    Mirrors :func:`_run_pool`: a ``BrokenProcessPool`` (e.g. the chaos
+    kill hook firing mid-block) rebuilds the pool and re-plans blocks
+    over the *remaining* scenarios — completed blocks' scenarios were
+    already journaled individually, so the re-planned blocking need not
+    match the original one.  A block whose function raises falls back
+    to per-task serial execution for that chunk.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    from .parallel import _check_block_results
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=observability.reset_worker,
+        )
+
+    try:
+        executor = make_pool()
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+        warnings.warn(
+            f"no usable process pool "
+            f"({type(exc).__name__}: {exc}); running the blocked "
+            f"resilient sweep serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        observability.counter_add("resilience.fallback_serial")
+        _run_block_serial(state, state.pending(), runner)
+        return
+
+    snapshots: dict[int, observability.TraceSnapshot] = {}
+
+    def harvest(snap: observability.TraceSnapshot) -> None:
+        cur = snapshots.get(snap.pid)
+        if cur is None or snap.seq > cur.seq:
+            snapshots[snap.pid] = snap
+
+    try:
+        while True:
+            pending = state.pending()
+            if not pending:
+                break
+            blocks = _plan_blocks(pending, workers, runner)
+            try:
+                futures = [
+                    executor.submit(
+                        _ResilientBlock(runner.block_fn),
+                        blk,
+                        [state.tasks[i] for i in blk],
+                    )
+                    for blk in blocks
+                ]
+                for blk, fut in zip(blocks, futures):
+                    try:
+                        values, snap = fut.result()
+                        _check_block_results(
+                            values, blk, runner
+                        )
+                    except BrokenProcessPool:
+                        raise _PoolRestart(
+                            "worker process died mid-block"
+                        ) from None
+                    except Exception:
+                        # The block form failed; the scalar task
+                        # function is the oracle — run this chunk
+                        # per-task with full retry semantics.
+                        observability.counter_add(
+                            "resilience.block_fallbacks"
+                        )
+                        _run_serial(state, blk)
+                        continue
+                    harvest(snap)
+                    for i, v in zip(blk, values):
+                        state.complete(i, v)
+                    observability.counter_add("resilience.blocks")
+            except (_PoolRestart, BrokenProcessPool) as err:
+                restart = (
+                    err
+                    if isinstance(err, _PoolRestart)
+                    else _PoolRestart("worker process died")
+                )
+                state.pool_rebuilds += 1
+                observability.counter_add("resilience.pool_rebuilds")
+                executor.shutdown(wait=False, cancel_futures=True)
+                if state.pool_rebuilds > state.policy.max_pool_rebuilds:
+                    warnings.warn(
+                        f"process pool irrecoverable after "
+                        f"{state.policy.max_pool_rebuilds} rebuild(s) "
+                        f"(last: {restart.reason}); degrading to "
+                        f"serial block execution for the remaining "
+                        f"{len(state.pending())} task(s)",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    observability.counter_add(
+                        "resilience.fallback_serial"
+                    )
+                    _run_block_serial(state, state.pending(), runner)
+                    return
+                warnings.warn(
+                    f"rebuilding worker pool "
+                    f"({restart.reason}); re-planning blocks over "
+                    f"{len(state.pending())} unfinished task(s)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                executor = make_pool()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    for snap in snapshots.values():
+        observability.merge_snapshot(snap)
 
 
 def _run_pool(state: _SweepState, workers: int) -> None:
@@ -612,7 +798,29 @@ def resilient_sweep_map(
                 workers = min(
                     jobs, len(pending), os.cpu_count() or 1
                 )
-                if workers <= 1:
+                # Blocked execution needs indefinite result waits, so
+                # per-task timeouts keep the scalar path.  Scenarios
+                # are checkpointed individually either way.
+                runner = None
+                if policy.task_timeout is None:
+                    from .parallel import (
+                        _SMALL_SWEEP_TASKS,
+                        block_runner_for,
+                    )
+
+                    runner = block_runner_for(fn)
+                if (
+                    runner is not None
+                    and len(pending) >= runner.min_block_tasks
+                ):
+                    if (
+                        workers <= 1
+                        or len(pending) <= _SMALL_SWEEP_TASKS
+                    ):
+                        _run_block_serial(state, pending, runner)
+                    else:
+                        _run_block_pool(state, workers, runner)
+                elif workers <= 1:
                     _run_serial(state, pending)
                 else:
                     _run_pool(state, workers)

@@ -1,0 +1,117 @@
+"""Golden-value regression tests for the sweep drivers' exact outputs.
+
+The stacked rewrite moves ``fluid_fault_sweep`` and the design search's
+fluid cross-check onto block-dispatched vector paths whose contract is
+*bit-for-bit* agreement with the scalar oracle.  These fixtures pin the
+drivers' full output rows — ordering, numbering, and float values — so
+a future change that silently reorders rows, renumbers trials, or
+perturbs a rate by one ulp fails loudly.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden_sweeps.py \
+        --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.allocation.geometry import PartitionGeometry
+from repro.experiments.designsearch import design_search, fluid_check
+from repro.experiments.faultstudy import fluid_fault_sweep
+from repro.machines import JUQUEEN
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _fault_row_to_dict(row) -> dict:
+    rec = {
+        "failures": row.failures,
+        "trial": row.trial,
+        "seed": row.seed,
+        "bandwidth": row.bandwidth,
+    }
+    if row.degraded is None:
+        rec["degraded"] = None
+    else:
+        d = row.degraded
+        rec["degraded"] = {
+            "scenario": list(d.scenario),
+            "witness": [list(v) for v in d.witness],
+            "disconnected_flows": d.disconnected_flows,
+            "failed_links": sorted(
+                [list(u), list(v)] for u, v in d.faults.failed_links
+            ),
+        }
+    return rec
+
+
+def _snapshot_fluid_fault_sweep() -> list[dict]:
+    rows = fluid_fault_sweep(
+        PartitionGeometry((2, 2, 1, 1)),
+        max_failures=5,
+        trials=4,
+        seed=11,
+        jobs=1,
+    )
+    return [_fault_row_to_dict(r) for r in rows]
+
+
+def _snapshot_fluid_check_top() -> list[dict]:
+    candidates = design_search(10, JUQUEEN, sizes=[2, 4, 8], jobs=1)
+    return fluid_check(candidates[:4])
+
+
+CASES = [
+    ("fluid_fault_sweep.json", _snapshot_fluid_fault_sweep),
+    ("designsearch_fluid_check.json", _snapshot_fluid_check_top),
+]
+
+
+@pytest.mark.parametrize("filename,snapshot", CASES)
+def test_golden_sweep(filename, snapshot, update_golden):
+    path = GOLDEN_DIR / filename
+    actual = snapshot()
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"golden fixture {path} missing; run with --update-golden to "
+        "create it"
+    )
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        f"{filename} drifted from the golden fixture; if the change is "
+        "intentional, rerun with --update-golden"
+    )
+
+
+class TestGoldenSanity:
+    """The fixtures must encode the sweep semantics we rely on."""
+
+    def test_fault_sweep_shape(self):
+        rows = json.loads(
+            (GOLDEN_DIR / "fluid_fault_sweep.json").read_text()
+        )
+        # 1 healthy row + 4 trials for each k = 1..5.
+        assert len(rows) == 1 + 5 * 4
+        assert rows[0]["failures"] == 0
+        assert rows[0]["bandwidth"] > 0
+        # Bandwidth never improves with more failures at matched trials.
+        healthy = rows[0]["bandwidth"]
+        assert all(r["bandwidth"] <= healthy + 1e-12 for r in rows)
+
+    def test_fluid_check_agrees_with_cut_arithmetic(self):
+        recs = json.loads(
+            (GOLDEN_DIR / "designsearch_fluid_check.json").read_text()
+        )
+        assert recs, "fluid-check fixture is empty"
+        for r in recs:
+            assert r["fluid_bw"] == pytest.approx(
+                r["static_bw"], rel=1e-9
+            )

@@ -1,0 +1,212 @@
+"""Chaos integration: a *block-dispatched* sweep killed mid-run resumes.
+
+The stacked rewrite executes fault sweeps as scenario blocks, but the
+checkpoint contract is unchanged: completed work is journaled at
+**scenario granularity**, never block granularity.  A sweep killed
+between blocks must resume from exactly the individually-completed
+scenarios — even if the resumed run plans a *different* blocking — and
+produce bit-identical output.
+
+Two legs:
+
+* a subprocess driver killed by ``REPRO_RESILIENCE_TEST_KILL`` while the
+  serial-blocked path is between blocks (``os._exit``, like a SIGKILL),
+  resumed against its ``--checkpoint`` journal;
+* a direct ``_run_block_pool`` call whose worker is killed mid-block,
+  forcing the ``BrokenProcessPool`` → pool-rebuild → re-planned-blocks
+  recovery path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import TEST_KILL_EXIT_CODE
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Scenario index the kill hook fires at.  With ``max_block_tasks=2``
+#: the 7-task sweep plans blocks [0,1], [2,3], [4,5], [6]; index 3 dies
+#: at the *start* of the second block, after the first block's two
+#: scenarios were journaled individually.
+KILL_AT = 3
+
+#: The driver re-registers the fluid-sweep block runner with tiny
+#: blocks so a single-CPU run still executes multiple blocks, then runs
+#: the same ``fluid_fault_sweep`` the CLI ``faults --fluid-sweep``
+#: command calls (1 healthy + 2*3 fault scenarios = 7 tasks).
+DRIVER = textwrap.dedent(
+    """
+    import sys
+
+    from repro.allocation.geometry import PartitionGeometry
+    from repro.experiments.faultstudy import (
+        _fluid_scenario,
+        _fluid_scenario_block,
+        fluid_fault_sweep,
+    )
+    from repro.parallel import register_block_runner
+
+    register_block_runner(
+        _fluid_scenario,
+        _fluid_scenario_block,
+        min_block_tasks=2,
+        max_block_tasks=2,
+    )
+    ckpt = None if sys.argv[1] == "-" else sys.argv[1]
+    rows = fluid_fault_sweep(
+        PartitionGeometry((2, 2, 1, 1)),
+        max_failures=2,
+        trials=3,
+        seed=5,
+        jobs=1,
+        checkpoint=ckpt,
+    )
+    for row in rows:
+        print(row)
+    """
+).strip()
+
+
+def _run_driver(script, args, cwd, extra_env=None):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO_SRC)
+    # The triple is about *block* dispatch: pin the vector knob on so
+    # an inherited REPRO_VECTOR=0 cannot change the planned blocking.
+    env["REPRO_VECTOR"] = "1"
+    env.pop("REPRO_RESILIENCE_TEST_KILL", None)
+    env.pop("REPRO_RESILIENCE_TEST_KILL_MARKER", None)
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=280,
+    )
+
+
+@pytest.fixture(scope="module")
+def block_triple(tmp_path_factory):
+    """Run the clean / killed / resumed triple once for all asserts."""
+    tmp = tmp_path_factory.mktemp("block_chaos")
+    script = tmp / "driver.py"
+    script.write_text(DRIVER + "\n")
+
+    clean = _run_driver(script, ["-"], tmp)
+    assert clean.returncode == 0, clean.stderr
+
+    killed = _run_driver(
+        script,
+        ["ckpt.jsonl"],
+        tmp,
+        extra_env={
+            "REPRO_RESILIENCE_TEST_KILL": str(KILL_AT),
+            "REPRO_RESILIENCE_TEST_KILL_MARKER": str(tmp / "kill.marker"),
+        },
+    )
+    ckpt_after_kill = (tmp / "ckpt.jsonl").read_text()
+    resumed = _run_driver(script, ["ckpt.jsonl"], tmp)
+    return tmp, clean, killed, ckpt_after_kill, resumed
+
+
+class TestBlockKillAndResume:
+    def test_kill_fires_between_blocks(self, block_triple):
+        tmp, _, killed, _, _ = block_triple
+        assert killed.returncode == TEST_KILL_EXIT_CODE
+        assert (tmp / "kill.marker").read_text() == str(KILL_AT)
+
+    def test_checkpoint_is_scenario_granular(self, block_triple):
+        """The journal after the kill holds the first block's scenarios
+        as *individual* task records — not one opaque block record, and
+        nothing from the block the kill interrupted."""
+        _, _, _, ckpt_after_kill, _ = block_triple
+        records = [
+            json.loads(line)
+            for line in ckpt_after_kill.splitlines()
+        ]
+        assert records[0]["type"] == "header"
+        task_records = [r for r in records if r["type"] == "task"]
+        assert [r["index"] for r in task_records] == [0, 1]
+        # Scenario granularity: one record per scenario, each with its
+        # own content-hash key.
+        keys = {r["key"] for r in task_records}
+        assert len(keys) == 2
+
+    def test_resumed_output_bit_identical_to_clean_run(
+        self, block_triple
+    ):
+        _, clean, _, _, resumed = block_triple
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == clean.stdout
+
+    def test_resumed_run_completed_the_journal(self, block_triple):
+        tmp, _, _, _, resumed = block_triple
+        assert resumed.returncode == 0
+        records = [
+            json.loads(line)
+            for line in (tmp / "ckpt.jsonl").read_text().splitlines()
+            if json.loads(line)["type"] == "task"
+        ]
+        # 0 and 1 from the killed run; the rest appended by the resume,
+        # re-planned into fresh blocks.
+        assert sorted(r["index"] for r in records) == list(range(7))
+        assert [r["index"] for r in records][:2] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Pool path: a worker killed mid-block breaks the pool; the sweep must
+# rebuild it and re-plan blocks over the remaining scenarios.
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _square_block(xs) -> list[int]:
+    return [_square(x) for x in xs]
+
+
+class TestBlockPoolWorkerDeath:
+    def test_broken_pool_rebuilds_and_replans(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.parallel import BlockRunner
+        from repro.resilience import (
+            ResiliencePolicy,
+            _PENDING,
+            _run_block_pool,
+            _SweepState,
+        )
+
+        tasks = list(range(10))
+        state = _SweepState(
+            fn=_square,
+            tasks=tasks,
+            results=[_PENDING] * len(tasks),
+            policy=ResiliencePolicy(),
+            ckpt=None,
+            keys=None,
+        )
+        runner = BlockRunner(
+            block_fn=_square_block, min_block_tasks=2, max_block_tasks=2
+        )
+        marker = tmp_path / "kill.marker"
+        monkeypatch.setenv("REPRO_RESILIENCE_TEST_KILL", "4")
+        monkeypatch.setenv(
+            "REPRO_RESILIENCE_TEST_KILL_MARKER", str(marker)
+        )
+        with pytest.warns(RuntimeWarning, match="rebuilding worker pool"):
+            _run_block_pool(state, workers=1, runner=runner)
+        assert state.results == [x * x for x in tasks]
+        assert state.pool_rebuilds >= 1
+        assert marker.exists()

@@ -6,7 +6,16 @@ import os
 
 import pytest
 
-from repro.parallel import resolve_jobs, split_seeds, sweep_map
+from repro.parallel import (
+    BlockRunner,
+    _block_size,
+    block_runner_for,
+    register_block_runner,
+    resolve_jobs,
+    split_seeds,
+    sweep_map,
+    unregister_block_runner,
+)
 
 
 def square(x):
@@ -178,6 +187,153 @@ class TestCpuCap:
                 s.enabled, s.events, s.dropped_events, s.stack,
                 s.span_totals, s.counters, s.gauges, s.origin,
             ) = saved
+
+
+#: Blocks executed by ``tracked_block`` (cleared by the fixture).
+_BLOCK_CALLS: list[int] = []
+
+
+def tracked_square(x):
+    return x * x
+
+
+def tracked_block(xs):
+    _BLOCK_CALLS.append(len(xs))
+    return [tracked_square(x) for x in xs]
+
+
+def short_block(xs):
+    """A broken block form: drops the last result."""
+    return [x * x for x in xs][:-1]
+
+
+@pytest.fixture
+def tracked_runner():
+    _BLOCK_CALLS.clear()
+    register_block_runner(tracked_square, tracked_block)
+    yield
+    unregister_block_runner(tracked_square)
+
+
+class TestBlockDispatch:
+    """Sweeps whose task function has a registered block form."""
+
+    def test_register_and_unregister(self, tracked_runner):
+        runner = block_runner_for(tracked_square)
+        assert runner is not None
+        assert runner.block_fn is tracked_block
+        unregister_block_runner(tracked_square)
+        assert block_runner_for(tracked_square) is None
+
+    def test_unregistered_fn_has_no_runner(self):
+        assert block_runner_for(square) is None
+
+    def test_vector_knob_disables_dispatch(
+        self, tracked_runner, monkeypatch
+    ):
+        """``REPRO_VECTOR=0`` must force the scalar per-task path —
+        the single escape hatch the differential suite relies on."""
+        monkeypatch.setenv("REPRO_VECTOR", "0")
+        assert block_runner_for(tracked_square) is None
+        items = list(range(8))
+        assert sweep_map(tracked_square, items, jobs=1) == [
+            x * x for x in items
+        ]
+        assert _BLOCK_CALLS == []
+
+    def test_sweep_routes_through_block_fn(self, tracked_runner):
+        items = list(range(8))
+        assert sweep_map(tracked_square, items, jobs=1) == [
+            x * x for x in items
+        ]
+        # Small sweep, serial dispatch: one maximal block.
+        assert _BLOCK_CALLS == [8]
+
+    def test_below_min_block_tasks_stays_scalar(self, tracked_runner):
+        assert sweep_map(tracked_square, [3], jobs=1) == [9]
+        assert _BLOCK_CALLS == []
+
+    def test_block_result_count_validated(self):
+        register_block_runner(tracked_square, short_block)
+        try:
+            with pytest.raises(RuntimeError, match="3 results"):
+                sweep_map(tracked_square, [1, 2, 3, 4], jobs=1)
+        finally:
+            unregister_block_runner(tracked_square)
+
+    def test_rejects_bad_block_bounds(self):
+        with pytest.raises(ValueError, match="max_block_tasks"):
+            register_block_runner(
+                tracked_square, tracked_block,
+                min_block_tasks=8, max_block_tasks=4,
+            )
+        with pytest.raises(ValueError):
+            register_block_runner(
+                tracked_square, tracked_block, min_block_tasks=0
+            )
+
+    def test_small_sweep_never_spawns_a_pool(
+        self, tracked_runner, monkeypatch
+    ):
+        """Crossover regression: block-family sweeps at or below the
+        serial cutoff must not pay pool startup, whatever ``jobs``
+        says (the designsearch seam where the pool measured slower
+        than serial)."""
+        import concurrent.futures
+
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "ProcessPoolExecutor created for a small blocked sweep"
+            )
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        items = list(range(parallel._SMALL_SWEEP_TASKS))
+        assert sweep_map(tracked_square, items, jobs=8) == [
+            x * x for x in items
+        ]
+        assert sum(_BLOCK_CALLS) == len(items)
+
+    def test_large_sweep_pools_in_blocks(self, tracked_runner, monkeypatch):
+        """Above the cutoff, the pool moves whole blocks, not tasks."""
+        import concurrent.futures
+
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        seen: dict[str, int] = {}
+        real_pool = concurrent.futures.ProcessPoolExecutor
+
+        def _spy_pool(max_workers=None, **kwargs):
+            seen["max_workers"] = max_workers
+            return real_pool(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _spy_pool
+        )
+        items = list(range(40))
+        assert sweep_map(tracked_square, items, jobs=4) == [
+            x * x for x in items
+        ]
+        assert seen["max_workers"] == 2
+
+    def test_block_size_serial_is_maximal(self):
+        runner = BlockRunner(block_fn=tracked_block)
+        assert _block_size(40, 1, runner) == 40
+
+    def test_block_size_pool_targets_four_per_worker(self):
+        runner = BlockRunner(block_fn=tracked_block)
+        assert _block_size(100, 4, runner) == 7  # ceil(100 / 16)
+
+    def test_block_size_capped_by_runner(self):
+        runner = BlockRunner(block_fn=tracked_block, max_block_tasks=16)
+        assert _block_size(500, 1, runner) == 16
+        assert _block_size(500, 2, runner) == 16
 
 
 class TestResolveJobs:

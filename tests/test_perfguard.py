@@ -55,6 +55,13 @@ class TestClassify:
         assert guard.classify("trace_overhead_pct") is None
         assert guard.classify("extremes_memo_hit_rate") is None
 
+    def test_stacked_sweep_throughput_is_a_rate(self, guard):
+        # The stacked-sweep benchmark's headline metric must be under
+        # guard as a throughput (drop = regression), not a timing.
+        assert (
+            guard.classify("sweep_throughput_scenarios_per_s") == "rate"
+        )
+
 
 class TestLatestPair:
     def test_empty_history(self, guard):
@@ -170,6 +177,15 @@ class TestCheck:
     def test_non_numeric_timing_ignored(self, guard):
         history = [record({"a_s": "fast"}), record({"a_s": 1.0})]
         assert guard.check(history) == []
+
+    def test_stacked_sweep_throughput_guarded(self, guard):
+        history = [
+            record({"sweep_throughput_scenarios_per_s": 400.0}),
+            record({"sweep_throughput_scenarios_per_s": 150.0}),
+        ]
+        failures = guard.check(history)
+        assert len(failures) == 1
+        assert "sweep_throughput_scenarios_per_s" in failures[0]
 
     def test_mixed_harness_records_each_key_guarded(self, guard):
         # A faults-bench record appended after the baseline record must
