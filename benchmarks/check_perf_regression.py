@@ -10,7 +10,7 @@ earlier record carrying it (same CPU count and platform — cross-runner
 comparisons are noise), and fails when the metric regressed by more
 than the allowed factor.
 
-Two metric families are guarded, told apart by suffix:
+Three metric families are guarded, told apart by suffix:
 
 ``*_s``
     Wall-clock timings — lower is better; a regression is growth by
@@ -19,9 +19,13 @@ Two metric families are guarded, told apart by suffix:
 ``*_per_s``
     Throughput rates — higher is better; a regression is a drop below
     ``baseline / MAX_REGRESSION_FACTOR``.
+``*_speedup``
+    Dimensionless higher-is-better ratios (``pairing_vector_speedup``,
+    ``sweep_shm_speedup``): guarded like rates — a drop below
+    ``baseline / MAX_REGRESSION_FACTOR`` fails.
 
-Anything else (``*_speedup``, ``*_pct``, ``*_rate``, metadata) is
-skipped: derived metrics have their own in-bench assertions.
+Anything else (``*_pct``, ``*_rate``, metadata) is skipped: other
+derived metrics have their own in-bench assertions.
 
 Usage::
 
@@ -68,11 +72,14 @@ def comparable(a: dict, b: dict) -> bool:
 
 
 def classify(key: str) -> str | None:
-    """``"rate"`` for ``*_per_s``, ``"timing"`` for ``*_s``, else None."""
+    """``"rate"`` for ``*_per_s``, ``"timing"`` for ``*_s``,
+    ``"speedup"`` for ``*_speedup``, else None."""
     if key.endswith("_per_s"):
         return "rate"
     if key.endswith("_s"):
         return "timing"
+    if key.endswith("_speedup"):
+        return "speedup"
     return None
 
 
@@ -136,15 +143,18 @@ def check(history: list[dict]) -> list[str]:
             regressed = now > limit
             unit, bound = "s", f"> x{MAX_REGRESSION_FACTOR} limit {limit:.4f}s"
             arrow = f"{before:.4f}s -> {now:.4f}s"
-        else:  # rate: higher is better
+        else:  # rate or speedup: higher is better
             if before <= 0:
                 continue
             checked += 1
             limit = before / MAX_REGRESSION_FACTOR
             regressed = now < limit
-            unit = "/s"
-            bound = f"< baseline/{MAX_REGRESSION_FACTOR} limit {limit:.2f}/s"
-            arrow = f"{before:.2f}/s -> {now:.2f}/s"
+            unit = "/s" if kind == "rate" else "x"
+            bound = (
+                f"< baseline/{MAX_REGRESSION_FACTOR} limit "
+                f"{limit:.2f}{unit}"
+            )
+            arrow = f"{before:.2f}{unit} -> {now:.2f}{unit}"
         status = "ok"
         if regressed:
             status = "REGRESSED"

@@ -407,6 +407,7 @@ def fluid_fault_sweep(
     checkpoint=None,
     link_bandwidth: float = LINK_BANDWIDTH_GB_PER_S,
     tie: str = "parity",
+    transport: str | None = None,
 ) -> list[FaultScenarioRow]:
     """Flow-level fault scenarios on one geometry, degraded not aborted.
 
@@ -423,7 +424,8 @@ def fluid_fault_sweep(
     with the same pairing of seeds as :func:`degraded_bisection_study`
     (``seed + 1000·k + t``), so rows are bit-identical across ``jobs``;
     *checkpoint* (a JSONL path) enables resumable execution via
-    :mod:`repro.resilience`.
+    :mod:`repro.resilience`; *transport* selects the worker payload
+    path (``"auto"``/``"shm"``/``"pickle"``, see :mod:`repro.sharedmem`).
     """
     check_nonnegative_int(max_failures, "max_failures")
     check_positive_int(trials, "trials")
@@ -437,7 +439,8 @@ def fluid_fault_sweep(
         "experiment.faultstudy.fluid", scenarios=len(tasks)
     ):
         rows = sweep_map(
-            _fluid_scenario, tasks, jobs=jobs, checkpoint=checkpoint
+            _fluid_scenario, tasks, jobs=jobs, checkpoint=checkpoint,
+            transport=transport,
         )
     if observability.OBS.enabled:
         observability.counter_add(
@@ -456,6 +459,7 @@ def degraded_bisection_study(
     jobs: int | None = 1,
     fluid_check: bool = False,
     checkpoint=None,
+    transport: str | None = None,
 ) -> list[DegradedBisectionRow]:
     """Default-vs-optimal bisection under ``k = 0..max_failures`` failures.
 
@@ -477,7 +481,8 @@ def degraded_bisection_study(
     :class:`RuntimeError` is raised.  The rows themselves are unchanged.
 
     *checkpoint* (a JSONL path) journals completed trials and resumes a
-    killed run from them (see :mod:`repro.resilience`).
+    killed run from them (see :mod:`repro.resilience`); *transport*
+    selects the worker payload path (see :mod:`repro.sharedmem`).
     """
     check_positive_int(num_midplanes, "num_midplanes")
     check_nonnegative_int(max_failures, "max_failures")
@@ -495,7 +500,8 @@ def degraded_bisection_study(
         "experiment.faultstudy", trials=len(tasks)
     ):
         results = sweep_map(
-            _paired_trial, tasks, jobs=jobs, checkpoint=checkpoint
+            _paired_trial, tasks, jobs=jobs, checkpoint=checkpoint,
+            transport=transport,
         )
 
     if fluid_check:

@@ -25,6 +25,7 @@ scope for exactly this reason.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
@@ -32,7 +33,7 @@ from typing import Any, TypeVar
 
 import numpy as np
 
-from . import observability
+from . import observability, sharedmem
 from ._validation import check_nonnegative_int, check_positive_int
 
 __all__ = [
@@ -181,12 +182,22 @@ def _merge_worker_snapshots(
 # oracle: ``REPRO_VECTOR=0`` disables block dispatch entirely, and the
 # differential suite pins block results to the scalar ones.
 
-#: Sweeps at or below this many tasks run their blocks serially
-#: in-process — pool startup + pickling costs more than it saves at
-#: this size (the designsearch crossover seam in BENCH_perf.json).
-#: Applies only to block-dispatched families; plain task sweeps keep
-#: their existing pool behavior.
+#: Sweeps at or below this many tasks run serially in-process — pool
+#: startup + pickling costs more than it saves at this size (the
+#: designsearch crossover seam in BENCH_perf.json, where the parallel
+#: sweep ran ~1.7x *slower* than serial).  Applies to block-dispatched
+#: families and plain per-task sweeps alike.
 _SMALL_SWEEP_TASKS = 32
+
+#: Scheduler cost model, calibrated coarse on purpose: these only have
+#: to get the *sign* of "does a pool pay for itself" right, and tests
+#: monkeypatch them to force either branch deterministically.
+#: Estimated cost of spawning one pool worker (fork + warmup).
+_POOL_SPAWN_S = 0.015
+#: Estimated per-block dispatch cost (pickle + queue round-trip).
+_DISPATCH_S = 0.002
+#: Adaptive chunk sizing aims for blocks of roughly this wall-clock.
+_TARGET_BLOCK_S = 0.25
 
 
 @dataclass(frozen=True)
@@ -306,42 +317,131 @@ class _SnapshottingBlock:
         return values, observability.worker_snapshot()
 
 
-def _block_sweep(
-    runner: BlockRunner, task_list: Sequence[_T], jobs: int
-) -> list[Any]:
-    """Execute a sweep through its registered block runner."""
-    n = len(task_list)
-    workers = min(jobs, os.cpu_count() or 1)
-    if n <= _SMALL_SWEEP_TASKS:
-        workers = 1  # pool overhead beats the savings at this size
-    size = _block_size(n, workers, runner)
-    chunks = [task_list[s : s + size] for s in range(0, n, size)]
-    workers = min(workers, len(chunks))
+class _ShmBlock:
+    """Block wrapper over the shared-memory transport.
 
+    Receives a :class:`repro.sharedmem.ShmPayload` instead of a pickled
+    chunk, reconstructs the tasks as read-only zero-copy views over the
+    parent's shared segments, runs the block, and offloads any large
+    result buffers back through worker-owned segments (small results —
+    the common case — return in-band; the parent materializes and
+    releases either way via ``decode_result``).
+    """
+
+    __slots__ = ("_block_fn",)
+
+    def __init__(self, block_fn: Callable[[Sequence[_T]], Sequence[_R]]):
+        self._block_fn = block_fn
+
+    def __call__(
+        self, payload: Any
+    ) -> tuple[Any, observability.TraceSnapshot]:
+        chunk = sharedmem.shm_loads(payload)
+        with observability.span("parallel.block", tasks=len(chunk)):
+            values = list(self._block_fn(chunk))
+        return (
+            sharedmem.maybe_shm_dumps(values),
+            observability.worker_snapshot(),
+        )
+
+
+def _pool_worker_init() -> None:
+    """Pool initializer: zero fork-inherited observability counters and
+    drop fork-inherited shared-segment mappings (workers re-attach on
+    demand against their own cache)."""
+    observability.reset_worker()
+    sharedmem.detach_segments()
+
+
+def _run_block_chunks(
+    runner: BlockRunner, chunks: Sequence[Sequence[_T]]
+) -> list[Any]:
+    """Run block chunks serially in-process, validating each."""
+    results: list[Any] = []
+    for chunk in chunks:
+        with observability.span("parallel.block", tasks=len(chunk)):
+            values = list(runner.block_fn(chunk))
+        _check_block_results(values, chunk, runner)
+        results.extend(values)
+    return results
+
+
+def _block_serial(
+    runner: BlockRunner, task_list: Sequence[_T]
+) -> list[Any]:
+    """Serial block execution (jobs==1, 1-CPU host, crossover guard)."""
+    n = len(task_list)
+    size = _block_size(n, 1, runner)
+    chunks = [task_list[s : s + size] for s in range(0, n, size)]
+    with observability.span(
+        "parallel.sweep", tasks=n, workers=1, blocks=len(chunks)
+    ):
+        results = _run_block_chunks(runner, chunks)
+    if observability.OBS.enabled:
+        observability.counter_add("parallel.sweeps")
+        observability.counter_add("parallel.tasks", n)
+        observability.counter_add("parallel.blocks", len(chunks))
+        observability.gauge_set("parallel.workers", 1)
+    return results
+
+
+def _plan_adaptive(
+    n: int, workers: int, runner: BlockRunner, per_task_s: float
+) -> tuple[int, int] | None:
+    """Chunk plan ``(block_size, workers)`` for the post-probe rest.
+
+    Sizes blocks from the *measured* per-task cost — small enough to
+    load-balance (≈4 blocks per worker), but no finer than blocks of
+    ``_TARGET_BLOCK_S`` wall-clock need — then projects pool cost
+    (worker spawn + per-block dispatch + compute split across workers)
+    against just finishing serially.  Returns ``None`` when the pool
+    would not pay for itself: the crossover that made
+    ``designsearch_parallel_s`` worse than serial is decided by
+    arithmetic here, not hoped away.  Workers are capped at the planned
+    block count — a pool process with no block to run is pure spawn
+    cost.
+    """
+    workers = min(workers, n)
+    by_balance = max(1, -(-n // (workers * 4)))
+    by_time = (
+        max(1, int(_TARGET_BLOCK_S / per_task_s))
+        if per_task_s > 0
+        else by_balance
+    )
+    size = max(1, min(by_balance, by_time, runner.max_block_tasks))
+    num_blocks = -(-n // size)
+    workers = min(workers, num_blocks)
     if workers <= 1:
-        results: list[Any] = []
-        with observability.span(
-            "parallel.sweep", tasks=n, workers=1, blocks=len(chunks)
-        ):
-            for chunk in chunks:
-                with observability.span(
-                    "parallel.block", tasks=len(chunk)
-                ):
-                    values = list(runner.block_fn(chunk))
-                _check_block_results(values, chunk, runner)
-                results.extend(values)
-        if observability.OBS.enabled:
-            observability.counter_add("parallel.sweeps")
-            observability.counter_add("parallel.tasks", n)
-            observability.counter_add("parallel.blocks", len(chunks))
-            observability.gauge_set("parallel.workers", 1)
-        return results
+        return None
+    serial_s = per_task_s * n
+    pool_s = (
+        workers * _POOL_SPAWN_S
+        + num_blocks * _DISPATCH_S
+        + serial_s / workers
+    )
+    if pool_s >= serial_s:
+        return None
+    return size, workers
+
+
+def _dispatch_block_pool(
+    runner: BlockRunner,
+    chunks: Sequence[Sequence[_T]],
+    workers: int,
+    transport: str | None,
+) -> list[Any] | None:
+    """Run block chunks through a process pool; ``None`` if no pool.
+
+    With the shared-memory transport each chunk crosses the pipe as a
+    small descriptor payload while its arrays live in pool-owned
+    segments, unlinked when the dispatch completes (or fails — the
+    ``finally`` guarantees no ``/dev/shm`` leak on any exit path).
+    """
+    from concurrent.futures import ProcessPoolExecutor
 
     try:
-        from concurrent.futures import ProcessPoolExecutor
-
         executor = ProcessPoolExecutor(
-            max_workers=workers, initializer=observability.reset_worker
+            max_workers=workers, initializer=_pool_worker_init
         )
     except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
         warnings.warn(
@@ -352,31 +452,119 @@ def _block_sweep(
             stacklevel=3,
         )
         observability.counter_add("parallel.fallback_serial")
-        return _block_sweep(runner, task_list, 1)
+        return None
+
+    mode = sharedmem.resolve_transport(transport)
+    tx: sharedmem.SharedArrayPool | None = None
+    pairs: list[tuple[Any, observability.TraceSnapshot]] = []
     try:
-        with observability.span(
-            "parallel.sweep", tasks=n, workers=workers,
-            blocks=len(chunks),
-        ):
-            pairs = list(
-                executor.map(
-                    _SnapshottingBlock(runner.block_fn),
-                    chunks,
-                    chunksize=1,
+        payloads: Sequence[Any] = chunks
+        wrapper: Callable[[Any], Any] = _SnapshottingBlock(runner.block_fn)
+        if mode == "shm":
+            tx = sharedmem.SharedArrayPool()
+            payloads = [tx.dumps(chunk) for chunk in chunks]
+            wrapper = _ShmBlock(runner.block_fn)
+            if observability.OBS.enabled:
+                observability.counter_add(
+                    "parallel.shm_bytes", tx.bytes_used
                 )
+        try:
+            pairs = list(
+                executor.map(wrapper, payloads, chunksize=1)
             )
+        finally:
+            executor.shutdown()
     finally:
-        executor.shutdown()
+        if tx is not None:
+            tx.unlink()
     _merge_worker_snapshots(snap for _, snap in pairs)
-    results = []
-    for (values, _snap), chunk in zip(pairs, chunks):
-        _check_block_results(values, chunk, runner)
-        results.extend(values)
+    results: list[Any] = []
+    try:
+        for (values, _snap), chunk in zip(pairs, chunks):
+            plain = sharedmem.decode_result(values)
+            _check_block_results(plain, chunk, runner)
+            results.extend(plain)
+    finally:
+        for values, _snap in pairs:
+            sharedmem.release_payload(values)
+    return results
+
+
+def _block_sweep(
+    runner: BlockRunner,
+    task_list: Sequence[_T],
+    jobs: int,
+    transport: str | None = None,
+) -> list[Any]:
+    """Execute a sweep through its registered block runner.
+
+    Chunk-adaptive scheduling: the first block runs in-process and is
+    timed; the measured per-task cost sizes the remaining chunks and
+    decides — by projected cost, see :func:`_plan_adaptive` — whether a
+    worker pool pays for itself at all.  A sweep whose pool would cost
+    more than it saves finishes serially, so ``jobs>1`` is never a
+    pessimization.  Results are bit-identical either way: blocking is
+    an execution detail the block-runner contract guarantees away.
+    """
+    n = len(task_list)
+    workers = min(jobs, os.cpu_count() or 1)
+    if n <= _SMALL_SWEEP_TASKS:
+        workers = 1  # pool overhead beats the savings at this size
+    if workers <= 1:
+        return _block_serial(runner, task_list)
+
+    probe = list(task_list[: _block_size(n, workers, runner)])
+    blocks_run = 1
+    pool_workers = 1
+    with observability.span(
+        "parallel.sweep", tasks=n, workers=workers
+    ):
+        start = time.perf_counter()
+        with observability.span("parallel.block", tasks=len(probe)):
+            values = list(runner.block_fn(probe))
+        probe_s = time.perf_counter() - start
+        _check_block_results(values, probe, runner)
+        results: list[Any] = list(values)
+
+        remaining = task_list[len(probe):]
+        if remaining:
+            per_task = max(probe_s / len(probe), 1e-9)
+            plan = _plan_adaptive(
+                len(remaining), workers, runner, per_task
+            )
+            pooled: list[Any] | None = None
+            if plan is not None:
+                size, pool_workers = plan
+                chunks = [
+                    remaining[s : s + size]
+                    for s in range(0, len(remaining), size)
+                ]
+                pooled = _dispatch_block_pool(
+                    runner, chunks, pool_workers, transport
+                )
+                if pooled is not None:
+                    blocks_run += len(chunks)
+            if pooled is not None:
+                results.extend(pooled)
+            else:
+                # Projected pool overhead exceeds projected savings
+                # (or no pool is available): finish serially with
+                # maximal blocks.
+                if plan is None:
+                    observability.counter_add("parallel.adaptive_serial")
+                pool_workers = 1
+                size = _block_size(len(remaining), 1, runner)
+                chunks = [
+                    remaining[s : s + size]
+                    for s in range(0, len(remaining), size)
+                ]
+                results.extend(_run_block_chunks(runner, chunks))
+                blocks_run += len(chunks)
     if observability.OBS.enabled:
         observability.counter_add("parallel.sweeps")
         observability.counter_add("parallel.tasks", n)
-        observability.counter_add("parallel.blocks", len(chunks))
-        observability.gauge_set("parallel.workers", workers)
+        observability.counter_add("parallel.blocks", blocks_run)
+        observability.gauge_set("parallel.workers", pool_workers)
     return results
 
 
@@ -388,6 +576,7 @@ def sweep_map(
     *,
     policy: Any | None = None,
     checkpoint: Any | None = None,
+    transport: str | None = None,
 ) -> list[_R]:
     """Map *fn* over *tasks*, optionally across worker processes.
 
@@ -421,6 +610,13 @@ def sweep_map(
         :class:`repro.resilience.SweepCheckpoint`): completed task
         results are journaled as they finish and a restarted sweep
         resumes from them instead of recomputing.
+    transport:
+        How block payloads reach the workers: ``"shm"`` ships large
+        numpy buffers as zero-copy :mod:`repro.sharedmem` descriptors,
+        ``"pickle"`` uses the classic pipe, and ``None``/``"auto"``
+        (the default) picks shm whenever ``REPRO_SHM`` is not disabled
+        and the platform supports it.  Transport never changes
+        results — only how their bytes travel.
 
     Returns
     -------
@@ -456,7 +652,8 @@ def sweep_map(
         from .resilience import resilient_sweep_map
 
         return resilient_sweep_map(
-            fn, tasks, jobs, policy=policy, checkpoint=checkpoint
+            fn, tasks, jobs, policy=policy, checkpoint=checkpoint,
+            transport=transport,
         )
     task_list = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -468,9 +665,16 @@ def sweep_map(
     # block_runner_for return None, restoring the scalar path below.
     runner = block_runner_for(fn)
     if runner is not None and len(task_list) >= runner.min_block_tasks:
-        return _block_sweep(runner, task_list, jobs)
+        return _block_sweep(runner, task_list, jobs, transport)
     if jobs == 1 or len(task_list) <= 1:
         return _serial_map(fn, task_list)
+    if len(task_list) <= _SMALL_SWEEP_TASKS:
+        # Crossover guard: at this size pool spawn + per-task pickling
+        # costs more than it saves (the BENCH-observed
+        # designsearch_parallel_s > designsearch_serial_s), so a
+        # requested-parallel small sweep runs serially — with the pool
+        # path's observability contract intact.
+        return _serial_fallback(fn, task_list)
 
     # Parallelism cannot beat the hardware: more workers than CPUs only
     # adds process churn and pickling (a 1-CPU host ran the parallel

@@ -209,10 +209,21 @@ class SweepCheckpoint:
     # -- loading ----------------------------------------------------
 
     def load(self, fn_name: str) -> dict[str, Any]:
-        """Completed ``{key: result}`` records, validating *fn_name*."""
+        """Completed ``{key: result}`` records, validating *fn_name*.
+
+        Task records are accepted only **after** a valid header naming
+        *fn_name* has been seen.  A torn or corrupt header must not
+        degrade into "no validation": without this gate, a journal
+        whose first line was mangled mid-write would silently resume
+        records written by a *different task function* whenever the
+        task keys happened to collide.  Headerless records are skipped
+        (recompute is always correct) with a warning.
+        """
         completed: dict[str, Any] = {}
         if not self.path.exists():
             return completed
+        header_ok = False
+        skipped_headerless = 0
         with self.path.open("r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, 1):
                 line = line.strip()
@@ -221,7 +232,7 @@ class SweepCheckpoint:
                 try:
                     rec = json.loads(line)
                 except json.JSONDecodeError:
-                    # Torn final write from a killed run: ignore.
+                    # Torn write from a killed run: ignore the line.
                     continue
                 if rec.get("type") == "header":
                     got = rec.get("fn")
@@ -232,8 +243,12 @@ class SweepCheckpoint:
                             f"refusing to resume (delete the file or "
                             f"pass a different --checkpoint path)"
                         )
+                    header_ok = True
                     continue
                 if rec.get("type") != "task":
+                    continue
+                if not header_ok:
+                    skipped_headerless += 1
                     continue
                 try:
                     result = pickle.loads(
@@ -243,15 +258,50 @@ class SweepCheckpoint:
                     # Corrupt record: recompute that task.
                     continue
                 completed[rec["key"]] = result
+        if skipped_headerless:
+            warnings.warn(
+                f"checkpoint {self.path} has {skipped_headerless} task "
+                f"record(s) before any valid header; they cannot be "
+                f"attributed to a task function and will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return completed
+
+    def _has_valid_header(self) -> bool:
+        """Whether any line of the file parses as a header record."""
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if rec.get("type") == "header":
+                        return True
+        except OSError:
+            return False
+        return False
 
     # -- writing ----------------------------------------------------
 
     def open_for_append(self, fn_name: str, num_tasks: int) -> None:
-        is_new = not self.path.exists() or self.path.stat().st_size == 0
+        # A fresh header is also written when the existing file lacks a
+        # valid one (torn first line): the old headerless records stay
+        # dead — load() refuses them — but everything journaled from
+        # here on resumes normally, so one torn header costs one
+        # recompute, not the checkpoint file.
+        needs_header = (
+            not self.path.exists()
+            or self.path.stat().st_size == 0
+            or not self._has_valid_header()
+        )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
-        if is_new:
+        if needs_header:
             self._write(
                 {
                     "type": "header",
@@ -328,21 +378,41 @@ class _ResilientBlock:
     chaos test targeting scenario ``i`` kills the worker (or, serially,
     the driver) no matter how the sweep was blocked — exactly the
     mid-block death the checkpoint/resume tests simulate.
+
+    The chunk may arrive as a :class:`repro.sharedmem.ShmPayload`
+    (shared-memory transport): it is decoded to zero-copy views *after*
+    the kill hook, so an injected death leaves the payload untouched —
+    the parent unlinks that dispatch generation's segments during the
+    pool rebuild.  With ``shm_results=True`` large result buffers
+    travel back through worker-owned segments (the parent materializes
+    owned copies before journaling: checkpoints record contents, never
+    segment names).
     """
 
-    __slots__ = ("_block_fn",)
+    __slots__ = ("_block_fn", "_shm_results")
 
-    def __init__(self, block_fn: Callable[[Sequence[_T]], Sequence[Any]]):
+    def __init__(
+        self,
+        block_fn: Callable[[Sequence[_T]], Sequence[Any]],
+        shm_results: bool = False,
+    ):
         self._block_fn = block_fn
+        self._shm_results = shm_results
 
     def __call__(
-        self, indices: Sequence[int], chunk: Sequence[_T]
-    ) -> tuple[list[Any], observability.TraceSnapshot]:
+        self, indices: Sequence[int], chunk: Any
+    ) -> tuple[Any, observability.TraceSnapshot]:
+        from . import sharedmem
+
         for i in indices:
             _maybe_test_kill(i)
+        chunk = sharedmem.shm_loads(chunk)
         with observability.span("parallel.block", tasks=len(chunk)):
             values = list(self._block_fn(chunk))
-        return values, observability.worker_snapshot()
+        out: Any = values
+        if self._shm_results:
+            out = sharedmem.maybe_shm_dumps(values)
+        return out, observability.worker_snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -480,7 +550,10 @@ def _run_block_serial(
 
 
 def _run_block_pool(
-    state: _SweepState, workers: int, runner: Any
+    state: _SweepState,
+    workers: int,
+    runner: Any,
+    transport: str | None = None,
 ) -> None:
     """Pool block execution with crash recovery and rebuilds.
 
@@ -490,16 +563,31 @@ def _run_block_pool(
     already journaled individually, so the re-planned blocking need not
     match the original one.  A block whose function raises falls back
     to per-task serial execution for that chunk.
+
+    With the shared-memory transport each dispatch generation's chunks
+    live in one parent-owned segment pool, unlinked when the generation
+    completes **or** dies — a worker kill mid-block must not leave its
+    generation's ``/dev/shm`` segments behind.  Results are
+    materialized (owned copies) before they reach the checkpoint, so
+    the journal records contents, never segment names.
     """
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
-    from .parallel import _check_block_results
+    from . import sharedmem
+    from .parallel import _check_block_results, _pool_worker_init
+
+    # Never spawn more pool processes than the block plan can feed: a
+    # worker with no block to run is pure fork cost (the small-block
+    # over-provisioning bug).
+    workers = min(
+        workers, len(_plan_blocks(state.pending(), workers, runner))
+    )
 
     def make_pool() -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=workers,
-            initializer=observability.reset_worker,
+            initializer=_pool_worker_init,
         )
 
     try:
@@ -516,6 +604,7 @@ def _run_block_pool(
         _run_block_serial(state, state.pending(), runner)
         return
 
+    mode = sharedmem.resolve_transport(transport)
     snapshots: dict[int, observability.TraceSnapshot] = {}
 
     def harvest(snap: observability.TraceSnapshot) -> None:
@@ -523,24 +612,35 @@ def _run_block_pool(
         if cur is None or snap.seq > cur.seq:
             snapshots[snap.pid] = snap
 
+    tx: Any = None
     try:
         while True:
             pending = state.pending()
             if not pending:
                 break
             blocks = _plan_blocks(pending, workers, runner)
+            chunks = [[state.tasks[i] for i in blk] for blk in blocks]
+            if mode == "shm":
+                tx = sharedmem.SharedArrayPool()
+                payloads: list[Any] = [tx.dumps(c) for c in chunks]
+            else:
+                payloads = chunks
+            futures: list[Any] = []
             try:
                 futures = [
                     executor.submit(
-                        _ResilientBlock(runner.block_fn),
+                        _ResilientBlock(
+                            runner.block_fn, shm_results=mode == "shm"
+                        ),
                         blk,
-                        [state.tasks[i] for i in blk],
+                        payload,
                     )
-                    for blk in blocks
+                    for blk, payload in zip(blocks, payloads)
                 ]
                 for blk, fut in zip(blocks, futures):
                     try:
                         values, snap = fut.result()
+                        values = sharedmem.decode_result(values)
                         _check_block_results(
                             values, blk, runner
                         )
@@ -561,6 +661,9 @@ def _run_block_pool(
                     for i, v in zip(blk, values):
                         state.complete(i, v)
                     observability.counter_add("resilience.blocks")
+                if tx is not None:
+                    tx.unlink()
+                    tx = None
             except (_PoolRestart, BrokenProcessPool) as err:
                 restart = (
                     err
@@ -570,6 +673,21 @@ def _run_block_pool(
                 state.pool_rebuilds += 1
                 observability.counter_add("resilience.pool_rebuilds")
                 executor.shutdown(wait=False, cancel_futures=True)
+                # Futures that completed but were never consumed may
+                # hold worker-produced result segments; their scenarios
+                # will be recomputed, so release the orphaned payloads.
+                for fut in futures:
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            values, _snap = fut.result()
+                        except Exception:
+                            continue
+                        sharedmem.release_payload(values)
+                if tx is not None:
+                    # The dead generation's segments: unlink now, the
+                    # re-planned generation gets a fresh pool.
+                    tx.unlink()
+                    tx = None
                 if state.pool_rebuilds > state.policy.max_pool_rebuilds:
                     warnings.warn(
                         f"process pool irrecoverable after "
@@ -595,6 +713,8 @@ def _run_block_pool(
                 executor = make_pool()
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
+        if tx is not None:
+            tx.unlink()
     for snap in snapshots.values():
         observability.merge_snapshot(snap)
 
@@ -736,6 +856,7 @@ def resilient_sweep_map(
     *,
     policy: ResiliencePolicy | None = None,
     checkpoint: str | os.PathLike[str] | SweepCheckpoint | None = None,
+    transport: str | None = None,
 ) -> list[Any]:
     """Fault-tolerant :func:`repro.parallel.sweep_map`.
 
@@ -743,6 +864,10 @@ def resilient_sweep_map(
     bit-identical across ``jobs`` — plus the retry/timeout/quarantine
     semantics of *policy* and optional checkpoint/resume via
     *checkpoint* (a JSONL path or :class:`SweepCheckpoint`).
+    *transport* selects how block payloads reach pool workers
+    (``"shm"``/``"pickle"``/auto — see :func:`repro.parallel.sweep_map`);
+    checkpoints always journal materialized result *contents*,
+    regardless of transport.
 
     With ``policy.quarantine`` the result list may contain
     :class:`TaskFailure` entries; callers that opt in must be prepared
@@ -819,7 +944,9 @@ def resilient_sweep_map(
                     ):
                         _run_block_serial(state, pending, runner)
                     else:
-                        _run_block_pool(state, workers, runner)
+                        _run_block_pool(
+                            state, workers, runner, transport
+                        )
                 elif workers <= 1:
                     _run_serial(state, pending)
                 else:

@@ -28,7 +28,24 @@ from pathlib import Path
 
 import pytest
 
+from repro import sharedmem
 from repro.resilience import TEST_KILL_EXIT_CODE
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leaks():
+    """Chaos or not, /dev/shm must end every test as it began.
+
+    Guards the shared-memory transport's lifecycle discipline across
+    the three fates a dispatch generation can meet: normal completion,
+    a worker killed mid-block, and a BrokenProcessPool rebuild."""
+    if not sharedmem.shm_supported():
+        yield
+        return
+    before = sharedmem.active_segments()
+    yield
+    sharedmem.detach_segments()
+    assert sharedmem.active_segments() == before
 
 REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -210,3 +227,102 @@ class TestBlockPoolWorkerDeath:
         assert state.results == [x * x for x in tasks]
         assert state.pool_rebuilds >= 1
         assert marker.exists()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport under chaos: segments must be reclaimed on
+# every exit path — normal completion, a worker killed mid-block (the
+# BrokenProcessPool rebuild), and the final degraded-serial fallback.
+# The autouse ``no_shm_leaks`` fixture asserts the invariant for every
+# test in this module; the tests below drive the transport through the
+# specific fates.
+
+
+def _array_sum(task):
+    _i, arr = task
+    return float(arr.sum())
+
+
+def _array_sum_block(tasks):
+    return [_array_sum(t) for t in tasks]
+
+
+def _shm_state_and_runner():
+    import numpy as np
+
+    from repro.parallel import BlockRunner
+    from repro.resilience import ResiliencePolicy, _PENDING, _SweepState
+
+    # Each task carries a 160 KB plane, well past MIN_SHARED_BYTES, so
+    # every dispatched chunk genuinely creates shared segments.
+    tasks = [(i, np.full(20_000, float(i))) for i in range(10)]
+    state = _SweepState(
+        fn=_array_sum,
+        tasks=tasks,
+        results=[_PENDING] * len(tasks),
+        policy=ResiliencePolicy(),
+        ckpt=None,
+        keys=None,
+    )
+    runner = BlockRunner(
+        block_fn=_array_sum_block, min_block_tasks=2, max_block_tasks=2
+    )
+    expected = [float(arr.sum()) for _i, arr in tasks]
+    return state, runner, expected
+
+
+@pytest.mark.skipif(
+    not sharedmem.shm_supported(),
+    reason="multiprocessing.shared_memory unusable on this platform",
+)
+class TestShmChaosCleanup:
+    def test_normal_completion_leaves_no_segments(self):
+        from repro.resilience import _run_block_pool
+
+        state, runner, expected = _shm_state_and_runner()
+        _run_block_pool(state, workers=1, runner=runner, transport="shm")
+        assert state.results == expected
+        assert sharedmem.active_segments() == []
+
+    def test_worker_kill_midblock_leaves_no_segments(
+        self, tmp_path, monkeypatch
+    ):
+        """A killed worker breaks the pool mid-generation: the rebuild
+        must unlink that generation's segments before re-planning."""
+        from repro.resilience import _run_block_pool
+
+        state, runner, expected = _shm_state_and_runner()
+        marker = tmp_path / "kill.marker"
+        monkeypatch.setenv("REPRO_RESILIENCE_TEST_KILL", "4")
+        monkeypatch.setenv(
+            "REPRO_RESILIENCE_TEST_KILL_MARKER", str(marker)
+        )
+        with pytest.warns(RuntimeWarning, match="rebuilding worker pool"):
+            _run_block_pool(
+                state, workers=1, runner=runner, transport="shm"
+            )
+        assert state.results == expected
+        assert state.pool_rebuilds >= 1
+        assert marker.exists()
+        assert sharedmem.active_segments() == []
+
+    def test_degraded_serial_fallback_leaves_no_segments(
+        self, tmp_path, monkeypatch
+    ):
+        """Exhausting pool rebuilds degrades to serial blocks; the dead
+        generations' segments must all be gone by then."""
+        from repro.resilience import ResiliencePolicy, _run_block_pool
+
+        state, runner, expected = _shm_state_and_runner()
+        state.policy = ResiliencePolicy(max_pool_rebuilds=0)
+        marker = tmp_path / "kill.marker"
+        monkeypatch.setenv("REPRO_RESILIENCE_TEST_KILL", "4")
+        monkeypatch.setenv(
+            "REPRO_RESILIENCE_TEST_KILL_MARKER", str(marker)
+        )
+        with pytest.warns(RuntimeWarning, match="degrading to"):
+            _run_block_pool(
+                state, workers=1, runner=runner, transport="shm"
+            )
+        assert state.results == expected
+        assert sharedmem.active_segments() == []

@@ -125,7 +125,8 @@ class TestCpuCap:
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", _spy_pool
         )
-        items = list(range(9))
+        # Above the small-sweep cutoff, else no pool is created at all.
+        items = list(range(40))
         assert sweep_map(square, items, jobs=8) == [x * x for x in items]
         assert seen["max_workers"] == 2
 
@@ -159,11 +160,13 @@ class TestCpuCap:
     def test_pool_creation_failure_emits_sweep_metrics(self, monkeypatch):
         import concurrent.futures
 
+        import repro.parallel as parallel
         from repro import observability
 
         def _broken_pool(*args, **kwargs):
             raise OSError("no process support")
 
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)
         monkeypatch.setattr(
             concurrent.futures, "ProcessPoolExecutor", _broken_pool
         )
@@ -176,11 +179,13 @@ class TestCpuCap:
         s.reset()
         try:
             observability.enable()
-            items = list(range(6))
-            assert sweep_map(square, items, jobs=4) == [
-                x * x for x in items
-            ]
-            assert s.counters["parallel.tasks"] == 6.0
+            items = list(range(40))
+            with pytest.warns(
+                RuntimeWarning, match="cannot create a process pool"
+            ):
+                result = sweep_map(square, items, jobs=4)
+            assert result == [x * x for x in items]
+            assert s.counters["parallel.tasks"] == 40.0
             assert "parallel.sweep" in s.span_totals
         finally:
             (
@@ -300,12 +305,18 @@ class TestBlockDispatch:
         assert sum(_BLOCK_CALLS) == len(items)
 
     def test_large_sweep_pools_in_blocks(self, tracked_runner, monkeypatch):
-        """Above the cutoff, the pool moves whole blocks, not tasks."""
+        """Above the cutoff, the pool moves whole blocks, not tasks.
+
+        The adaptive planner's modeled pool overhead is zeroed so the
+        projected-cost comparison always picks the pool for these
+        trivial tasks."""
         import concurrent.futures
 
         import repro.parallel as parallel
 
         monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(parallel, "_POOL_SPAWN_S", 0.0)
+        monkeypatch.setattr(parallel, "_DISPATCH_S", 0.0)
         seen: dict[str, int] = {}
         real_pool = concurrent.futures.ProcessPoolExecutor
 
@@ -334,6 +345,156 @@ class TestBlockDispatch:
         runner = BlockRunner(block_fn=tracked_block, max_block_tasks=16)
         assert _block_size(500, 1, runner) == 16
         assert _block_size(500, 2, runner) == 16
+
+
+class TestPlainPathCrossover:
+    """Satellite regression: the small-sweep serial cutoff applies to
+    the plain per-task path, not only block-dispatched families."""
+
+    def test_small_plain_sweep_never_spawns_a_pool(self, monkeypatch):
+        import concurrent.futures
+
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "ProcessPoolExecutor created for a small plain sweep"
+            )
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        items = list(range(parallel._SMALL_SWEEP_TASKS))
+        assert sweep_map(square, items, jobs=8) == [x * x for x in items]
+
+    def test_cutoff_boundary_is_inclusive(self, monkeypatch):
+        import concurrent.futures
+
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        created = []
+        real_pool = concurrent.futures.ProcessPoolExecutor
+
+        def _spy_pool(*args, **kwargs):
+            created.append(kwargs.get("max_workers"))
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _spy_pool
+        )
+        n = parallel._SMALL_SWEEP_TASKS
+        sweep_map(square, list(range(n)), jobs=8)
+        assert created == []  # exactly at the cutoff: serial
+        sweep_map(square, list(range(n + 1)), jobs=8)
+        assert len(created) == 1  # one past the cutoff: pooled
+
+
+class TestAdaptiveScheduling:
+    """The probe-and-plan crossover heuristic on block sweeps."""
+
+    def test_plan_declines_pool_for_cheap_tasks(self):
+        from repro.parallel import BlockRunner, _plan_adaptive
+
+        runner = BlockRunner(block_fn=tracked_block)
+        # 64 one-microsecond tasks: spawning any worker costs more
+        # than the whole remaining sweep.
+        assert _plan_adaptive(64, 4, runner, per_task_s=1e-6) is None
+
+    def test_plan_accepts_pool_for_expensive_tasks(self):
+        from repro.parallel import BlockRunner, _plan_adaptive
+
+        runner = BlockRunner(block_fn=tracked_block)
+        plan = _plan_adaptive(64, 4, runner, per_task_s=0.1)
+        assert plan is not None
+        size, workers = plan
+        assert workers == 4
+        assert 1 <= size <= 64
+
+    def test_plan_caps_workers_at_block_count(self):
+        """Satellite regression: more pool processes than planned
+        blocks is pure spawn cost — the plan must shrink the pool."""
+        from repro.parallel import BlockRunner, _plan_adaptive
+
+        runner = BlockRunner(block_fn=tracked_block)
+        # 4 expensive tasks, 8 requested workers: blocks of 1 leave
+        # only 4 blocks to feed, so only 4 workers may spawn.
+        plan = _plan_adaptive(4, 8, runner, per_task_s=1.0)
+        assert plan is not None
+        _size, workers = plan
+        assert workers == 4
+
+    def test_plan_respects_runner_block_cap(self):
+        from repro.parallel import BlockRunner, _plan_adaptive
+
+        runner = BlockRunner(block_fn=tracked_block, max_block_tasks=3)
+        plan = _plan_adaptive(64, 2, runner, per_task_s=0.1)
+        assert plan is not None
+        size, _workers = plan
+        assert size <= 3
+
+    def test_adaptive_serial_fallback_is_correct(
+        self, tracked_runner, monkeypatch
+    ):
+        """When the plan declines the pool, the sweep must finish
+        serially with correct, ordered results — and never fork."""
+        import concurrent.futures
+
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        # Model an impossibly expensive pool so the plan says serial.
+        monkeypatch.setattr(parallel, "_POOL_SPAWN_S", 1e9)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "ProcessPoolExecutor created despite adaptive serial plan"
+            )
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _no_pool
+        )
+        items = list(range(40))
+        assert sweep_map(tracked_square, items, jobs=8) == [
+            x * x for x in items
+        ]
+        assert sum(_BLOCK_CALLS) == len(items)
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_pooled_block_sweep_bit_identical(
+        self, tracked_runner, monkeypatch, transport
+    ):
+        """Both transports return exactly the serial results; the shm
+        leg must leave no /dev/shm segments behind."""
+        from repro import sharedmem
+
+        import repro.parallel as parallel
+
+        if transport == "shm" and not sharedmem.shm_supported():
+            pytest.skip("shared memory unusable here")
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(parallel, "_POOL_SPAWN_S", 0.0)
+        monkeypatch.setattr(parallel, "_DISPATCH_S", 0.0)
+        items = list(range(40))
+        got = sweep_map(
+            tracked_square, items, jobs=2, transport=transport
+        )
+        assert got == [x * x for x in items]
+        assert sharedmem.active_segments() == []
+
+    def test_rejects_unknown_transport(self, tracked_runner, monkeypatch):
+        import repro.parallel as parallel
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(parallel, "_POOL_SPAWN_S", 0.0)
+        monkeypatch.setattr(parallel, "_DISPATCH_S", 0.0)
+        with pytest.raises(ValueError, match="transport"):
+            sweep_map(
+                tracked_square, list(range(40)), jobs=2,
+                transport="smoke-signals",
+            )
 
 
 class TestResolveJobs:

@@ -4,7 +4,8 @@ The guard script lives outside the package (``benchmarks/``), so it is
 loaded here by file path.  It compares, per metric key, the newest
 ``BENCH_perf.json`` record carrying the key against the most recent
 comparable earlier record carrying it, and fails on >2x regressions —
-timing growth for ``*_s`` keys, throughput drop for ``*_per_s`` keys.
+timing growth for ``*_s`` keys, throughput drop for ``*_per_s`` keys,
+and ratio drop for ``*_speedup`` keys.
 """
 
 from __future__ import annotations
@@ -50,8 +51,11 @@ class TestClassify:
         # *_per_s also ends with _s; the rate class must win.
         assert guard.classify("x_per_s") == "rate"
 
+    def test_speedup_keys_classified(self, guard):
+        assert guard.classify("pairing_vector_speedup") == "speedup"
+        assert guard.classify("sweep_shm_speedup") == "speedup"
+
     def test_derived_metrics_unclassified(self, guard):
-        assert guard.classify("pairing_vector_speedup") is None
         assert guard.classify("trace_overhead_pct") is None
         assert guard.classify("extremes_memo_hit_rate") is None
 
@@ -161,8 +165,31 @@ class TestCheck:
 
     def test_derived_metrics_skipped(self, guard):
         history = [
-            record({"pairing_vector_speedup": 20.0, "rate": 0.9}),
-            record({"pairing_vector_speedup": 1.0, "rate": 0.1}),
+            record({"trace_overhead_pct": 20.0, "rate": 0.9}),
+            record({"trace_overhead_pct": 1.0, "rate": 0.1}),
+        ]
+        assert guard.check(history) == []
+
+    def test_speedup_regression_detected(self, guard):
+        history = [
+            record({"sweep_shm_speedup": 4.0}),
+            record({"sweep_shm_speedup": 1.1}),
+        ]
+        failures = guard.check(history)
+        assert len(failures) == 1
+        assert "sweep_shm_speedup" in failures[0]
+
+    def test_speedup_within_bounds_passes(self, guard):
+        history = [
+            record({"sweep_shm_speedup": 4.0}),
+            record({"sweep_shm_speedup": 2.5}),
+        ]
+        assert guard.check(history) == []
+
+    def test_speedup_improvement_passes(self, guard):
+        history = [
+            record({"sweep_shm_speedup": 2.0}),
+            record({"sweep_shm_speedup": 8.0}),
         ]
         assert guard.check(history) == []
 

@@ -187,6 +187,66 @@ class TestSweepCheckpoint:
         ]
         assert len(headers) == 1
 
+    def _torn_header_file(self, tmp_path):
+        """A journal whose header was mangled mid-write but whose task
+        records are intact (the killed-during-first-write scenario)."""
+        path = tmp_path / "ckpt.jsonl"
+        ck = SweepCheckpoint(path)
+        ck.open_for_append("mod.fn", 2)
+        ck.record("k0", 0, 11)
+        ck.record("k1", 1, 22)
+        ck.close()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "header"
+        lines[0] = lines[0][: len(lines[0]) // 2]  # tear the header
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_torn_header_skips_records_with_warning(self, tmp_path):
+        """Regression: a torn header must not degrade into 'no fn
+        validation' — records that cannot be attributed to a task
+        function are recomputed, not silently resumed."""
+        path = self._torn_header_file(tmp_path)
+        with pytest.warns(RuntimeWarning, match="before any valid header"):
+            loaded = SweepCheckpoint(path).load("mod.fn")
+        assert loaded == {}
+
+    def test_torn_header_never_resumes_other_functions(self, tmp_path):
+        """The bug this pins down: with the header gone, records from
+        *any* function's journal would previously load under any
+        fn_name whose task keys collided."""
+        path = self._torn_header_file(tmp_path)
+        with pytest.warns(RuntimeWarning, match="recomputed"):
+            loaded = SweepCheckpoint(path).load("other_mod.other_fn")
+        assert loaded == {}
+
+    def test_torn_header_self_heals_on_append(self, tmp_path):
+        """open_for_append writes a fresh header over a torn one: the
+        old headerless records stay dead, new records resume."""
+        path = self._torn_header_file(tmp_path)
+        ck = SweepCheckpoint(path)
+        ck.open_for_append("mod.fn", 2)
+        ck.record("k9", 0, 99)
+        ck.close()
+        with pytest.warns(RuntimeWarning, match="before any valid header"):
+            loaded = SweepCheckpoint(path).load("mod.fn")
+        assert loaded == {"k9": 99}
+        # And the healed header validates the function name again.
+        with pytest.raises(ValueError, match="refusing to resume"):
+            SweepCheckpoint(path).load("other_mod.other_fn")
+
+    def test_records_after_valid_header_still_load(self, tmp_path):
+        """The gate keys on a *valid* header, wherever it sits — blank
+        and torn lines before it do not poison the journal."""
+        path = tmp_path / "ckpt.jsonl"
+        ck = SweepCheckpoint(path)
+        ck.open_for_append("mod.fn", 2)
+        ck.record("k0", 0, 11)
+        ck.close()
+        content = path.read_text()
+        path.write_text('\n{"type": "ta\n' + content)
+        assert SweepCheckpoint(path).load("mod.fn") == {"k0": 11}
+
 
 class TestSerialResilience:
     def test_plain_results_match_sweep_map(self):
@@ -433,3 +493,81 @@ class TestSweepMapIntegration:
     def test_sweep_map_plain_path_unchanged(self):
         # No policy/checkpoint: the fast path, no checkpoint side files.
         assert sweep_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+# ---------------------------------------------------------------------
+# Shared-memory transport on the resilient pool path.
+
+
+def _big_result(x):
+    import numpy as np
+
+    rng = np.random.default_rng(x)
+    return rng.random(9000)  # 72 KB: clears MIN_SHARED_BYTES
+
+
+def _big_result_block(xs):
+    return [_big_result(x) for x in xs]
+
+
+class TestShmTransport:
+    """Checkpoints journal result *contents*, never segment names, and
+    every dispatch generation's segments are reclaimed."""
+
+    @pytest.fixture
+    def big_runner(self):
+        from repro.parallel import (
+            register_block_runner,
+            unregister_block_runner,
+        )
+
+        register_block_runner(_big_result, _big_result_block)
+        yield
+        unregister_block_runner(_big_result)
+
+    def test_checkpoint_journals_contents_not_segments(
+        self, tmp_path, big_runner, monkeypatch
+    ):
+        import numpy as np
+
+        import repro.resilience as resilience
+        from repro import sharedmem
+
+        if not sharedmem.shm_supported():
+            pytest.skip("shared memory unusable here")
+        monkeypatch.setattr(resilience.os, "cpu_count", lambda: 2)
+        ckpt = tmp_path / "ckpt.jsonl"
+        tasks = list(range(40))  # above the small-sweep serial cutoff
+        out = resilient_sweep_map(
+            _big_result, tasks, jobs=2, checkpoint=ckpt, transport="shm"
+        )
+        assert sharedmem.active_segments() == []
+        text = ckpt.read_text()
+        assert sharedmem.SEGMENT_PREFIX not in text
+        # The journal is self-contained: a resume in a world where the
+        # segments are long gone reproduces the results bit-identically.
+        resumed = resilient_sweep_map(
+            _big_result, tasks, jobs=1, checkpoint=ckpt
+        )
+        for a, b in zip(out, resumed):
+            assert np.array_equal(a, b)
+
+    def test_shm_matches_pickle_transport(self, big_runner, monkeypatch):
+        import numpy as np
+
+        import repro.resilience as resilience
+        from repro import sharedmem
+
+        if not sharedmem.shm_supported():
+            pytest.skip("shared memory unusable here")
+        monkeypatch.setattr(resilience.os, "cpu_count", lambda: 2)
+        tasks = list(range(40))
+        shm = resilient_sweep_map(
+            _big_result, tasks, jobs=2, transport="shm"
+        )
+        plain = resilient_sweep_map(
+            _big_result, tasks, jobs=2, transport="pickle"
+        )
+        for a, b in zip(shm, plain):
+            assert np.array_equal(a, b)
+        assert sharedmem.active_segments() == []
