@@ -365,3 +365,90 @@ def test_trajectory_file_written(perf_record):
     assert "timings" in last
     # Drop the probe record again: the module fixture writes the final one.
     BENCH_FILE.write_text(json.dumps(history[:-1], indent=2) + "\n")
+
+
+def test_sanitizer_disabled_overhead_on_pairing(
+    perf_record, report, monkeypatch
+):
+    """REPRO_CHECK's *disabled*-path cost on the pairing sweep.
+
+    The contract sanitizer (``repro.contracts``) guards PathMatrix/
+    StackedPathMatrix construction and solver entry behind
+    ``contracts.enabled()`` — one env-dict lookup. This measures that
+    lookup's cost on the production hot path by interleaving the real
+    disabled path against a stubbed-out ``enabled`` (the
+    pre-instrumentation baseline), and asserts the median overhead
+    stays within the 1% budget. It also asserts the *enabled* path is
+    bit-identical: the checks raise, they never modify.
+    """
+    import statistics
+
+    from repro import contracts
+    from repro.allocation.geometry import PartitionGeometry
+    from repro.experiments.pairing import (
+        PairingParameters,
+        run_pairing_sweep,
+    )
+
+    geometries = [
+        PartitionGeometry(dims)
+        for dims in [(4, 2, 1, 1), (2, 2, 2, 1), (3, 2, 1, 1),
+                     (4, 1, 1, 1), (2, 2, 1, 1), (8, 1, 1, 1)]
+    ]
+    params = PairingParameters(rounds=4)
+
+    def sweep():
+        return run_pairing_sweep(geometries, params, jobs=1)
+
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    baseline_result = sweep()  # warm the memos for every pass below
+
+    # Bit-identity first: contracts hot must not change a single bit.
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    checked_result = sweep()
+    assert checked_result == baseline_result
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+
+    def timed_run(stub: bool) -> float:
+        if stub:
+            original, contracts.enabled = contracts.enabled, lambda: False
+            try:
+                return _timed(sweep)[1]
+            finally:
+                contracts.enabled = original
+        return _timed(sweep)[1]
+
+    # Interleave A/B so drift (thermal, noisy neighbours) hits both.
+    with_check: list[float] = []
+    without: list[float] = []
+    for _ in range(5):
+        without.append(timed_run(stub=True))
+        with_check.append(timed_run(stub=False))
+    t_without = statistics.median(without)
+    t_with = statistics.median(with_check)
+
+    overhead_pct = 100.0 * (t_with - t_without) / max(t_without, 1e-9)
+    timings = perf_record["timings"]
+    timings["pairing_unchecked_s"] = round(t_without, 4)
+    timings["pairing_check_disabled_s"] = round(t_with, 4)
+    timings["lint_sanitizer_overhead_pct"] = round(overhead_pct, 2)
+
+    report(render_table(
+        [{
+            "path": f"pairing sweep x{len(geometries)} (serial)",
+            "stubbed_s": f"{t_without:.3f}",
+            "disabled_s": f"{t_with:.3f}",
+            "overhead": f"{overhead_pct:+.2f}%",
+            "identical": "yes",
+        }],
+        ["path", "stubbed_s", "disabled_s", "overhead", "identical"],
+        title="REPRO_CHECK sanitizer: disabled-path overhead on the "
+        "pairing hot path",
+    ))
+
+    # The 1% budget, with a small absolute floor so sub-jitter
+    # timings on fast boxes cannot flake the build.
+    assert t_with <= t_without * 1.01 + 0.02, (
+        f"sanitizer disabled-path overhead {overhead_pct:.2f}% "
+        f"exceeds the 1% budget"
+    )

@@ -9,6 +9,7 @@ messages stay uniform across the package.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -78,7 +79,7 @@ def check_positive_float(value: Any, name: str) -> float:
         out = float(value)
     except (TypeError, ValueError) as exc:
         raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
-    if not (out > 0.0) or out != out or out == float("inf"):
+    if not (out > 0.0) or math.isinf(out):
         raise ValueError(f"{name} must be positive and finite, got {value}")
     return out
 

@@ -32,13 +32,14 @@ completes (see :func:`repro.observability.merge_snapshot` and
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
 from functools import wraps
 from typing import Any
+
+from . import env
 
 __all__ = [
     "BoundedMemo",
@@ -52,9 +53,9 @@ __all__ = [
     "default_cache_size",
 ]
 
-#: Environment knob for the default per-function memo capacity.
+#: Environment knob for the default per-function memo capacity; the
+#: default (4096) lives with the declaration in :mod:`repro.env`.
 _SIZE_ENV = "REPRO_CACHE_SIZE"
-_DEFAULT_SIZE = 4096
 
 _registry: dict[str, "BoundedMemo"] = {}
 _registry_lock = threading.Lock()
@@ -67,14 +68,7 @@ def default_cache_size() -> int:
     non-positive values fall back to the built-in default so a bad
     environment can never disable the bound.
     """
-    raw = os.environ.get(_SIZE_ENV)
-    if raw is None:
-        return _DEFAULT_SIZE
-    try:
-        size = int(raw)
-    except ValueError:
-        return _DEFAULT_SIZE
-    return size if size > 0 else _DEFAULT_SIZE
+    return env.get_int(_SIZE_ENV)
 
 
 @dataclass(frozen=True)

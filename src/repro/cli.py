@@ -21,6 +21,10 @@ Subcommands
 ``trace summarize <path>``
     Render the spans, counters, and cache stats of a recorded JSONL
     trace.
+``lint [paths...]``
+    Run the reprolint static-analysis pass (see
+    :mod:`repro.staticcheck` and ``docs/static_analysis.md``); exits
+    non-zero on unsuppressed findings unless ``--soft``.
 
 The sweep-shaped subcommands (``pairing --sweep``, ``design-search``,
 ``variability``, ``faults``) accept ``--jobs N`` to evaluate their grids
@@ -194,6 +198,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(p)
     _add_checkpoint_flag(p)
     _add_transport_flag(p)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the reprolint static-analysis pass "
+        "(determinism, float-discipline, shm contracts)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    p.add_argument(
+        "--soft", action="store_true",
+        help="report findings but always exit 0 (advisory pass, used "
+        "for benchmarks/ in CI)",
+    )
+    p.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="comma-separated rule ids to run (default: all; see "
+        "docs/static_analysis.md)",
+    )
+    p.add_argument(
+        "--no-docs-check", action="store_true",
+        help="skip the REPRO_* knob <-> docs drift check",
+    )
+    p.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list suppressed findings with their reasons",
+    )
 
     p = sub.add_parser(
         "trace",
@@ -619,6 +659,52 @@ def _cmd_variability(
     return 0
 
 
+def _cmd_lint(
+    paths: Sequence[str],
+    fmt: str,
+    output: str | None,
+    soft: bool,
+    rules: str | None,
+    no_docs_check: bool,
+    show_suppressed: bool,
+) -> int:
+    from pathlib import Path
+
+    from . import staticcheck
+
+    only = None
+    if rules is not None:
+        only = [r.strip() for r in rules.split(",") if r.strip()]
+    result = staticcheck.analyze_paths(paths, rules=only, root=Path.cwd())
+    if result.files_scanned == 0:
+        print(
+            f"error: no Python files under {', '.join(map(str, paths))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if not no_docs_check and only is None:
+        docs = staticcheck.find_docs_dir(Path(paths[0]) if paths else Path())
+        if docs is not None:
+            result.findings.extend(staticcheck.check_knob_docs(docs))
+            result.findings.sort()
+
+    if fmt == "json":
+        report = staticcheck.render_json(result)
+    else:
+        report = staticcheck.render_text(
+            result, verbose_suppressed=show_suppressed
+        )
+    if output is not None:
+        Path(output).write_text(report + "\n", encoding="utf-8")
+        print(f"lint: report -> {output}", file=sys.stderr)
+    else:
+        print(report)
+    if soft or result.clean:
+        return 0
+    return 1
+
+
 def _cmd_trace(action: str, path: str) -> int:
     from . import observability
     from .analysis.report import render_table
@@ -729,6 +815,11 @@ def _dispatch(args, trace_path, observability) -> int:
                 args.machine, args.size, args.num_jobs, args.fraction,
                 args.runtime, args.seed, args.jobs, args.checkpoint,
                 args.transport,
+            )
+        elif args.command == "lint":
+            code = _cmd_lint(
+                args.paths, args.format, args.output, args.soft,
+                args.rules, args.no_docs_check, args.show_suppressed,
             )
         elif args.command == "trace":
             code = _cmd_trace(args.action, args.path)

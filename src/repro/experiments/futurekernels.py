@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..kernels.costmodel import FLOP_RATE_PER_RANK, LINK_BANDWIDTH_GB_PER_S
@@ -50,6 +51,7 @@ class KernelRun:
         return self.communication_time / total if total > 0 else 0.0
 
 
+@observability.profiled("experiment.fft.run")
 def run_fft_transpose(
     geometry: PartitionGeometry,
     n: int,
@@ -96,6 +98,7 @@ def run_fft_transpose(
     )
 
 
+@observability.profiled("experiment.nbody.run")
 def run_nbody_sweep(
     geometry: PartitionGeometry,
     num_bodies: int,

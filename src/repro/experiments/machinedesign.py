@@ -101,13 +101,16 @@ def peak_speedup_over_baseline(
     36, 54) have no same-size JUQUEEN counterpart — use
     :func:`peak_speedup_nearest_size` for those.
     """
-    best = 0.0
+    # "No common size" is tracked as None, not as a float-zero
+    # sentinel: a ratio can legitimately be tiny, and float equality
+    # on results is banned (staticcheck float-eq).
+    best: float | None = None
     for row in rows:
         b = row.bandwidths.get(baseline)
         c = row.bandwidths.get(candidate)
         if b and c:
-            best = max(best, c / b)
-    if best == 0.0:
+            best = c / b if best is None else max(best, c / b)
+    if best is None:
         raise ValueError(
             f"no common sizes between {baseline!r} and {candidate!r}"
         )
@@ -133,7 +136,7 @@ def peak_speedup_nearest_size(
     )
     if not baseline_sizes:
         raise ValueError(f"baseline {baseline!r} has no allocatable sizes")
-    best = 0.0
+    best: float | None = None
     for row in rows:
         c = row.bandwidths.get(candidate)
         if not c:
@@ -142,8 +145,9 @@ def peak_speedup_nearest_size(
                    if size >= row.num_midplanes]
         if not matches:
             continue  # candidate size exceeds the baseline machine
-        best = max(best, c / matches[0])
-    if best == 0.0:
+        ratio = c / matches[0]
+        best = ratio if best is None else max(best, ratio)
+    if best is None:
         raise ValueError(
             f"no comparable sizes between {baseline!r} and {candidate!r}"
         )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import observability
 from .._validation import check_positive_float, check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..kernels.caps import CapsConfig, caps_computation_time, caps_steps
@@ -132,6 +133,7 @@ def step_traffic_matrix(
     return uniq // n_nodes, uniq % n_nodes, counts
 
 
+@observability.profiled("experiment.caps.run")
 def run_caps_on_geometry(
     geometry: PartitionGeometry,
     num_ranks: int,

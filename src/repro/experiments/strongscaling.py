@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import observability
 from .._validation import check_positive_int
 from ..allocation.geometry import PartitionGeometry
 from ..kernels.caps import split_rank_count
@@ -88,6 +89,7 @@ class StrongScalingResult:
         return pts[0].communication_time / pts[-1].communication_time
 
 
+@observability.profiled("experiment.strongscaling.run")
 def run_strong_scaling(
     matrix_dim: int = STRONG_SCALING_MATRIX_DIM,
     table: list[tuple[int, int, int, tuple, tuple]] | None = None,

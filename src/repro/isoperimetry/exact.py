@@ -78,7 +78,7 @@ class ExactSolver:
                 j = self._index[u]
                 mask |= 1 << j
                 weights[(i, j)] = w
-                if w != 1.0:
+                if w != 1.0:  # repro: allow-float-eq default weight is stored as exactly 1.0; uniformity is a stored-repr property
                     self._uniform = False
             self._nbr_masks[i] = mask
         self._weights = weights

@@ -198,15 +198,19 @@ class BlueGeneQMachine:
         """The machine's 4-D torus of midplanes."""
         return Torus(self._dims)
 
-    def bisection_bandwidth(self, link_bandwidth: float = 1.0) -> float:
+    def bisection_bandwidth(self, link_bandwidth: float | None = None) -> float:
         """Bisection bandwidth of the whole machine.
 
-        With the default ``link_bandwidth=1`` this is the normalized
-        value used throughout the paper; pass
+        With the default (no *link_bandwidth*) this is the normalized
+        integer value used throughout the paper; pass
         :data:`LINK_BANDWIDTH_GB_PER_S` for GB/s.
         """
+        # None sentinel, not a `link_bandwidth == 1.0` fast path: "no
+        # scaling requested" is an argument-presence question, not a
+        # float comparison (staticcheck float-eq), and the unscaled
+        # value stays the paper's integer.
         norm = normalized_bisection_bandwidth(self._dims)
-        if link_bandwidth == 1.0:
+        if link_bandwidth is None:
             return norm
         return norm * link_bandwidth
 

@@ -36,12 +36,12 @@ back to the oracle router.
 from __future__ import annotations
 
 import math
-import os
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import contracts, env
 from ..caching import memoized
 from ..topology.torus import Torus
 from .routing import check_tie
@@ -72,10 +72,7 @@ def vector_enabled() -> bool:
     the scalar router — kept as the property-test oracle — can be forced
     end-to-end when debugging a suspected vectorization issue.
     """
-    raw = os.environ.get(_VECTOR_ENV)
-    if raw is None:
-        return True
-    return raw.strip().lower() not in ("0", "false", "no", "off")
+    return env.get_flag(_VECTOR_ENV)
 
 
 class PathMatrix:
@@ -123,6 +120,8 @@ class PathMatrix:
         self._link_ids = link_ids
         self._offsets = offsets
         self._flow_ids: np.ndarray | None = None
+        if contracts.enabled():
+            contracts.check_path_matrix(self)
 
     # ------------------------------------------------------------------ #
     # Construction                                                         #

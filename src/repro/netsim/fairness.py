@@ -24,7 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from .. import observability
+from .. import contracts, observability
 from .batchroute import PathMatrix
 from .stacked import StackedPathMatrix, segment_min
 
@@ -80,6 +80,8 @@ def max_min_fair_rates(
     capacities = np.asarray(capacities, dtype=float)
     if np.any(capacities < 0):
         raise ValueError("link capacities must be non-negative")
+    if contracts.enabled():
+        contracts.check_solver_inputs("max_min_fair_rates", capacities)
     n_total = len(pm)
     n_links = len(capacities)
 
@@ -238,6 +240,10 @@ def stacked_max_min_fair_rates(
     capacities = stack.capacities
     if np.any(capacities < 0):
         raise ValueError("link capacities must be non-negative")
+    if contracts.enabled():
+        contracts.check_solver_inputs(
+            "stacked_max_min_fair_rates", capacities
+        )
 
     act = stack.active
     if active is not None:

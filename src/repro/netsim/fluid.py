@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import observability
+from .. import contracts, observability
 from .batchroute import PathMatrix
 from .fairness import max_min_fair_rates, stacked_max_min_fair_rates
 from .network import LinkNetwork
@@ -112,6 +112,11 @@ class FluidSimulation:
         self._demands = (
             None if demands is None else np.asarray(list(demands), dtype=float)
         )
+        if contracts.enabled():
+            contracts.check_solver_inputs(
+                "FluidSimulation", np.asarray(network.capacities, dtype=float),
+                demands=self._demands, volumes=vol,
+            )
         self._record_segments = record_segments
         self.segments: list[tuple[float, np.ndarray, np.ndarray]] = []
         self.rounds_used: int | None = None
@@ -268,6 +273,11 @@ class StackedFluidSimulation:
             if demands is None
             else np.asarray(demands, dtype=float).ravel()
         )
+        if contracts.enabled():
+            contracts.check_solver_inputs(
+                "StackedFluidSimulation", stack.capacities,
+                demands=self._demands, volumes=vol,
+            )
         self.rounds_used: int | None = None
 
     @property

@@ -156,16 +156,16 @@ class LinkNetwork:
         clone._bandwidth = self._bandwidth
         caps = self._capacity.copy()
         for i, (u, v) in enumerate(self._endpoints):
-            factor = faults.capacity_factor(u, v)
-            if factor != 1.0:
-                caps[i] *= factor
+            # Unconditional: multiplying by a factor of exactly 1.0 is
+            # IEEE-exact, so healthy links keep bit-identical capacity.
+            caps[i] *= faults.capacity_factor(u, v)
         clone._capacity = caps
         clone._faults = faults
         return clone
 
     def failed_link_ids(self) -> np.ndarray:
         """Dense indices of links with zero capacity (failed)."""
-        return np.flatnonzero(self._capacity == 0.0)
+        return np.flatnonzero(self._capacity == 0.0)  # repro: allow-float-eq failed links carry an exact 0.0 sentinel (capacity_factor returns exact 0.0)
 
     def link_id(self, u: Vertex, v: Vertex) -> int:
         """Dense index of the directed link ``u -> v``.

@@ -41,6 +41,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .. import contracts
 from .batchroute import PathMatrix
 
 __all__ = ["StackedPathMatrix", "segment_min"]
@@ -186,6 +187,8 @@ class StackedPathMatrix:
         self._capacities = capacities
         self._active = act
         self._flow_scenarios = scen
+        if contracts.enabled():
+            contracts.check_stacked_matrix(self)
 
     # ------------------------------------------------------------------ #
     # Construction                                                         #

@@ -54,6 +54,8 @@ from dataclasses import dataclass
 from functools import wraps
 from typing import Any
 
+from . import env as _envmod
+
 __all__ = [
     "OBS",
     "MAX_EVENTS",
@@ -79,8 +81,6 @@ __all__ = [
 #: ``yes``/``on`` enable in-memory collection; anything else enables
 #: collection *and* is taken as the default JSONL export path.
 _ENV = "REPRO_TRACE"
-_FALSEY = frozenset({"", "0", "false", "no", "off"})
-_TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 #: Cap on retained span events (aggregate totals keep counting past it).
 MAX_EVENTS = 100_000
@@ -159,11 +159,11 @@ def env_trace_path() -> str | None:
     ``REPRO_TRACE=1`` (and friends) enable collection without naming a
     path; any other truthy value is interpreted as a file path.
     """
-    raw = os.environ.get(_ENV)
+    raw = _envmod.get_raw(_ENV)
     if raw is None:
         return None
     val = raw.strip()
-    if val.lower() in _FALSEY or val.lower() in _TRUTHY:
+    if _envmod.is_falsey(val) or _envmod.is_truthy(val):
         return None
     return val
 
@@ -175,8 +175,8 @@ def configure_from_env() -> bool:
     workers) honour the environment automatically; call it again after
     changing the environment mid-process (tests do).
     """
-    raw = os.environ.get(_ENV)
-    if raw is None or raw.strip().lower() in _FALSEY:
+    raw = _envmod.get_raw(_ENV)
+    if raw is None or _envmod.is_falsey(raw):
         OBS.enabled = False
     else:
         OBS.enabled = True

@@ -33,7 +33,7 @@ from typing import Any, TypeVar
 
 import numpy as np
 
-from . import observability, sharedmem
+from . import env, observability, sharedmem
 from ._validation import check_nonnegative_int, check_positive_int
 
 __all__ = [
@@ -65,7 +65,7 @@ def resolve_jobs(jobs: int | None) -> int:
     value before the explicit fall back to the CPU count.
     """
     if jobs is None or jobs == 0:
-        raw = os.environ.get(_JOBS_ENV)
+        raw = env.get_raw(_JOBS_ENV)
         if raw is not None:
             try:
                 val: int | None = int(raw)
@@ -519,10 +519,10 @@ def _block_sweep(
     with observability.span(
         "parallel.sweep", tasks=n, workers=workers
     ):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow-wallclock chunk-size probe; steers scheduling only, never task results
         with observability.span("parallel.block", tasks=len(probe)):
             values = list(runner.block_fn(probe))
-        probe_s = time.perf_counter() - start
+        probe_s = time.perf_counter() - start  # repro: allow-wallclock chunk-size probe; steers scheduling only, never task results
         _check_block_results(values, probe, runner)
         results: list[Any] = list(values)
 

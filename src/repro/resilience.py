@@ -54,7 +54,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, TypeVar
 
-from . import observability
+from . import env, observability
 from ._validation import check_nonnegative_int
 
 __all__ = [
@@ -338,7 +338,7 @@ class SweepCheckpoint:
 
 def _maybe_test_kill(index: int) -> None:
     """Deterministic crash injection (see ``_KILL_ENV``)."""
-    raw = os.environ.get(_KILL_ENV)
+    raw = env.get_raw(_KILL_ENV)
     if raw is None:
         return
     try:
@@ -347,7 +347,7 @@ def _maybe_test_kill(index: int) -> None:
         return
     if index != target:
         return
-    marker = os.environ.get(_KILL_MARKER_ENV)
+    marker = env.get_raw(_KILL_MARKER_ENV)
     if marker:
         if os.path.exists(marker):
             return  # already killed once; behave normally now
@@ -473,7 +473,7 @@ class _SweepState:
             return False
         self.retries += 1
         observability.counter_add("resilience.retries")
-        time.sleep(self.policy.backoff(self.attempts[index]))
+        time.sleep(self.policy.backoff(self.attempts[index]))  # repro: allow-wallclock retry backoff; delays rerun, never changes results
         return True
 
 

@@ -60,6 +60,8 @@ from typing import Any
 
 import numpy as np
 
+from . import env
+
 __all__ = [
     "ArrayDescriptor",
     "ShmPayload",
@@ -104,10 +106,7 @@ def shm_enabled() -> bool:
     Reads ``REPRO_SHM`` at call time; any of ``0``, ``false``, ``no``,
     ``off`` (case-insensitive) disables it.
     """
-    raw = os.environ.get(_SHM_ENV)
-    if raw is None:
-        return True
-    return raw.strip().lower() not in ("0", "false", "no", "off")
+    return env.get_flag(_SHM_ENV)
 
 
 _SUPPORTED: bool | None = None

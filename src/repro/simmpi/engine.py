@@ -87,6 +87,18 @@ Program = Callable[[int, int], Generator]
 _EPS = 1e-12
 
 
+def _path_severed(caps: np.ndarray, path: np.ndarray) -> bool:
+    """Whether any link of *path* has (effectively) zero capacity.
+
+    Fault injection zeroes failed links exactly, but the check is a
+    grouped ``_EPS`` comparison rather than a float ``==``: a capacity
+    that rounding has driven below ``_EPS`` carries no traffic either,
+    and the reroute must fire for it too (healthy links sit at O(1)
+    GB/s, twelve orders of magnitude above the threshold).
+    """
+    return bool((caps[path] <= _EPS).any())
+
+
 @memoized(maxsize=256, key=lambda torus: torus)
 def _link_dim_table(torus: Torus) -> np.ndarray:
     """Dimension index of every directed link of *torus* ("link class").
@@ -522,7 +534,7 @@ class VirtualMpi:
             caps = net.capacities
             lost: list[tuple[int, int, float]] = []
             for f in flows:
-                if not bool((caps[f.path] == 0.0).any()):
+                if not _path_severed(caps, f.path):
                     continue
                 try:
                     f.path = path_of(f.src_node, f.dst_node)

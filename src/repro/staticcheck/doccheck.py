@@ -1,0 +1,80 @@
+"""Knob ↔ docs drift check.
+
+Every knob registered in :mod:`repro.env` must be documented in
+``docs/performance.md`` or ``docs/observability.md``, and every
+``REPRO_*`` name those two files mention must be a registered knob.
+Run as part of ``repro lint`` whenever a ``docs/`` directory is
+discoverable from the scanned paths.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .. import env
+from .core import Finding
+
+__all__ = ["DOC_FILES", "check_knob_docs", "find_docs_dir"]
+
+#: The two files the contract names; other docs may mention knobs too,
+#: but these are the canonical knob reference and are held in sync.
+DOC_FILES = ("performance.md", "observability.md")
+
+_KNOB_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+
+
+def find_docs_dir(start: Path) -> Path | None:
+    """The repo's ``docs/`` directory, walking up from *start*."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        docs = candidate / "docs"
+        if all((docs / name).is_file() for name in DOC_FILES):
+            return docs
+    return None
+
+
+def check_knob_docs(docs_dir: Path) -> list[Finding]:
+    """Findings for undocumented knobs and unregistered doc mentions."""
+    findings: list[Finding] = []
+    registered = {k.name for k in env.knobs()}
+    documented: dict[str, tuple[str, int]] = {}
+
+    for name in DOC_FILES:
+        path = docs_dir / name
+        rel = f"docs/{name}"
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for m in _KNOB_RE.finditer(line):
+                documented.setdefault(m.group(0), (rel, lineno))
+
+    for knob in sorted(registered - set(documented)):
+        findings.append(Finding(
+            path=f"docs/{DOC_FILES[0]}",
+            line=1,
+            col=0,
+            rule="knob-docs",
+            message=(
+                f"registered knob {knob} is documented in neither "
+                f"docs/performance.md nor docs/observability.md"
+            ),
+            hint=f"add {knob} to the environment-knob table "
+            f"(its declaration in repro.env has the docstring)",
+        ))
+    for knob in sorted(set(documented) - registered):
+        rel, lineno = documented[knob]
+        findings.append(Finding(
+            path=rel,
+            line=lineno,
+            col=0,
+            rule="knob-docs",
+            message=(
+                f"documented knob {knob} is not registered in "
+                f"repro.env"
+            ),
+            hint="register it in repro.env or fix the doc reference",
+        ))
+    return findings

@@ -1,0 +1,49 @@
+"""Text and JSON reporters for analyzer results."""
+
+from __future__ import annotations
+
+import json
+
+from .core import RULES, AnalysisResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult, *, verbose_suppressed: bool = False) -> str:
+    """Human-oriented report: one ``path:line:col`` block per finding."""
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col + 1}: [{f.rule}] {f.message}")
+        if f.hint:
+            lines.append(f"    fix: {f.hint}")
+    if verbose_suppressed:
+        for f, reason in result.suppressed:
+            lines.append(
+                f"{f.path}:{f.line}:{f.col + 1}: [{f.rule}] suppressed: "
+                f"{reason}"
+            )
+    lines.append(
+        f"{len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({len(result.suppressed)} suppressed) in "
+        f"{result.files_scanned} file"
+        f"{'' if result.files_scanned == 1 else 's'}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-oriented report (uploaded as a CI artifact)."""
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "rules": {
+            rid: RULES[rid].summary for rid in sorted(RULES)
+        },
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [
+            {**f.as_dict(), "reason": reason}
+            for f, reason in result.suppressed
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

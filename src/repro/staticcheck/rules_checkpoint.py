@@ -1,0 +1,92 @@
+"""Checkpoint-key purity: journaled records must be content-pure.
+
+:class:`repro.resilience.SweepCheckpoint` resumes by content hash: a
+record is reused iff its key matches a task in the new run.  Anything
+process- or host-ephemeral inside a journaled object — a shared-memory
+segment name, a pid, a wall-clock stamp — either breaks resume (keys
+never match) or, worse, resurrects a dangling reference into the new
+process (a segment name that no longer exists).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+    resolved_name,
+)
+
+__all__ = ["CheckpointPurityRule"]
+
+#: Attribute names that smell of process/host-ephemeral identity.
+_EPHEMERAL_ATTRS = frozenset({"segment", "pid"})
+
+#: Calls that produce per-process / per-moment values.
+_EPHEMERAL_CALLS = frozenset({
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+})
+
+
+@register_rule
+class CheckpointPurityRule(Rule):
+    """Ephemeral values flowing into a checkpoint ``record(...)``."""
+
+    id = "checkpoint-purity"
+    summary = (
+        "objects journaled by SweepCheckpoint must not embed shm "
+        "segment names, pids, or timestamps"
+    )
+    hint = (
+        "journal only task-content-derived values; strip descriptors "
+        "and pids before record()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (isinstance(fn, ast.Attribute) and fn.attr == "record"):
+                continue
+            receiver = (dotted_name(fn) or "").lower()
+            if "ckpt" not in receiver and "checkpoint" not in receiver:
+                continue
+            for arg in [*node.args, *node.keywords]:
+                sub_root = arg.value if isinstance(
+                    arg, ast.keyword
+                ) else arg
+                for sub in ast.walk(sub_root):
+                    impurity = self._impurity(ctx, sub)
+                    if impurity:
+                        yield self.finding(
+                            ctx, node,
+                            f"checkpoint record embeds {impurity}",
+                        )
+
+    @staticmethod
+    def _impurity(ctx: FileContext, node: ast.AST) -> str | None:
+        if isinstance(node, ast.Call):
+            name = resolved_name(ctx.aliases, node.func)
+            if name in _EPHEMERAL_CALLS:
+                return f"{name}() (per-process/per-moment value)"
+        if isinstance(node, ast.Attribute) and (
+            node.attr in _EPHEMERAL_ATTRS
+        ):
+            return (
+                f".{node.attr} (shared-memory segment names and pids "
+                f"do not survive the process)"
+            )
+        if isinstance(node, ast.Name) and node.id == "SEGMENT_PREFIX":
+            return "a shared-memory segment name"
+        return None

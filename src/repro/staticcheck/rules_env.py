@@ -1,0 +1,71 @@
+"""Environment-knob hygiene: all ``os.environ`` reads flow through
+:mod:`repro.env`.
+
+Before the registry existed, six modules read seven ``REPRO_*`` knobs
+ad hoc, each with its own truthiness vocabulary and each invisible to
+the docs.  The registry makes every knob declared, uniformly parsed,
+and drift-checked against the documentation — which only holds if no
+new direct read sneaks in.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import FileContext, Finding, Rule, register_rule, resolved_name
+
+__all__ = ["EnvKnobRule"]
+
+_GETTERS = frozenset({
+    "os.getenv",
+    "os.putenv",
+    "os.unsetenv",
+})
+
+
+@register_rule
+class EnvKnobRule(Rule):
+    """Direct ``os.environ``/``os.getenv`` access outside repro.env."""
+
+    id = "env-knob"
+    summary = (
+        "environment variables are read only via the repro.env "
+        "registry (declared name, kind, default, doc)"
+    )
+    hint = (
+        "register the knob in repro.env and read it with "
+        "env.get_raw/get_flag/get_int"
+    )
+
+    #: The registry itself is where the reads are supposed to live.
+    _SANCTIONED = ("repro/env.py",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.is_module(*self._SANCTIONED):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if resolved_name(ctx.aliases, node) == "os.environ":
+                    yield self.finding(
+                        ctx, node,
+                        "direct os.environ access bypasses the "
+                        "repro.env knob registry",
+                    )
+            elif isinstance(node, ast.Name):
+                # `from os import environ` / `from os import getenv`
+                if ctx.aliases.get(node.id) == "os.environ" and (
+                    isinstance(node.ctx, ast.Load)
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        "direct os.environ access (imported name) "
+                        "bypasses the repro.env knob registry",
+                    )
+            elif isinstance(node, ast.Call):
+                name = resolved_name(ctx.aliases, node.func)
+                if name in _GETTERS:
+                    yield self.finding(
+                        ctx, node,
+                        f"{name} bypasses the repro.env knob registry",
+                    )

@@ -1,0 +1,75 @@
+"""Float discipline: no ``==``/``!=`` on float-typed expressions.
+
+The paper's geometry rankings are decided by comparing computed
+bandwidths; an exact float comparison that happens to work today is a
+refactor away from flipping a table row.  Comparisons must go through
+an epsilon helper (``math.isclose``, ``np.isclose``, a module
+``_EPS``) or be suppressed with a reason explaining why exactness is
+guaranteed (e.g. a value stored, never computed).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["FloatEqRule"]
+
+
+def _is_floatish(node: ast.AST) -> str | None:
+    """Why *node* is float-typed, or None if it cannot be shown to be.
+
+    Deliberately conservative: a float literal, a ``float(...)`` cast,
+    or a true division are unambiguous; everything else (names,
+    attribute loads) is unknown and left alone — this is a contract
+    linter, not a type checker.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return "float(...) cast"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return "true-division result"
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return None
+
+
+@register_rule
+class FloatEqRule(Rule):
+    """``==`` / ``!=`` where a comparand is provably float-typed."""
+
+    id = "float-eq"
+    summary = (
+        "no ==/!= against float literals, float() casts, or division "
+        "results; use an epsilon comparison"
+    )
+    hint = (
+        "compare with math.isclose/np.isclose or a grouped _EPS "
+        "threshold; suppress with a reason when exactness is a stored "
+        "invariant"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, comparands, comparands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                why = _is_floatish(left) or _is_floatish(right)
+                if why:
+                    sym = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        ctx, node,
+                        f"float {sym} comparison against {why}",
+                    )

@@ -1,0 +1,87 @@
+"""Observability coverage: experiment drivers must be traceable.
+
+PR 3 threaded spans through the engine and drivers so production runs
+can always answer "where did the time go"; a new driver entry point
+without a span is a blind spot that only shows up during an incident.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["MissingSpanRule"]
+
+#: Names that make a module-level function a *driver entry point*.
+_DRIVER_SUFFIXES = ("_sweep", "_study", "_search")
+
+
+def _is_driver_name(name: str) -> bool:
+    if name.startswith("_"):
+        return False
+    return name.startswith("run_") or name.endswith(_DRIVER_SUFFIXES)
+
+
+@register_rule
+class MissingSpanRule(Rule):
+    """Experiment-driver entry points without a span or @profiled."""
+
+    id = "missing-span"
+    summary = (
+        "public run_*/-sweep/-study drivers in repro.experiments must "
+        "open an observability span"
+    )
+    hint = (
+        "decorate with @observability.profiled(\"experiment.<name>\") "
+        "or wrap the body in `with observability.span(...)`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_package_dir("repro/experiments/"):
+            return
+        for node in ctx.tree.body:  # module level only
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if not _is_driver_name(node.name):
+                continue
+            if self._has_profiled(node) or self._has_span(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"driver entry point {node.name}() has no "
+                f"observability span",
+            )
+
+    @staticmethod
+    def _has_profiled(fn: ast.FunctionDef) -> bool:
+        for dec in fn.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = (
+                target.attr if isinstance(target, ast.Attribute)
+                else target.id if isinstance(target, ast.Name)
+                else ""
+            )
+            if name == "profiled":
+                return True
+        return False
+
+    @staticmethod
+    def _has_span(fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                target = call.func
+                name = (
+                    target.attr if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name)
+                    else ""
+                )
+                if name == "span":
+                    return True
+        return False

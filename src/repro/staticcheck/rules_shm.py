@@ -1,0 +1,168 @@
+"""Shared-memory safety rules.
+
+The zero-copy transport hands workers read-only views into shared
+segments (:func:`repro.sharedmem.attach_array`); every consumer of
+those views relies on nobody writing through them, and every segment
+placed by ``to_shared`` must eventually be released
+(:func:`release_payload` parent-side, :func:`detach_segments`
+worker-side) or ``/dev/shm`` leaks until reboot.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from .core import FileContext, Finding, Rule, register_rule
+
+__all__ = ["ShmMutationRule", "ShmPairingRule"]
+
+
+def _attach_names(scope: ast.AST) -> set[str]:
+    """Names bound (anywhere in *scope*) from ``attach_array(...)``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        call = node.value
+        if not isinstance(call, ast.Call):
+            continue
+        fn = call.func
+        fn_name = (
+            fn.id if isinstance(fn, ast.Name)
+            else fn.attr if isinstance(fn, ast.Attribute)
+            else None
+        )
+        if fn_name != "attach_array":
+            continue
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                names.add(tgt.id)
+    return names
+
+
+@register_rule
+class ShmMutationRule(Rule):
+    """Writes through arrays attached from shared memory."""
+
+    id = "shm-mutation"
+    summary = (
+        "arrays from sharedmem.attach_array are shared read-only "
+        "views; writing through them corrupts every consumer"
+    )
+    hint = (
+        "copy the array (arr.copy()) before mutating, or restructure "
+        "so the producer writes before sharing"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Scope per function (plus module top level): a name rebound
+        # in another function is a different variable.
+        scopes: list[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        seen: set[tuple[int, int]] = set()
+        for scope in scopes:
+            attached = _attach_names(scope)
+            for node in ast.walk(scope):
+                f = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for tgt in targets:
+                        if (
+                            isinstance(tgt, ast.Subscript)
+                            and isinstance(tgt.value, ast.Name)
+                            and tgt.value.id in attached
+                        ):
+                            f = self.finding(
+                                ctx, node,
+                                f"write through shared view "
+                                f"{tgt.value.id!r} (attached from "
+                                f"shared memory)",
+                            )
+                if (
+                    f is None
+                    and isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and node.targets[0].attr == "writeable"
+                    and isinstance(node.targets[0].value, ast.Attribute)
+                    and node.targets[0].value.attr == "flags"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value is True
+                    and not ctx.is_module("repro/sharedmem.py")
+                ):
+                    f = self.finding(
+                        ctx, node,
+                        "re-enabling .flags.writeable on a shared "
+                        "buffer defeats the read-only contract",
+                    )
+                if f is not None and (f.line, f.col) not in seen:
+                    seen.add((f.line, f.col))
+                    yield f
+
+
+@register_rule
+class ShmPairingRule(Rule):
+    """``to_shared``/``attach_array`` without a release path in sight."""
+
+    id = "shm-pairing"
+    summary = (
+        "a module that places or attaches shared segments must also "
+        "reference release_payload/detach_segments"
+    )
+    hint = (
+        "pair the encode/attach with sharedmem.release_payload "
+        "(parent) or sharedmem.detach_segments (worker teardown)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        releases = {"release_payload", "detach_segments", "close",
+                    "unlink"}
+        has_release = any(
+            (isinstance(n, ast.Attribute) and n.attr in releases)
+            or (isinstance(n, ast.Name) and n.id in releases)
+            or (isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n.name in releases)
+            for n in ast.walk(ctx.tree)
+        )
+        if has_release:
+            return
+
+        # Calls inside to_shared/from_shared methods are the codec
+        # definitions themselves: segment ownership lies with the
+        # transport that invokes them, not with the class.
+        codec_spans: list[tuple[int, int]] = []
+        for n in ast.walk(ctx.tree):
+            if (
+                isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n.name in ("to_shared", "from_shared")
+            ):
+                codec_spans.append((n.lineno, n.end_lineno or n.lineno))
+
+        def in_codec(node: ast.AST) -> bool:
+            return any(a <= node.lineno <= b for a, b in codec_spans)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            fn_name = (
+                fn.id if isinstance(fn, ast.Name)
+                else fn.attr if isinstance(fn, ast.Attribute)
+                else None
+            )
+            if fn_name in ("to_shared", "attach_array", "put_array") and (
+                not in_codec(node)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{fn_name}() places/attaches shared segments but "
+                    f"this module never releases them",
+                )

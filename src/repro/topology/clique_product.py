@@ -184,6 +184,6 @@ class CliqueProduct(Topology):
         return hash(("CliqueProduct", self._dims, self._weights))
 
     def __repr__(self) -> str:
-        if self.is_uniform() and self._weights[0] == 1.0:
+        if self.is_uniform() and self._weights[0] == 1.0:  # repro: allow-float-eq default weight is stored as exactly 1.0; repr-only cosmetics
             return f"CliqueProduct({self._dims})"
         return f"CliqueProduct({self._dims}, weights={self._weights})"

@@ -161,7 +161,7 @@ class Torus(Topology):
 
     def is_uniform(self) -> bool:
         """Whether all dimension weights are 1.0 (plain unit-capacity)."""
-        return all(w == 1.0 for w in self._weights)
+        return all(w == 1.0 for w in self._weights)  # repro: allow-float-eq default weight is stored as exactly 1.0; uniformity is a stored-repr property
 
     def neighbors(self, v: Vertex) -> Iterator[tuple[tuple[int, ...], float]]:
         if not self.contains(v):

@@ -1,0 +1,191 @@
+"""Analyzer core: suppressions, reporters, docs drift, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+import repro.staticcheck as sc
+from repro import env
+from repro.cli import main
+
+
+def analyze(src: str, **kw):
+    return sc.analyze_source(textwrap.dedent(src), "src/repro/demo.py", **kw)
+
+
+class TestSuppressions:
+    def test_reason_is_recorded(self):
+        res = analyze(
+            "x = y == 1.0  # repro: allow-float-eq stored sentinel\n"
+        )
+        assert res.clean
+        ((finding, reason),) = res.suppressed
+        assert finding.rule == "float-eq"
+        assert reason == "stored sentinel"
+
+    def test_line_above_applies(self):
+        res = analyze("""
+            # repro: allow-float-eq stored sentinel
+            x = y == 1.0
+        """)
+        assert res.clean
+
+    def test_two_lines_above_does_not_apply(self):
+        res = analyze("""
+            # repro: allow-float-eq stored sentinel
+
+            x = y == 1.0
+        """)
+        assert not res.clean
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        res = analyze(
+            "x = y == 1.0  # repro: allow-wallclock wrong rule\n"
+        )
+        assert [f.rule for f in res.findings] == ["float-eq"]
+
+    def test_missing_reason_keeps_finding_and_flags_marker(self):
+        res = analyze("x = y == 1.0  # repro: allow-float-eq\n")
+        rules = sorted(f.rule for f in res.findings)
+        assert rules == ["float-eq", "suppression-missing-reason"]
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        res = analyze(
+            's = "# repro: allow-float-eq nope"\nx = y == 1.0\n'
+        )
+        assert [f.rule for f in res.findings] == ["float-eq"]
+
+
+class TestDriver:
+    def test_parse_error_is_a_finding(self):
+        res = analyze("def broken(:\n")
+        (f,) = res.findings
+        assert f.rule == "parse-error"
+
+    def test_rule_filter(self):
+        src = """
+            import time
+            t = time.time()
+            x = y == 1.0
+        """
+        only_float = analyze(src, rules=["float-eq"])
+        assert [f.rule for f in only_float.findings] == ["float-eq"]
+        with pytest.raises(KeyError):
+            analyze(src, rules=["no-such-rule"])
+
+    def test_every_rule_has_summary_and_hint(self):
+        for rid, rule in sc.RULES.items():
+            assert rule.id == rid
+            assert rule.summary
+            assert rule.hint
+
+
+class TestReporters:
+    def test_text_report_has_location_rule_and_hint(self):
+        res = analyze("x = y == 1.0\n")
+        text = sc.render_text(res)
+        assert "src/repro/demo.py:1:5: [float-eq]" in text
+        assert "fix:" in text
+        assert "1 finding (0 suppressed) in 1 file" in text
+
+    def test_json_report_round_trips(self):
+        res = analyze(
+            "x = y == 1.0\n"
+            "z = w == 0.0  # repro: allow-float-eq stored sentinel\n"
+        )
+        payload = json.loads(sc.render_json(res))
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        (f,) = payload["findings"]
+        assert f["rule"] == "float-eq" and f["line"] == 1
+        (s,) = payload["suppressed"]
+        assert s["reason"] == "stored sentinel"
+        assert "float-eq" in payload["rules"]
+
+
+class TestDocsDrift:
+    def _docs(self, tmp_path, performance: str, observability: str = ""):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "performance.md").write_text(performance)
+        (docs / "observability.md").write_text(observability)
+        return docs
+
+    def test_in_sync_docs_pass(self, tmp_path):
+        names = " ".join(k.name for k in env.knobs())
+        docs = self._docs(tmp_path, names)
+        assert sc.check_knob_docs(docs) == []
+
+    def test_undocumented_knob_flagged(self, tmp_path):
+        names = [k.name for k in env.knobs()]
+        docs = self._docs(tmp_path, " ".join(names[:-1]))
+        (f,) = sc.check_knob_docs(docs)
+        assert f.rule == "knob-docs"
+        assert names[-1] in f.message
+
+    def test_unregistered_doc_mention_flagged(self, tmp_path):
+        names = " ".join(k.name for k in env.knobs())
+        docs = self._docs(tmp_path, names, "see REPRO_NO_SUCH_KNOB\n")
+        (f,) = sc.check_knob_docs(docs)
+        assert "REPRO_NO_SUCH_KNOB" in f.message
+        assert f.path == "docs/observability.md"
+        assert f.line == 1
+
+    def test_real_docs_are_in_sync(self):
+        docs = sc.find_docs_dir(__import__("pathlib").Path(__file__))
+        assert docs is not None
+        assert sc.check_knob_docs(docs) == []
+
+
+class TestCli:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        assert main(["lint", str(f), "--no-docs-check"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_violation_exits_nonzero_with_details(
+        self, tmp_path, capsys
+    ):
+        f = tmp_path / "bad.py"
+        f.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(f), "--no-docs-check"]) == 1
+        out = capsys.readouterr().out
+        assert "[unseeded-random]" in out
+        assert "bad.py:2:" in out
+        assert "fix:" in out
+
+    def test_soft_mode_exits_zero(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(f), "--soft", "--no-docs-check"]) == 0
+
+    def test_json_output_file(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("x = y == 1.0\n")
+        out = tmp_path / "report.json"
+        code = main([
+            "lint", str(f), "--no-docs-check",
+            "--format", "json", "--output", str(out),
+        ])
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["findings"][0]["rule"] == "float-eq"
+
+    def test_rule_filter_flag(self, tmp_path):
+        f = tmp_path / "bad.py"
+        f.write_text("import random\nx = random.random()\ny = z == 1.0\n")
+        assert main([
+            "lint", str(f), "--no-docs-check", "--rules", "float-eq",
+        ]) == 1
+
+    def test_unknown_rule_is_an_error(self, tmp_path, capsys):
+        f = tmp_path / "clean.py"
+        f.write_text("x = 1\n")
+        assert main([
+            "lint", str(f), "--no-docs-check", "--rules", "bogus",
+        ]) == 2
+        assert "unknown rule" in capsys.readouterr().err

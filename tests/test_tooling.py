@@ -3,6 +3,13 @@
 Keeps the source tree importable at the bytecode level: every module
 under ``src/`` must byte-compile (the ``python -m compileall src``
 sanity step, run in-process so it is part of tier-1).
+
+Also keeps the tree *lint-clean*: ``repro lint src/`` (the
+reprolint static-analysis pass, :mod:`repro.staticcheck`) must report
+zero unsuppressed findings, every suppression must carry a reason, and
+the ``REPRO_*`` knob registry must stay in sync with the docs.  Running
+the self-lint here makes a new violation fail tier-1 locally, not just
+the CI lint leg.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ import compileall
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src"
+ROOT = SRC.parent
 
 
 def test_src_tree_byte_compiles():
@@ -24,3 +32,33 @@ def test_cli_entry_point_resolves():
     from repro.cli import main
 
     assert callable(main)
+
+
+def test_src_tree_is_lint_clean():
+    """`repro lint src/` reports zero unsuppressed findings."""
+    from repro import staticcheck
+
+    result = staticcheck.analyze_paths([SRC], root=ROOT)
+    assert result.files_scanned > 50
+    report = staticcheck.render_text(result)
+    assert result.clean, f"src/ has lint findings:\n{report}"
+
+
+def test_every_suppression_carries_a_reason():
+    """In-tree `# repro: allow-*` markers all justify themselves."""
+    from repro import staticcheck
+
+    result = staticcheck.analyze_paths([SRC], root=ROOT)
+    assert result.suppressed, "expected the known in-tree suppressions"
+    for finding, reason in result.suppressed:
+        assert reason, f"{finding.path}:{finding.line} has a bare marker"
+
+
+def test_knob_registry_matches_docs():
+    """Every repro.env knob is documented, and vice versa."""
+    from repro import staticcheck
+
+    docs = staticcheck.find_docs_dir(ROOT)
+    assert docs is not None
+    drift = staticcheck.check_knob_docs(docs)
+    assert drift == [], "\n".join(f.message for f in drift)
