@@ -152,6 +152,34 @@ class PathMatrix:
         )
         return cls(flat, offsets)
 
+    @classmethod
+    def unchecked(
+        cls, link_ids: np.ndarray, offsets: np.ndarray
+    ) -> "PathMatrix":
+        """Wrap already-valid CSR planes without the O(n) validation.
+
+        For trusted internal producers whose invariants hold by
+        construction — the simmpi :class:`~repro.simmpi.ledger.FlowLedger`
+        re-derives a live view of its arena after every flow add, so the
+        monotonicity/bounds re-checks of ``__init__`` would be paid per
+        event.  The arrays must be contiguous int64 with
+        ``offsets[0] == 0`` and ``offsets[-1] == len(link_ids)``; only
+        read-only *views* are taken, so a writable backing arena stays
+        writable for its owner.  Under ``REPRO_CHECK`` the construction
+        contract still runs.
+        """
+        link_view = link_ids.view()
+        link_view.flags.writeable = False
+        offset_view = offsets.view()
+        offset_view.flags.writeable = False
+        pm = cls.__new__(cls)
+        pm._link_ids = link_view
+        pm._offsets = offset_view
+        pm._flow_ids = None
+        if contracts.enabled():
+            contracts.check_path_matrix(pm)
+        return pm
+
     # ------------------------------------------------------------------ #
     # Shared-memory codec                                                  #
     # ------------------------------------------------------------------ #

@@ -26,7 +26,7 @@ import numpy as np
 
 from .. import contracts, observability
 from .batchroute import PathMatrix
-from .stacked import StackedPathMatrix, segment_min
+from .stacked import StackedPathMatrix, gather_subset_entries, segment_min
 
 __all__ = ["max_min_fair_rates", "stacked_max_min_fair_rates"]
 
@@ -40,6 +40,7 @@ def max_min_fair_rates(
     *,
     active: np.ndarray | None = None,
     return_bottlenecks: bool = False,
+    validate: bool = True,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Max-min fair rates for flows with the given link paths.
 
@@ -52,6 +53,13 @@ def max_min_fair_rates(
         (source == destination) gets rate ``inf``.
     capacities:
         Per-link capacity array.
+    validate:
+        When false, skip the O(links) capacity sign scan and the
+        crossed-failed-link check.  For per-event callers (the simmpi
+        vector engine) that re-solve over an unchanged, known-good
+        capacity plane and guarantee by construction that no active
+        flow crosses a zero-capacity link; the checks never alter the
+        rates, so results are unchanged.
     demands:
         Optional per-flow rate caps (e.g. injection bandwidth limits); a
         flow freezes at its demand if the network would allow more.
@@ -78,7 +86,7 @@ def max_min_fair_rates(
     """
     pm = paths if isinstance(paths, PathMatrix) else PathMatrix.from_paths(paths)
     capacities = np.asarray(capacities, dtype=float)
-    if np.any(capacities < 0):
+    if validate and np.any(capacities < 0):
         raise ValueError("link capacities must be non-negative")
     if contracts.enabled():
         contracts.check_solver_inputs("max_min_fair_rates", capacities)
@@ -102,21 +110,11 @@ def max_min_fair_rates(
         return rates
 
     # CSR compaction: gather the active flows' link entries once.
-    lengths = pm.lengths[act]
-    total = int(lengths.sum())
-    if total:
-        seg_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        flat = (
-            np.arange(total, dtype=np.int64)
-            - np.repeat(seg_starts, lengths)
-            + np.repeat(pm.offsets[act], lengths)
-        )
-        sub_links = pm.link_ids[flat]
-    else:
-        sub_links = np.empty(0, dtype=np.int64)
-    sub_fids = np.repeat(np.arange(n_act, dtype=np.int64), lengths)
+    sub_links, sub_fids, lengths = gather_subset_entries(
+        pm.link_ids, pm.offsets, act
+    )
 
-    if np.any(capacities == 0):
+    if validate and np.any(capacities == 0):
         # Zero capacity models a *failed* link (see repro.faults); flows
         # must be routed around failures before rates are solved.
         entry_dead = capacities[sub_links] == 0

@@ -44,7 +44,7 @@ import numpy as np
 from .. import contracts
 from .batchroute import PathMatrix
 
-__all__ = ["StackedPathMatrix", "segment_min"]
+__all__ = ["StackedPathMatrix", "gather_subset_entries", "segment_min"]
 
 
 def segment_min(
@@ -67,6 +67,41 @@ def segment_min(
         starts = base[:-1][nonempty]
         out[nonempty] = np.minimum.reduceat(values, starts)
     return out
+
+
+def gather_subset_entries(
+    link_ids: np.ndarray, offsets: np.ndarray, subset: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compact the CSR entries of the *subset* rows, in subset order.
+
+    ``(link_ids, offsets)`` is an ordinary flow CSR; *subset* selects
+    row indices (any order, repeats allowed).  Returns
+    ``(entry_links, entry_rows, lengths)`` where ``entry_links`` is the
+    concatenation of the selected rows' link entries, ``entry_rows``
+    maps each entry back to its *local* position in *subset* (the
+    bincount companion), and ``lengths`` is the per-subset-row entry
+    count.  This is the shared gather under the active-subset water
+    fill (:func:`~repro.netsim.fairness.max_min_fair_rates`) and the
+    simmpi :class:`~repro.simmpi.ledger.FlowLedger`'s degraded/severed
+    masks; the arithmetic is kept byte-stable because downstream
+    bit-identity contracts depend on the gathered entry order.
+    """
+    subset = np.ascontiguousarray(subset, dtype=np.int64).ravel()
+    n_rows = len(subset)
+    lengths = offsets[subset + 1] - offsets[subset]
+    total = int(lengths.sum())
+    if total:
+        seg_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(seg_starts, lengths)
+            + np.repeat(offsets[subset], lengths)
+        )
+        entry_links = link_ids[flat]
+    else:
+        entry_links = np.empty(0, dtype=np.int64)
+    entry_rows = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
+    return entry_links, entry_rows, lengths
 
 
 class StackedPathMatrix:

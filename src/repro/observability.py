@@ -69,6 +69,7 @@ __all__ = [
     "span",
     "profiled",
     "counter_add",
+    "counter_add_many",
     "gauge_set",
     "worker_snapshot",
     "merge_snapshot",
@@ -253,6 +254,20 @@ def counter_add(name: str, value: float = 1.0) -> None:
     if OBS.enabled:
         counters = OBS.counters
         counters[name] = counters.get(name, 0.0) + value
+
+
+def counter_add_many(names, values) -> None:
+    """Add paired *values* to the named counters (no-op while disabled).
+
+    Vectorized callers (e.g. the simmpi engine's per-dimension gb·hops
+    attribution) accumulate increments as a numpy array and fold them
+    in with one call; each addition is ``float``-coerced exactly as
+    :func:`counter_add` would, so traces are unchanged.
+    """
+    if OBS.enabled:
+        counters = OBS.counters
+        for name, value in zip(names, values):
+            counters[name] = counters.get(name, 0.0) + float(value)
 
 
 def gauge_set(name: str, value: float) -> None:

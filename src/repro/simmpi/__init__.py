@@ -33,10 +33,12 @@ from .engine import (
     RunResult,
     VirtualMpi,
 )
+from .ledger import FlowLedger
 from .ops import Barrier, Compute, Isend, Recv, Send, SendRecv
 
 __all__ = [
     "VirtualMpi",
+    "FlowLedger",
     "RunResult",
     "RankStats",
     "DeadlockError",

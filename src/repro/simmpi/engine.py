@@ -42,6 +42,29 @@ unpaired sends are caught instead of hanging.  Disconnection is *never*
 reported as a deadlock: unreachable endpoints raise
 :class:`~repro.faults.PartitionDisconnectedError` as soon as the
 transfer would start.
+
+Engine internals
+----------------
+In-flight flows live in one of two interchangeable backends.  The
+default (:class:`_VectorFlows`) stores all flow state in a persistent
+array-native :class:`~repro.simmpi.ledger.FlowLedger` — an append-only
+CSR path arena plus ``remaining``/``group``/``active`` planes — so
+every event is a handful of numpy reductions: the fairness solve
+consumes a live :class:`~repro.netsim.batchroute.PathMatrix` view with
+active-subset indexing, ``dt`` is ``(remaining / rates).min()``, flow
+progress is ``remaining[act] -= rates * dt``, and group completion is
+a ``bincount``-style grouped reduction.  ``REPRO_VECTOR=0`` swaps in
+:class:`_OracleFlows`, the original per-``_Flow``-object loops kept
+verbatim as the differential oracle: both backends produce
+bit-identical :class:`RunResult`\\ s (the contract of
+``tests/properties/test_property_simmpi.py``).
+
+Ready ranks are scheduled through an epoch-ordered heap that
+reproduces the historical cyclic ascending scan exactly — rank
+wake-ups cost O(log ready) instead of an O(size) rescan per loop
+iteration — so scheduling order (and with it every order-sensitive
+artifact, e.g. :class:`~repro.faults.FaultReport` flow order) is
+unchanged from the scan-based engine.
 """
 
 from __future__ import annotations
@@ -49,6 +72,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Generator, Sequence
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -71,6 +95,7 @@ from ..netsim.fairness import max_min_fair_rates
 from ..netsim.network import LinkNetwork
 from ..netsim.routing import check_tie, dimension_ordered_route, fault_aware_route
 from ..topology.torus import Torus
+from .ledger import FlowLedger
 from .ops import Barrier, Compute, Isend, Recv, Send, SendRecv
 
 __all__ = [
@@ -140,12 +165,273 @@ class _Group:
 
     ``deliveries`` maps a waiting rank to the payload its ``yield``
     expression evaluates to on resume (receives get the sender's
-    payload; sends resume with ``None``).
+    payload; sends resume with ``None``).  ``gid`` is the vector
+    backend's dense registration id (-1 until a flow registers the
+    group; the oracle backend never assigns one).
     """
 
     waiters: tuple[int, ...]
     outstanding: int
     deliveries: dict[int, object] = field(default_factory=dict)
+    gid: int = -1
+
+
+class _OracleFlows:
+    """Per-``_Flow``-object store: the ``REPRO_VECTOR=0`` oracle.
+
+    These are the original engine's per-flow Python loops, kept
+    verbatim: the vectorized :class:`_VectorFlows` backend must
+    reproduce this backend's :class:`RunResult`\\ s bit for bit.
+    """
+
+    __slots__ = ("flows", "_rates")
+
+    def __init__(self, num_links: int):
+        self.flows: list[_Flow] = []
+        self._rates: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def add(
+        self,
+        path: np.ndarray,
+        gb: float,
+        group: _Group,
+        src_node: int,
+        dst_node: int,
+    ) -> None:
+        self.flows.append(
+            _Flow(
+                path=path,
+                remaining=gb,
+                group=group,
+                src_node=src_node,
+                dst_node=dst_node,
+            )
+        )
+
+    def solve_dt(self, capacities: np.ndarray) -> float:
+        """Re-solve fair rates; return the time to the next completion."""
+        rates = max_min_fair_rates(
+            [f.path for f in self.flows], capacities
+        )
+        self._rates = rates
+        return min(f.remaining / r for f, r in zip(self.flows, rates))
+
+    def degraded_count(self, degr_mask: np.ndarray) -> int:
+        """How many in-flight flows cross a degraded link."""
+        return sum(
+            1 for f in self.flows if bool(degr_mask[f.path].any())
+        )
+
+    def progress(self, dt: float) -> list[_Group]:
+        """Advance every flow by ``rate * dt``; return completed groups."""
+        done_groups: list[_Group] = []
+        kept: list[_Flow] = []
+        for f, r in zip(self.flows, self._rates):
+            f.remaining -= r * dt
+            if f.remaining <= _EPS:
+                f.group.outstanding -= 1
+                if f.group.outstanding == 0:
+                    done_groups.append(f.group)
+            else:
+                kept.append(f)
+        self.flows = kept
+        return done_groups
+
+    def reroute_severed(
+        self, caps: np.ndarray, path_of
+    ) -> tuple[int, list[tuple[int, int, float]]]:
+        """Re-path flows crossing a failed link; collect unroutable ones."""
+        reroutes = 0
+        lost: list[tuple[int, int, float]] = []
+        for f in self.flows:
+            if not _path_severed(caps, f.path):
+                continue
+            try:
+                f.path = path_of(f.src_node, f.dst_node)
+            except PartitionDisconnectedError:
+                lost.append((f.src_node, f.dst_node, f.remaining))
+                continue
+            if len(f.path) == 0:  # pragma: no cover - defensive
+                raise AssertionError("reroute produced an empty path")
+            reroutes += 1
+        return reroutes, lost
+
+    def restore_routes(self, path_of) -> int:
+        """Switch flows back to their preferred route after a repair."""
+        restores = 0
+        for f in self.flows:
+            new_path = path_of(f.src_node, f.dst_node)
+            if len(new_path) != len(f.path) or not np.array_equal(
+                new_path, f.path
+            ):
+                f.path = new_path
+                restores += 1
+        return restores
+
+
+class _VectorFlows:
+    """Ledger-backed flow store: the vectorized default backend.
+
+    All per-event work is numpy over the persistent
+    :class:`~repro.simmpi.ledger.FlowLedger` planes; completion groups
+    stay Python objects, registered in a dense-id map only while they
+    have outstanding flows.  Flow-creation order survives reroutes via
+    the ledger's ``order_key`` plane, which is what keeps
+    order-sensitive artifacts (fault reports, restore scans, route
+    cache traffic) bit-identical with :class:`_OracleFlows`.
+    """
+
+    __slots__ = (
+        "ledger", "groups", "_next_gid",
+        "_act", "_rates", "_rem", "_pending",
+    )
+
+    def __init__(self, num_links: int):
+        self.ledger = FlowLedger(num_links)
+        self.groups: dict[int, _Group] = {}
+        self._next_gid = 0
+        # Active slots carried across events: progress() filters out
+        # completions, add() appends (slot ids are monotone, so the
+        # ascending order active_slots() would produce is preserved).
+        # Dropped to None whenever slots are renumbered or repathed.
+        self._act: np.ndarray | None = None
+        self._rates: np.ndarray | None = None
+        self._rem: np.ndarray | None = None
+        self._pending: list[int] = []
+
+    def __len__(self) -> int:
+        return self.ledger.num_active
+
+    def add(
+        self,
+        path: np.ndarray,
+        gb: float,
+        group: _Group,
+        src_node: int,
+        dst_node: int,
+    ) -> None:
+        if group.gid < 0:
+            group.gid = self._next_gid
+            self._next_gid += 1
+            self.groups[group.gid] = group
+        self._pending.append(
+            self.ledger.add(path, gb, group.gid, src_node, dst_node)
+        )
+
+    def solve_dt(self, capacities: np.ndarray) -> float:
+        """Re-solve fair rates over the live ledger view.
+
+        The active-subset gather inside
+        :func:`~repro.netsim.fairness.max_min_fair_rates` sees exactly
+        the entries the oracle's rebuilt path list would contain (up to
+        flow permutation, under which the water-fill is equivariant),
+        so rates — and the exact ``min`` below — are bit-identical.
+        ``validate=False`` skips the solver's failed-link scan: the
+        engine reroutes flows off dead links before ever re-solving.
+        """
+        act = self._act
+        if act is None:
+            act = self.ledger.active_slots()
+        elif self._pending:
+            act = np.concatenate(
+                (act, np.asarray(self._pending, dtype=np.int64))
+            )
+        self._pending.clear()
+        self._act = act
+        rates = max_min_fair_rates(
+            self.ledger.view(), capacities, active=act, validate=False
+        )
+        self._rates = rates
+        rem = self.ledger.remaining[act]
+        self._rem = rem
+        return float((rem / rates).min())
+
+    def degraded_count(self, degr_mask: np.ndarray) -> int:
+        """How many in-flight flows cross a degraded link."""
+        return self.ledger.crossing_count(degr_mask, self._act)
+
+    def progress(self, dt: float) -> list[_Group]:
+        """Advance the remaining plane; return completed groups.
+
+        Completed groups are reported in first-completion (slot) order
+        rather than the oracle's flow order; the orders are
+        interchangeable because rank wake-ups are scheduled by the
+        engine's ready heap (rank-ascending within a pass) independent
+        of wake call order.
+        """
+        act, rates = self._act, self._rates
+        led = self.ledger
+        after = self._rem - rates * dt
+        led.remaining[act] = after
+        done_mask = after <= _EPS
+        done = act[done_mask]
+        completed: list[_Group] = []
+        if done.size:
+            self._act = act[~done_mask]
+            gids = led.group_ids[done]
+            led.deactivate(done)
+            groups = self.groups
+            tally: dict[int, int] = {}
+            for g in gids.tolist():
+                tally[g] = tally.get(g, 0) + 1
+            for g, c in tally.items():
+                grp = groups[g]
+                grp.outstanding -= c
+                if grp.outstanding == 0:
+                    del groups[g]
+                    completed.append(grp)
+            if led.maybe_compact():
+                self._act = None  # slots were renumbered
+        return completed
+
+    def reroute_severed(
+        self, caps: np.ndarray, path_of
+    ) -> tuple[int, list[tuple[int, int, float]]]:
+        """Re-path flows crossing a failed link; collect unroutable ones.
+
+        Severed flows are found with one masked gather and visited in
+        flow-creation order (the oracle's list order), so the route
+        cache sees the same miss sequence and a disconnection aborts
+        with the same witness flow.
+        """
+        led = self.ledger
+        self._act = None  # repaths retire slots out of creation order
+        severed = led.crossing_slots(caps <= _EPS)
+        reroutes = 0
+        lost: list[tuple[int, int, float]] = []
+        for slot in severed.tolist():
+            src = int(led.src_nodes[slot])
+            dst = int(led.dst_nodes[slot])
+            try:
+                new_path = path_of(src, dst)
+            except PartitionDisconnectedError:
+                lost.append((src, dst, float(led.remaining[slot])))
+                continue
+            if len(new_path) == 0:  # pragma: no cover - defensive
+                raise AssertionError("reroute produced an empty path")
+            led.repath(slot, new_path)
+            reroutes += 1
+        return reroutes, lost
+
+    def restore_routes(self, path_of) -> int:
+        """Switch flows back to their preferred route after a repair."""
+        led = self.ledger
+        self._act = None  # repaths retire slots out of creation order
+        restores = 0
+        for slot in led.active_slots_by_order().tolist():
+            src = int(led.src_nodes[slot])
+            dst = int(led.dst_nodes[slot])
+            new_path = path_of(src, dst)
+            old = led.path(slot)
+            if len(new_path) != len(old) or not np.array_equal(
+                new_path, old
+            ):
+                led.repath(slot, new_path)
+                restores += 1
+        return restores
 
 
 @dataclass(frozen=True)
@@ -223,9 +509,10 @@ class VirtualMpi:
         naming a link or node that is not failed at its point in the
         timeline raises :class:`ValueError` immediately, not mid-run.
     max_events:
-        Event budget guarding against runaway programs; exceeded budgets
-        raise :class:`EventBudgetError` naming the virtual time and the
-        active flow / computing-rank counts.
+        Event budget guarding against runaway programs: every rank
+        scheduling step and every virtual-time advance consumes one
+        unit.  Exceeded budgets raise :class:`EventBudgetError` naming
+        the virtual time and the active flow / computing-rank counts.
     """
 
     def __init__(
@@ -368,11 +655,12 @@ class VirtualMpi:
         observability.counter_add("simmpi.flows")
         observability.counter_add("simmpi.gb_routed", gb)
         per_dim = np.bincount(self._link_dim_array()[path]) * gb
-        for d, gb_hops in enumerate(per_dim):
-            if gb_hops:
-                observability.counter_add(
-                    f"simmpi.gb_hops.dim{d}", float(gb_hops)
-                )
+        hot = np.flatnonzero(per_dim)
+        if hot.size:
+            observability.counter_add_many(
+                [f"simmpi.gb_hops.dim{d}" for d in hot.tolist()],
+                per_dim[hot],
+            )
 
     def _degraded_mask(self, net: LinkNetwork) -> np.ndarray | None:
         """Bool mask of links at reduced but non-zero capacity, or None."""
@@ -399,6 +687,7 @@ class VirtualMpi:
 
         READY, BLOCKED, DONE = 0, 1, 2
         state = [READY] * size
+        n_done = 0
         now = 0.0
         finish = [0.0] * size
         gb_sent = [0.0] * size
@@ -448,8 +737,29 @@ class VirtualMpi:
             return path
 
         computing: dict[int, float] = {}          # rank -> finish time
-        flows: list[_Flow] = []
+        backend = (
+            _VectorFlows(len(self._net0.capacities))
+            if vector_enabled()
+            else _OracleFlows(len(self._net0.capacities))
+        )
         barrier_waiters: list[int] = []
+
+        # Ready-rank scheduling: an epoch-ordered heap replacing the
+        # historical "rescan ranks 0..size-1 until quiescent" loop with
+        # O(log ready) per wake — while reproducing its advancement
+        # order *exactly*.  A rank woken at or before the scan cursor
+        # belongs to the next pass (epoch + 1); one woken ahead of the
+        # cursor is reached in the current pass.  Within an epoch the
+        # heap pops ranks in ascending order, just like the scan.
+        ready: list[tuple[int, int]] = [(0, r) for r in range(size)]
+        epoch = 0
+        cursor = -1
+
+        def make_ready(rank: int) -> None:
+            state[rank] = READY
+            heappush(
+                ready, (epoch if rank > cursor else epoch + 1, rank)
+            )
         # Unmatched posts: key (src, dst, tag) for sends; (src, dst, tag)
         # for recvs keyed by the *sender* side too.
         sends: dict[
@@ -467,7 +777,7 @@ class VirtualMpi:
         def wake(group: _Group) -> None:
             for r in group.waiters:
                 resume[r] = group.deliveries.get(r)
-                state[r] = READY
+                make_ready(r)
 
         def add_flow(
             src_node: int, dst_node: int, gb: float, group: _Group
@@ -480,15 +790,7 @@ class VirtualMpi:
                 return
             if obs.enabled:
                 self._record_flow_trace(path, gb)
-            flows.append(
-                _Flow(
-                    path=path,
-                    remaining=gb,
-                    group=group,
-                    src_node=src_node,
-                    dst_node=dst_node,
-                )
-            )
+            backend.add(path, gb, group, src_node, dst_node)
 
         def start_flow(src: int, dst: int, gb: float, group: _Group) -> None:
             gb_sent[src] += gb
@@ -517,13 +819,7 @@ class VirtualMpi:
                 # stays usable.  Flows whose preferred route just came
                 # back switch over (restore), completing the
                 # fail→reroute→repair→restore cycle.
-                for f in flows:
-                    new_path = path_of(f.src_node, f.dst_node)
-                    if len(new_path) != len(f.path) or not np.array_equal(
-                        new_path, f.path
-                    ):
-                        f.path = new_path
-                        restores += 1
+                restores += backend.restore_routes(path_of)
                 return
             if obs.enabled:
                 observability.counter_add("simmpi.fault_events")
@@ -531,19 +827,8 @@ class VirtualMpi:
             net = self._base_net.with_faults(cur_faults)
             cache = {}
             degr_mask = self._degraded_mask(net)
-            caps = net.capacities
-            lost: list[tuple[int, int, float]] = []
-            for f in flows:
-                if not _path_severed(caps, f.path):
-                    continue
-                try:
-                    f.path = path_of(f.src_node, f.dst_node)
-                except PartitionDisconnectedError:
-                    lost.append((f.src_node, f.dst_node, f.remaining))
-                    continue
-                if len(f.path) == 0:  # pragma: no cover - defensive
-                    raise AssertionError("reroute produced an empty path")
-                reroutes += 1
+            delta, lost = backend.reroute_severed(net.capacities, path_of)
+            reroutes += delta
             if lost:
                 report = FaultReport(
                     time=now,
@@ -566,12 +851,14 @@ class VirtualMpi:
 
         def advance_rank(rank: int) -> None:
             """Step one rank's generator until it blocks or finishes."""
+            nonlocal n_done
             while state[rank] == READY:
                 try:
                     value, resume[rank] = resume[rank], None
                     op = gens[rank].send(value)
                 except StopIteration:
                     state[rank] = DONE
+                    n_done += 1
                     finish[rank] = now
                     return
                 if isinstance(op, Compute):
@@ -669,7 +956,7 @@ class VirtualMpi:
                     state[rank] = BLOCKED
                     if len(barrier_waiters) == size:
                         for r in barrier_waiters:
-                            state[r] = READY
+                            make_ready(r)
                         barrier_waiters.clear()
                 else:
                     raise TypeError(
@@ -679,25 +966,34 @@ class VirtualMpi:
 
         # Main event loop.
         guard = 0
+
+        def budget_error() -> EventBudgetError:
+            return EventBudgetError(
+                f"simmpi exceeded the event budget of "
+                f"{self._max_events} at virtual time {now:.6g} s "
+                f"with {len(backend)} active flow(s) and "
+                f"{len(computing)} computing rank(s)"
+            )
+
         while True:
-            guard += 1
-            if guard > self._max_events:
-                raise EventBudgetError(
-                    f"simmpi exceeded the event budget of "
-                    f"{self._max_events} at virtual time {now:.6g} s "
-                    f"with {len(flows)} active flow(s) and "
-                    f"{len(computing)} computing rank(s)"
-                )
-            stepped = False
-            for r in range(size):
-                if state[r] == READY:
-                    stepped = True
-                    advance_rank(r)
-            if stepped:
-                continue  # matching may have made other ranks READY
-            if all(s == DONE for s in state):
+            # Drain the ready heap (cyclic ascending scan order; stale
+            # entries — ranks already advanced via an inline wake — are
+            # skipped without consuming budget).
+            while ready:
+                e, r = heappop(ready)
+                if state[r] != READY:
+                    continue
+                if e > epoch:
+                    epoch = e
+                cursor = r
+                guard += 1
+                if guard > self._max_events:
+                    raise budget_error()
+                advance_rank(r)
+            cursor = -1
+            if n_done == size:
                 break
-            if not flows and not computing:
+            if not len(backend) and not computing:
                 blocked = [r for r in range(size) if state[r] == BLOCKED]
                 shown = blocked[:16]
                 suffix = (
@@ -711,45 +1007,30 @@ class VirtualMpi:
                     "(mismatched send/recv, unpaired exchange, or "
                     "incomplete barrier)"
                 )
+            guard += 1
+            if guard > self._max_events:
+                raise budget_error()
             # Advance virtual time to the next event.
             dt = np.inf
-            if flows:
-                rates = max_min_fair_rates(
-                    [f.path for f in flows], net.capacities
-                )
-                dt = min(
-                    f.remaining / r for f, r in zip(flows, rates)
-                )
+            have_flows = len(backend) > 0
+            if have_flows:
+                dt = backend.solve_dt(net.capacities)
             if computing:
                 dt = min(dt, min(computing.values()) - now)
             if evt_i < len(self._events):
                 dt = min(dt, self._events[evt_i].time - now)
             dt = max(dt, 0.0)
-            if degr_mask is not None and flows and dt > 0:
-                degraded_exposure += dt * sum(
-                    1 for f in flows if bool(degr_mask[f.path].any())
-                )
+            if degr_mask is not None and have_flows and dt > 0:
+                degraded_exposure += dt * backend.degraded_count(degr_mask)
             now += dt
             # Progress flows.
-            if flows:
-                done_groups: list[_Group] = []
-                kept: list[_Flow] = []
-                for f, r in zip(flows, rates):
-                    f.remaining -= r * dt
-                    if f.remaining <= _EPS:
-                        f.group.outstanding -= 1
-                        if f.group.outstanding == 0:
-                            done_groups.append(f.group)
-                    else:
-                        kept.append(f)
-                flows.clear()
-                flows.extend(kept)
-                for g in done_groups:
+            if have_flows:
+                for g in backend.progress(dt):
                     wake(g)
             # Finish computations.
             for r in [r for r, t in computing.items() if t - now <= _EPS]:
                 del computing[r]
-                state[r] = READY
+                make_ready(r)
             # Strike due fault events.
             while (
                 evt_i < len(self._events)

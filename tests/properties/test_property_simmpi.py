@@ -2,13 +2,23 @@
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import (
+    FaultEvent,
+    FaultSet,
+    PartitionDisconnectedError,
+    RepairEvent,
+)
 from repro.simmpi import (
     Barrier,
     Compute,
+    Isend,
     Recv,
     Send,
     SendRecv,
@@ -126,3 +136,216 @@ class TestTimeProperties:
         a = world.run(prog).time
         b = world.run(prog).time
         assert a == b
+
+
+# --------------------------------------------------------------------- #
+# Vector engine ≡ oracle differential suite                              #
+# --------------------------------------------------------------------- #
+#
+# The vectorized FlowLedger backend must reproduce the REPRO_VECTOR=0
+# per-object oracle *bit for bit*: RunResult dataclass equality compares
+# every float exactly (time, per-rank stats, reroutes, restores,
+# degraded_flow_seconds), with no tolerance.
+
+
+@contextmanager
+def _vector_mode(value: str):
+    """Pin REPRO_VECTOR for one run (hypothesis-safe, unlike the
+    function-scoped monkeypatch fixture under @given)."""
+    old = os.environ.get("REPRO_VECTOR")
+    os.environ["REPRO_VECTOR"] = value
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_VECTOR"]
+        else:
+            os.environ["REPRO_VECTOR"] = old
+
+
+def _run_both(make_world, prog):
+    """Run *prog* on fresh worlds under the oracle and vector engines."""
+    with _vector_mode("0"):
+        oracle = make_world().run(prog)
+    with _vector_mode("1"):
+        vector = make_world().run(prog)
+    return oracle, vector
+
+
+class TestVectorEngineMatchesOracle:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),   # src
+                st.integers(min_value=0, max_value=7),   # dst
+                st.floats(min_value=0.1, max_value=4.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_send_recv_programs(self, n_ranks, msgs):
+        msgs = [
+            (s % n_ranks, d % n_ranks, gb)
+            for s, d, gb in msgs
+            if s % n_ranks != d % n_ranks
+        ]
+
+        def prog(rank, size):
+            for idx, (s, d, gb) in enumerate(msgs):
+                if rank == s:
+                    yield Send(dst=d, gb=gb, tag=idx)
+                elif rank == d:
+                    yield Recv(src=s, tag=idx)
+                yield Barrier()
+
+        oracle, vector = _run_both(lambda: _world(n_ranks), prog)
+        assert oracle == vector
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.1, max_value=4.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allgather_collective(self, n_ranks, gb):
+        def prog(rank, size):
+            yield from allgather_ring(rank, size, rank, gb)
+
+        oracle, vector = _run_both(lambda: _world(n_ranks), prog)
+        assert oracle == vector
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_isend_pipeline_with_compute(
+        self, n_ranks, depth, gb, seconds
+    ):
+        def prog(rank, size):
+            nxt = (rank + 1) % size
+            prev = (rank - 1) % size
+            for d in range(depth):
+                yield Isend(dst=nxt, gb=gb, tag=d)
+            yield Compute(seconds=seconds * (rank + 1))
+            for d in range(depth):
+                yield Recv(src=prev, tag=d)
+
+        oracle, vector = _run_both(lambda: _world(n_ranks), prog)
+        assert oracle == vector
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.floats(min_value=0.5, max_value=8.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mid_run_link_failure(self, cut, strike_time, gb):
+        """A single severed ring cable mid-run: reroutes must agree."""
+        ring = Torus((8,))
+        events = [
+            FaultEvent(
+                time=strike_time,
+                faults=FaultSet(
+                    failed_links=[((cut,), ((cut + 1) % 8,))]
+                ),
+            )
+        ]
+
+        def prog(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=gb)
+
+        oracle, vector = _run_both(
+            lambda: VirtualMpi(
+                ring, link_bandwidth=2.0, fault_events=events
+            ),
+            prog,
+        )
+        assert oracle == vector
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=1.0, max_value=8.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fail_then_repair_timeline(
+        self, cut, strike_time, repair_delay, gb
+    ):
+        """Fail → reroute → repair → restore: restores must agree."""
+        ring = Torus((8,))
+        link = ((cut,), ((cut + 1) % 8,))
+        events = [
+            FaultEvent(
+                time=strike_time,
+                faults=FaultSet(failed_links=[link]),
+            ),
+            RepairEvent(
+                time=strike_time + repair_delay, links=(link,)
+            ),
+        ]
+
+        def prog(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=gb)
+            yield Barrier()
+            yield SendRecv(peer=rank ^ 1, gb=gb / 2)
+
+        oracle, vector = _run_both(
+            lambda: VirtualMpi(
+                ring, link_bandwidth=2.0, fault_events=events
+            ),
+            prog,
+        )
+        assert oracle == vector
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=0.1, max_value=0.9),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_static_degraded_links(self, slow, factor, gb):
+        """Degraded-capacity exposure accounting must agree exactly."""
+        ring = Torus((8,))
+        faults = FaultSet(
+            degraded_links={((slow,), ((slow + 1) % 8,)): factor}
+        )
+
+        def prog(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=gb)
+
+        oracle, vector = _run_both(
+            lambda: VirtualMpi(ring, link_bandwidth=2.0, faults=faults),
+            prog,
+        )
+        assert oracle == vector
+        assert oracle.degraded_flow_seconds > 0
+
+    def test_disconnection_reports_identically(self):
+        """Cutting both ring cables around a node strands its flows;
+        both engines must abort with the same structured report."""
+        ring = Torus((8,))
+        faults = FaultSet(
+            failed_links=[((3,), (4,)), ((4,), (5,))]
+        )
+        events = [FaultEvent(time=0.5, faults=faults)]
+
+        def prog(rank, size):
+            yield SendRecv(peer=(rank + size // 2) % size, gb=4.0)
+
+        reports = []
+        for mode in ("0", "1"):
+            with _vector_mode(mode):
+                world = VirtualMpi(
+                    ring, link_bandwidth=2.0, fault_events=events
+                )
+                with pytest.raises(PartitionDisconnectedError) as ei:
+                    world.run(prog)
+                reports.append(ei.value.report)
+        assert reports[0] == reports[1]
+        assert reports[0].aborted_flows == reports[1].aborted_flows

@@ -13,6 +13,7 @@ ALL_KNOBS = (
     "REPRO_VECTOR",
     "REPRO_SHM",
     "REPRO_CHECK",
+    "REPRO_LEDGER_COMPACT",
     "REPRO_RESILIENCE_TEST_KILL",
     "REPRO_RESILIENCE_TEST_KILL_MARKER",
 )

@@ -66,6 +66,15 @@ class TestClassify:
             guard.classify("sweep_throughput_scenarios_per_s") == "rate"
         )
 
+    def test_engine_bench_keys_classified(self, guard):
+        # The FlowLedger-engine benchmark's headline metrics: the
+        # oracle/vector ratio is a higher-is-better speedup, the event
+        # throughput a rate, and the raw timings timings.
+        assert guard.classify("simmpi_engine_speedup") == "speedup"
+        assert guard.classify("simmpi_events_per_s") == "rate"
+        assert guard.classify("simmpi_oracle_s") == "timing"
+        assert guard.classify("simmpi_vector_s") == "timing"
+
 
 class TestLatestPair:
     def test_empty_history(self, guard):
